@@ -1,0 +1,45 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for syseco.
+//!
+//! The paper's symbolic computations — the feasible-point-set characteristic
+//! function `H(t)` (§4.2), the valid-rewiring characteristic `Ξ(c)` (§4.4),
+//! and the sampling-domain functions `g(z)` (§5.1) — are all carried out on
+//! BDDs. This crate provides a self-contained BDD package in the spirit of
+//! the paper's in-house implementation:
+//!
+//! * a [`BddManager`] with a unique table and memoized apply/ITE,
+//! * Boolean connectives, cofactors, and `∃`/`∀` quantification over
+//!   variable cubes,
+//! * assignment counting ([`BddManager::sat_count`]) and satisfying-cube /
+//!   **prime-cube** enumeration ([`BddManager::sat_cubes`],
+//!   [`BddManager::prime_cubes`]) used to seed candidate rectification
+//!   point-sets,
+//! * a configurable node limit so domain computations stay
+//!   resource-bounded ([`BddError::NodeLimit`]).
+//!
+//! Variable order is fixed at allocation time; callers allocate variables in
+//! the order they want them in the diagram (syseco uses `c < t < y < z`).
+//!
+//! # Example
+//!
+//! ```
+//! use eco_bdd::BddManager;
+//!
+//! # fn main() -> Result<(), eco_bdd::BddError> {
+//! let mut m = BddManager::new();
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.and(x, y)?;
+//! let g = m.or(x, y)?;
+//! assert!(m.implies_check(f, g)?);
+//! assert_eq!(m.sat_count(f, 2), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cubes;
+mod error;
+mod manager;
+
+pub use cubes::Cube;
+pub use error::BddError;
+pub use manager::{Bdd, BddManager};

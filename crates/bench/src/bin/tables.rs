@@ -1,0 +1,113 @@
+//! Regenerates the paper's tables and the ablation studies.
+//!
+//! ```text
+//! cargo run --release -p syseco-bench --bin tables -- [table1|table2|table3|
+//!     ablation-samples|ablation-error-domain|ablation-level|all|dump <dir>]
+//! ```
+//!
+//! `dump <dir>` exports the whole suite as BLIF pairs
+//! (`caseN_impl.blif` / `caseN_spec.blif`) for use with the `syseco` CLI or
+//! external tools.
+
+use syseco::EcoOptions;
+use syseco_bench::{ablation, tables};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let options = EcoOptions::default();
+    let progress = |m: &str| eprintln!("  {m}");
+
+    let run_table1 = || {
+        eprintln!("building the 11-case suite…");
+        let cases = eco_workload::table1_cases();
+        println!("{}", tables::format_table1(&tables::table1_rows(&cases)));
+    };
+    let run_table2 = || {
+        eprintln!("building the 11-case suite…");
+        let cases = eco_workload::table1_cases();
+        eprintln!("running commercial proxy / DeltaSyn / syseco on every case…");
+        let rows = tables::table2_rows(&cases, &options, progress);
+        println!("{}", tables::format_table2(&rows));
+    };
+    let run_table3 = || {
+        eprintln!("building the 4 timing cases…");
+        let cases = eco_workload::timing_cases();
+        let rows = tables::table3_rows(&cases, &options, progress);
+        println!("{}", tables::format_table3(&rows));
+    };
+    let run_ablation_samples = || {
+        eprintln!("ablation A: sampling-domain size sweep on case 5…");
+        let case = eco_workload::table1_cases().swap_remove(4);
+        let points =
+            ablation::sampling_size_sweep(&case, &[8, 16, 32, 64, 128, 256], &options);
+        println!(
+            "{}",
+            ablation::format_points("Ablation A: sampling-domain size (case 5)", &points)
+        );
+    };
+    let run_ablation_error = || {
+        eprintln!("ablation B: error-domain vs random samples on a sparse-error case…");
+        let case = ablation::sparse_error_case();
+        let points = ablation::sample_policy_comparison(&case, &options);
+        println!(
+            "{}",
+            ablation::format_points(
+                "Ablation B: sample policy (sparse-error case)",
+                &points
+            )
+        );
+    };
+    let run_ablation_level = || {
+        eprintln!("ablation C: level-driven choice on the timing cases…");
+        for case in eco_workload::timing_cases() {
+            let points = ablation::level_driven_comparison(&case, &options);
+            println!(
+                "{}",
+                ablation::format_points(
+                    &format!("Ablation C: level-driven selection (case {})", case.id),
+                    &points
+                )
+            );
+        }
+    };
+
+    match what.as_str() {
+        "dump" => {
+            let dir = std::env::args().nth(2).unwrap_or_else(|| "suite".to_string());
+            std::fs::create_dir_all(&dir).expect("create dump directory");
+            eprintln!("building and dumping the full suite to {dir}/ …");
+            for case in eco_workload::table1_cases()
+                .into_iter()
+                .chain(eco_workload::timing_cases())
+            {
+                let ip = format!("{dir}/case{}_impl.blif", case.id);
+                let sp = format!("{dir}/case{}_spec.blif", case.id);
+                std::fs::write(&ip, eco_netlist::write_blif(&case.implementation))
+                    .expect("write impl");
+                std::fs::write(&sp, eco_netlist::write_blif(&case.spec)).expect("write spec");
+                println!("case {:>2}: {ip} + {sp}", case.id);
+            }
+        }
+        "table1" => run_table1(),
+        "table2" => run_table2(),
+        "table3" => run_table3(),
+        "ablation-samples" => run_ablation_samples(),
+        "ablation-error-domain" => run_ablation_error(),
+        "ablation-level" => run_ablation_level(),
+        "all" => {
+            run_table1();
+            run_table2();
+            run_table3();
+            run_ablation_samples();
+            run_ablation_error();
+            run_ablation_level();
+        }
+        other => {
+            eprintln!(
+                "unknown target {other:?}; expected table1|table2|table3|\
+                 ablation-samples|ablation-error-domain|ablation-level|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Benchmark harness regenerating the paper's evaluation tables.
+//!
+//! * [`tables::table1_rows`] — Table 1: test-case characteristics,
+//! * [`tables::table2_rows`] — Table 2: patch attributes from the designer
+//!   estimate, the commercial-tool proxy, the DeltaSyn baseline, and syseco,
+//!   plus the average syseco/DeltaSyn reduction ratios,
+//! * [`tables::table3_rows`] — Table 3: patch gates and post-patch slack,
+//!   DeltaSyn vs syseco (level-driven selection on),
+//! * [`ablation`] — the three ablation studies from DESIGN.md: sampling
+//!   domain size, error-domain vs random samples, level-driven choice.
+//!
+//! Everything is deterministic; run through the `tables` binary:
+//!
+//! ```text
+//! cargo run --release -p syseco-bench --bin tables -- table2
+//! ```
+
+pub mod ablation;
+pub mod tables;

@@ -1,0 +1,17 @@
+//! Baseline ECO engines the paper compares against.
+//!
+//! * [`deltasyn`] — a structural-difference engine in the spirit of
+//!   DeltaSyn \[Krishnaswamy et al., ICCAD 2009\] (Table 2, columns 7–11):
+//!   it matches implementation and specification structurally from the
+//!   inputs and patches each failing output with the unmatched region of
+//!   the specification cone.
+//! * [`cone`] — the "commercial tool" proxy (Table 2, columns 3–6): a
+//!   structure-oblivious engine that re-synthesizes the entire fanin cone
+//!   of every failing output from the specification, stitched at primary
+//!   inputs.
+//!
+//! Both reuse the [`Patch`](crate::Patch) accounting so their Table-2
+//! attributes are directly comparable with syseco's.
+
+pub mod cone;
+pub mod deltasyn;

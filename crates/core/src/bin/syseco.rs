@@ -1,0 +1,165 @@
+//! Command-line front end for the syseco engine.
+//!
+//! ```text
+//! syseco stats   <design.blif>
+//! syseco check   <impl.blif> <spec.blif>
+//! syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]
+//!                [--out patched.blif] [--seed N] [--samples N]
+//!                [--level-driven]
+//! ```
+//!
+//! Designs are read and written in the BLIF-style format of
+//! [`eco_netlist::io`].
+
+use std::process::ExitCode;
+
+use eco_netlist::{read_blif, write_blif, Circuit, CircuitStats};
+use syseco::baseline::{cone, deltasyn};
+use syseco::correspond::Correspondence;
+use syseco::error_domain::{classify_outputs, Equivalence};
+use syseco::{verify_rectification, EcoOptions, Syseco};
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    read_blif(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  syseco stats   <design.blif>\n  syseco check   <impl.blif> <spec.blif>\n  \
+         syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]\n                 \
+         [--out patched.blif] [--seed N] [--samples N] [--level-driven]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    match command.as_str() {
+        "stats" => {
+            let [_, path] = args else { return Ok(usage()) };
+            let c = load(path)?;
+            println!("{}: {}", c.name(), CircuitStats::of(&c));
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => {
+            let [_, impl_path, spec_path] = args else { return Ok(usage()) };
+            let implementation = load(impl_path)?;
+            let spec = load(spec_path)?;
+            let corr = Correspondence::build(&implementation, &spec)
+                .map_err(|e| e.to_string())?;
+            let verdicts = classify_outputs(&implementation, &spec, &corr, None)
+                .map_err(|e| e.to_string())?;
+            let mut failing = 0;
+            for (pair, verdict) in corr.outputs.iter().zip(&verdicts) {
+                match verdict {
+                    Equivalence::Equivalent => {}
+                    Equivalence::Counterexample(x) => {
+                        failing += 1;
+                        println!("output {:<24} DIFFERS  (witness {:?})", pair.name, x);
+                    }
+                    Equivalence::Unknown => {
+                        failing += 1;
+                        println!("output {:<24} UNKNOWN", pair.name);
+                    }
+                }
+            }
+            println!(
+                "{} of {} outputs differ",
+                failing,
+                corr.outputs.len()
+            );
+            Ok(if failing == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        "rectify" => {
+            if args.len() < 3 {
+                return Ok(usage());
+            }
+            let implementation = load(&args[1])?;
+            let spec = load(&args[2])?;
+            let mut engine_name = "syseco".to_string();
+            let mut out_path: Option<String> = None;
+            let mut options = EcoOptions::default();
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--engine" => {
+                        engine_name =
+                            args.get(i + 1).cloned().ok_or("--engine needs a value")?;
+                        i += 2;
+                    }
+                    "--out" => {
+                        out_path = Some(
+                            args.get(i + 1).cloned().ok_or("--out needs a value")?,
+                        );
+                        i += 2;
+                    }
+                    "--seed" => {
+                        options.seed = args
+                            .get(i + 1)
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad seed: {e}"))?;
+                        i += 2;
+                    }
+                    "--samples" => {
+                        options.num_samples = args
+                            .get(i + 1)
+                            .ok_or("--samples needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad sample count: {e}"))?;
+                        i += 2;
+                    }
+                    "--level-driven" => {
+                        options.level_driven = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let result = match engine_name.as_str() {
+                "syseco" => Syseco::new(options)
+                    .rectify(&implementation, &spec)
+                    .map_err(|e| e.to_string())?,
+                "deltasyn" => {
+                    deltasyn::rectify(&implementation, &spec).map_err(|e| e.to_string())?
+                }
+                "cone" => cone::rectify(&implementation, &spec).map_err(|e| e.to_string())?,
+                other => return Err(format!("unknown engine {other:?}")),
+            };
+            println!("engine {engine_name} finished in {:?}", result.runtime);
+            print!(
+                "{}",
+                syseco::patch::render_report(&result.patch, &result.patched)
+            );
+            let ok = verify_rectification(&result.patched, &spec)
+                .map_err(|e| e.to_string())?;
+            println!("verification: {}", if ok { "PASS" } else { "FAIL" });
+            if let Some(path) = out_path {
+                std::fs::write(&path, write_blif(&result.patched))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("patched design written to {path}");
+            }
+            Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        _ => Ok(usage()),
+    }
+}

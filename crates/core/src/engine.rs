@@ -1,0 +1,197 @@
+//! The `Syseco` engine facade.
+
+use std::time::{Duration, Instant};
+
+use eco_netlist::Circuit;
+
+use crate::correspond::Correspondence;
+use crate::error_domain::{classify_outputs, Equivalence};
+use crate::options::EcoOptions;
+use crate::patch::{refine_patch_inputs_timed, Patch, PatchStats};
+use crate::rectify::{rewire_rectification, RectifyStats};
+use crate::EcoError;
+
+/// Result of a rectification run.
+#[derive(Debug)]
+pub struct EcoResult {
+    /// The rectified implementation.
+    pub patched: Circuit,
+    /// The applied patch (rewires and cloned logic).
+    pub patch: Patch,
+    /// Table-2 style patch attributes.
+    pub stats: PatchStats,
+    /// Search statistics.
+    pub rectify: RectifyStats,
+    /// Wall-clock time of the run.
+    pub runtime: Duration,
+}
+
+/// The symbolic-sampling ECO engine of the paper.
+///
+/// # Example
+///
+/// ```
+/// use eco_netlist::{Circuit, GateKind};
+/// use syseco::{EcoOptions, Syseco};
+///
+/// # fn main() -> Result<(), syseco::EcoError> {
+/// // Implementation computes AND; the revised specification wants OR.
+/// let mut c = Circuit::new("impl");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let g = c.add_gate(GateKind::And, &[a, b])?;
+/// c.add_output("y", g);
+/// let mut s = Circuit::new("spec");
+/// let a = s.add_input("a");
+/// let b = s.add_input("b");
+/// let g = s.add_gate(GateKind::Or, &[a, b])?;
+/// s.add_output("y", g);
+///
+/// let engine = Syseco::new(EcoOptions::default());
+/// let result = engine.rectify(&c, &s)?;
+/// assert!(syseco::verify_rectification(&result.patched, &s)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Syseco {
+    options: EcoOptions,
+}
+
+impl Syseco {
+    /// Creates an engine with the given options.
+    pub fn new(options: EcoOptions) -> Self {
+        Syseco { options }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EcoOptions {
+        &self.options
+    }
+
+    /// Rectifies `implementation` against the revised specification `spec`,
+    /// returning the patched circuit and the patch.
+    ///
+    /// Specification inputs absent from the implementation are added as new
+    /// primary inputs; specification-only outputs are added as new ports
+    /// (initially constant) and rectified like any failing output.
+    ///
+    /// # Errors
+    ///
+    /// [`EcoError::PortMismatch`] when an implementation output has no
+    /// specification counterpart, and [`EcoError`] wrappers for malformed
+    /// circuits.
+    pub fn rectify(&self, implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, EcoError> {
+        let start = Instant::now();
+        implementation.check_well_formed()?;
+        spec.check_well_formed()?;
+        let mut patched = implementation.clone();
+        normalize_ports(&mut patched, spec);
+        let (patch, rectify) = rewire_rectification(&mut patched, spec, &self.options)?;
+        // Patch-input refinement (§5.2 post-processing): reuse existing
+        // implementation logic inside the cloned patch. Under level-driven
+        // selection the merge is timing-aware.
+        let model = eco_timing::DelayModel::default();
+        refine_patch_inputs_timed(
+            &mut patched,
+            &patch,
+            self.options.validation_budget,
+            self.options.seed ^ 0x9e3779b97f4a7c15,
+            self.options.level_driven.then_some(&model),
+        )?;
+        patched.sweep();
+        let stats = patch.stats(&patched);
+        Ok(EcoResult {
+            stats,
+            rectify,
+            runtime: start.elapsed(),
+            patched,
+            patch,
+        })
+    }
+}
+
+/// Adds spec-only inputs and outputs to the implementation so the port
+/// correspondence becomes total.
+pub(crate) fn normalize_ports(implementation: &mut Circuit, spec: &Circuit) {
+    for &id in spec.inputs() {
+        let label = spec.node(id).name().unwrap_or("").to_string();
+        if implementation.input_by_name(&label).is_none() {
+            implementation.add_input(label);
+        }
+    }
+    for port in spec.outputs() {
+        if implementation.output_by_name(port.name()).is_none() {
+            let k = implementation.constant(false);
+            implementation.add_output(port.name(), k);
+        }
+    }
+}
+
+/// Verifies full behavioural equivalence of a patched implementation
+/// against the specification (unbudgeted SAT per output pair).
+///
+/// # Errors
+///
+/// [`EcoError`] on port mismatches or malformed circuits.
+pub fn verify_rectification(patched: &Circuit, spec: &Circuit) -> Result<bool, EcoError> {
+    let corr = Correspondence::build(patched, spec)?;
+    let verdicts = classify_outputs(patched, spec, &corr, None)?;
+    Ok(verdicts
+        .iter()
+        .all(|v| matches!(v, Equivalence::Equivalent)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::GateKind;
+
+    #[test]
+    fn normalize_adds_missing_ports() {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b_new");
+        let g = s.add_gate(GateKind::And, &[sa, sb]).unwrap();
+        s.add_output("y", g);
+        s.add_output("extra", sb);
+        normalize_ports(&mut c, &s);
+        assert!(c.input_by_name("b_new").is_some());
+        assert!(c.output_by_name("extra").is_some());
+        assert!(Correspondence::build(&c, &s).is_ok());
+    }
+
+    #[test]
+    fn engine_rectifies_with_new_ports() {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b_new");
+        let g = s.add_gate(GateKind::And, &[sa, sb]).unwrap();
+        s.add_output("y", g);
+        let engine = Syseco::new(EcoOptions::with_seed(2));
+        let result = engine.rectify(&c, &s).unwrap();
+        assert!(verify_rectification(&result.patched, &s).unwrap());
+    }
+
+    #[test]
+    fn verify_detects_wrong_circuit() {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b");
+        let sg = s.add_gate(GateKind::Or, &[sa, sb]).unwrap();
+        s.add_output("y", sg);
+        assert!(!verify_rectification(&c, &s).unwrap());
+        assert!(verify_rectification(&c, &c.clone()).unwrap());
+    }
+}

@@ -1,0 +1,77 @@
+//! **syseco** — rewire-based ECO rectification with symbolic sampling.
+//!
+//! A Rust reproduction of *Comprehensive Search for ECO Rectification Using
+//! Symbolic Sampling* (Kravets, Lee, Jiang — DAC 2019). Given a heavily
+//! optimized implementation `C` and a lightly synthesized revised
+//! specification `C'`, the engine finds a minimal **patch**: a set of
+//! rewire operations `p_1/s_1, …, p_m/s_m` reconnecting sink pins of `C`
+//! to existing nets of `C` or cloned nets of `C'` (paper §3.3).
+//!
+//! The search is *functional*, not structural: candidate rectification
+//! points are enumerated through the characteristic function
+//! `H(t) = ∀x ∃y (h(x,y,t) ≡ f'(x))` (§4.2), candidate rewirings through
+//! `Ξ(c) = ∀x,y (L ⇒ h ∧ h ⇒ U)` (§4.4), and both computations are cast
+//! into a compact **symbolic sampling domain** over error minterms (§5.1),
+//! with resource-constrained SAT validating every candidate on the exact
+//! domain and feeding false positives back as new samples.
+//!
+//! # Quick start
+//!
+//! ```
+//! use eco_netlist::{Circuit, GateKind};
+//! use syseco::{EcoOptions, Syseco};
+//!
+//! # fn main() -> Result<(), syseco::EcoError> {
+//! // Implementation computes AND where the revision wants OR.
+//! let mut c = Circuit::new("impl");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.add_gate(GateKind::And, &[a, b])?;
+//! c.add_output("y", g);
+//! let mut s = Circuit::new("spec");
+//! let a = s.add_input("a");
+//! let b = s.add_input("b");
+//! let g = s.add_gate(GateKind::Or, &[a, b])?;
+//! s.add_output("y", g);
+//!
+//! let result = Syseco::new(EcoOptions::default()).rectify(&c, &s)?;
+//! assert!(syseco::verify_rectification(&result.patched, &s)?);
+//! println!("patch: {:?} in {:?}", result.stats, result.runtime);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Module map (paper section → module)
+//!
+//! | Module | Paper | Role |
+//! |---|---|---|
+//! | [`correspond`] | §3.1 | label-based port correspondence |
+//! | [`error_domain`] | §4.3, §5.1 | error minterm collection (`𝔼`) |
+//! | [`sampling`] | §5.1 | sampling functions `g(z)`, z-domain evaluation |
+//! | [`points`] | §4.2 | `H(t)`, prime-cube point-set enumeration |
+//! | [`rewire_nets`] | §4.3 | structural filter + utility ranking |
+//! | [`choices`] | §4.4 | `R`, `L`, `U`, `Ξ(c)` |
+//! | [`validate`] | §5.1–2 | exact-domain SAT validation, refinement |
+//! | [`rectify`] | §5.2 | the `RewireRectification` driver |
+//! | [`patch`] | §3.3, §5.2 | patch model, Table-2 accounting, input sweep |
+//! | [`baseline`] | §6 | DeltaSyn-style and cone-rewrite baselines |
+
+pub mod baseline;
+pub mod choices;
+pub mod correspond;
+mod engine;
+mod error;
+pub mod error_domain;
+mod options;
+pub mod patch;
+pub mod points;
+pub mod rectify;
+pub mod rewire_nets;
+pub mod sampling;
+pub mod validate;
+
+pub use engine::{verify_rectification, EcoResult, Syseco};
+pub use error::EcoError;
+pub use options::{EcoOptions, SamplePolicy};
+pub use patch::{Patch, PatchStats, RewireOp};
+pub use rectify::RectifyStats;

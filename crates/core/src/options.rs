@@ -1,0 +1,127 @@
+//! Tuning knobs of the rectification engine.
+
+/// Where sampling-domain assignments come from (paper §5.1; ablation B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePolicy {
+    /// All samples drawn from the error domain `𝔼` (the paper's choice).
+    ErrorDomain,
+    /// Uniformly random assignments (plus the seed counterexample).
+    Random,
+    /// Half error-domain, half random: error samples drive correction,
+    /// random samples add preservation constraints that cut false
+    /// positives (this reproduction's extension; see EXPERIMENTS.md).
+    Mixed,
+}
+
+/// Options controlling the rewire-based rectification flow.
+///
+/// The defaults correspond to the configuration used by the benchmark
+/// harness; individual studies (the ablation benches) override single
+/// fields.
+#[derive(Debug, Clone)]
+pub struct EcoOptions {
+    /// Target number of sampled assignments in the symbolic sampling domain
+    /// (paper §5.1). Rounded up to a power of two internally; `⌈log2 N⌉`
+    /// BDD variables encode the domain.
+    pub num_samples: usize,
+    /// Sampling-domain policy (§5.1; ablation B compares the variants).
+    pub sample_policy: SamplePolicy,
+    /// Maximum number of rectification points `m` tried per output (§4.2).
+    pub max_points: usize,
+    /// Cap `M` on candidate sink pins considered per output.
+    pub max_candidate_pins: usize,
+    /// Maximum prime cubes of `H(t)` expanded into explicit point-sets.
+    pub max_point_sets: usize,
+    /// Maximum concrete point-sets decoded from one prime cube.
+    pub max_decodes_per_prime: usize,
+    /// Maximum candidate rewiring nets per rectification point (§4.3),
+    /// including the trivial (current-driver) candidate.
+    pub max_rewire_candidates: usize,
+    /// Maximum rewiring choices decoded from `Ξ(c)` per point-set (§4.4).
+    pub max_choices: usize,
+    /// Conflict budget per SAT validation query (§5.1's resource-constrained
+    /// solver).
+    pub validation_budget: u64,
+    /// Maximum counterexample-refinement rounds per output before falling
+    /// back to the next candidate.
+    pub max_refinements: usize,
+    /// Hard cap on SAT validations per output per domain attempt; when
+    /// exhausted, the best validated option so far is committed (or the
+    /// search falls back).
+    pub max_validations_per_output: usize,
+    /// Stop escalating to more rectification points once a validated option
+    /// with at most this clone cost (in spec gates) exists.
+    pub good_enough_cost: usize,
+    /// Use arrival times to prefer timing-friendly rewiring nets — the
+    /// level-driven selection behind Table 3.
+    pub level_driven: bool,
+    /// Seed for all randomized steps (simulation patterns, sampling).
+    pub seed: u64,
+    /// Node budget of the per-output BDD manager.
+    pub bdd_node_limit: usize,
+}
+
+impl Default for EcoOptions {
+    fn default() -> Self {
+        EcoOptions {
+            num_samples: 64,
+            sample_policy: SamplePolicy::ErrorDomain,
+            max_points: 3,
+            max_candidate_pins: 48,
+            max_point_sets: 8,
+            max_decodes_per_prime: 4,
+            max_rewire_candidates: 8,
+            max_choices: 6,
+            validation_budget: 100_000,
+            max_refinements: 6,
+            max_validations_per_output: 24,
+            good_enough_cost: 4,
+            level_driven: false,
+            seed: 0xEC0,
+            bdd_node_limit: 2_000_000,
+        }
+    }
+}
+
+impl EcoOptions {
+    /// Default options with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        EcoOptions {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The number of `z` variables encoding the sampling domain.
+    pub fn num_z_vars(&self) -> u32 {
+        let n = self.num_samples.max(2);
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn z_vars_round_up() {
+        let mut o = EcoOptions::default();
+        o.num_samples = 64;
+        assert_eq!(o.num_z_vars(), 6);
+        o.num_samples = 65;
+        assert_eq!(o.num_z_vars(), 7);
+        o.num_samples = 2;
+        assert_eq!(o.num_z_vars(), 1);
+        o.num_samples = 1;
+        assert_eq!(o.num_z_vars(), 1);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = EcoOptions::default();
+        assert!(o.num_samples >= 16);
+        assert!(o.max_points >= 1);
+        assert!(o.max_rewire_candidates >= 2);
+    }
+}

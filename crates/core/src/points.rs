@@ -1,0 +1,519 @@
+//! Feasible rectification point-sets (paper §4.2).
+//!
+//! Every candidate sink pin `q_j` is guarded by a conceptual multiplexer
+//! (Figure 2): selection variables `t_i` — one binary-encoded block per
+//! rectification point `y_i` — steer which pins become free inputs. The
+//! characteristic function
+//!
+//! ```text
+//! H(t) = ∀x ∃y ( h(x, y, t) ≡ f'(x) )
+//! ```
+//!
+//! computed here in the sampling domain (`x` overloaded with `g(z)`),
+//! describes *all* feasible point-sets of size at most `m`; its prime cubes
+//! seed the explicit candidate lists handed to the rewiring-choice search.
+
+use std::collections::HashMap;
+
+use eco_bdd::{Bdd, BddError, BddManager, Cube};
+use eco_netlist::{topo, Circuit, GateKind, NetId, NodeId, Pin};
+
+use crate::sampling::eval_cone_bdd;
+
+/// Collects candidate rectification pins for the cone of `root`:
+/// every gate input pin whose consumer lies in the cone, plus the output
+/// pin itself (`output_index`), capped at `max` pins.
+///
+/// Pins are ordered by proximity to the output (shallow consumers first) so
+/// the cap keeps the most "surgical" candidates, with the output pin always
+/// included last — it guarantees completeness of the rewire formulation
+/// (§3.3).
+pub fn candidate_pins(circuit: &Circuit, root: NetId, output_index: u32, max: usize) -> Vec<Pin> {
+    let in_cone = topo::tfi(circuit, &[root.source()]);
+    let levels = topo::levels(circuit).expect("engine guarantees acyclic circuits");
+    let root_level = levels[root.index()];
+    let mut pins: Vec<(u32, Pin)> = Vec::new();
+    for (i, &inside) in in_cone.iter().enumerate() {
+        if !inside {
+            continue;
+        }
+        let id = NodeId::from_index(i);
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input || node.kind().is_const() {
+            continue;
+        }
+        // Depth from the output: shallower consumers first.
+        let depth = root_level.saturating_sub(levels[i]);
+        for pos in 0..node.fanins().len() {
+            pins.push((depth, Pin::gate(id, pos as u8)));
+        }
+    }
+    pins.sort_by_key(|&(depth, pin)| (depth, pin));
+    let mut out: Vec<Pin> = pins
+        .into_iter()
+        .map(|(_, p)| p)
+        .take(max.saturating_sub(1))
+        .collect();
+    out.push(Pin::output(output_index));
+    out
+}
+
+/// The `t`-variable blocks of the parameterized selection.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// First `t` variable index.
+    pub t_base: u32,
+    /// Bits per block: `⌈log2 M⌉`.
+    pub bits_per_block: u32,
+    /// Number of rectification points `m` (one block each).
+    pub num_points: usize,
+    /// Number of candidate pins `M`.
+    pub num_pins: usize,
+}
+
+impl Selection {
+    /// Creates the encoding for `num_points` points over `num_pins` pins.
+    pub fn new(t_base: u32, num_points: usize, num_pins: usize) -> Self {
+        let bits = usize::BITS - (num_pins.max(2) - 1).leading_zeros();
+        Selection {
+            t_base,
+            bits_per_block: bits,
+            num_points,
+            num_pins,
+        }
+    }
+
+    /// Total `t` variables: `m · ⌈log2 M⌉` (the count derived in §4.2).
+    pub fn num_t_vars(&self) -> u32 {
+        self.bits_per_block * self.num_points as u32
+    }
+
+    /// The variable indices of block `i`.
+    pub fn block_vars(&self, i: usize) -> Vec<u32> {
+        let start = self.t_base + self.bits_per_block * i as u32;
+        (start..start + self.bits_per_block).collect()
+    }
+
+    /// The minterm `t_i^j` ("big-endian" bit order, §4.1).
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the manager budget is exhausted.
+    pub fn minterm(&self, m: &mut BddManager, block: usize, code: usize) -> Result<Bdd, BddError> {
+        let vars = self.block_vars(block);
+        let bits = self.bits_per_block;
+        let mut cube = m.one();
+        for (b, &var) in vars.iter().enumerate() {
+            let bit = (code >> (bits as usize - 1 - b)) & 1 == 1;
+            let lit = if bit { m.var(var) } else { m.nvar(var) };
+            cube = m.and(cube, lit)?;
+        }
+        Ok(cube)
+    }
+
+    /// The selection signal of pin `j`: `t_1^j ∨ … ∨ t_m^j`.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the manager budget is exhausted.
+    pub fn select(&self, m: &mut BddManager, pin_code: usize) -> Result<Bdd, BddError> {
+        let mut sel = m.zero();
+        for i in 0..self.num_points {
+            let t = self.minterm(m, i, pin_code)?;
+            sel = m.or(sel, t)?;
+        }
+        Ok(sel)
+    }
+
+    /// The data-1 expression of pin `j`: `(t_1^j → y_1) ∧ … ∧ (t_m^j → y_m)`
+    /// (merging multiple selections of the same pin, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::NodeLimit`] when the manager budget is exhausted.
+    pub fn data1(
+        &self,
+        m: &mut BddManager,
+        pin_code: usize,
+        y_base: u32,
+    ) -> Result<Bdd, BddError> {
+        let mut acc = m.one();
+        for i in 0..self.num_points {
+            let t = self.minterm(m, i, pin_code)?;
+            let nt = m.not(t)?;
+            let y = m.var(y_base + i as u32);
+            let imp = m.or(nt, y)?;
+            acc = m.and(acc, imp)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// A decoded candidate point-set: the pins a prime cube of `H(t)` admits.
+pub type PointSet = Vec<Pin>;
+
+/// Computes `H(t)` in the sampling domain and decodes its prime cubes into
+/// explicit candidate point-sets.
+///
+/// Arguments:
+/// * `input_fns` — sampling functions `g(z)` in implementation input order,
+/// * `fprime` — the revised output function `f'(g(z))` over `z`,
+/// * `pins` — candidate pins from [`candidate_pins`],
+/// * `y_base` — first `y` variable (one per point, allocated by the caller
+///   so that `y` sits between `t` and `z` in the order),
+/// * `z_cube`/`y_cube` — quantification cubes.
+///
+/// Returns point-sets sorted by size (smallest first), each satisfying the
+/// topological constraint of §3.3 (no path between any pair of pins).
+///
+/// # Errors
+///
+/// [`BddError::NodeLimit`] when the manager budget is exhausted — callers
+/// retry with fewer candidate pins or fall back to output rewiring.
+#[allow(clippy::too_many_arguments)]
+pub fn feasible_point_sets(
+    circuit: &Circuit,
+    m: &mut BddManager,
+    input_fns: &[Bdd],
+    fprime: Bdd,
+    root: NetId,
+    output_index: u32,
+    pins: &[Pin],
+    selection: &Selection,
+    y_base: u32,
+    max_point_sets: usize,
+    max_decodes_per_prime: usize,
+) -> Result<Vec<PointSet>, BddError> {
+    // Precompute per-pin selection and data-1 functions.
+    let mut sels = Vec::with_capacity(pins.len());
+    let mut data1s = Vec::with_capacity(pins.len());
+    for j in 0..pins.len() {
+        sels.push(selection.select(m, j)?);
+        data1s.push(selection.data1(m, j, y_base)?);
+    }
+
+    // Parameterized evaluation: every candidate gate pin is guarded by
+    // ite(sel_j, data1_j, original) — the MUX of Figure 2.
+    let mut pin_subst: HashMap<Pin, usize> = HashMap::new();
+    let mut output_pin_code: Option<usize> = None;
+    for (j, &pin) in pins.iter().enumerate() {
+        match pin {
+            Pin::Gate { .. } => {
+                pin_subst.insert(pin, j);
+            }
+            Pin::Output { index } if index == output_index => {
+                output_pin_code = Some(j);
+            }
+            Pin::Output { .. } => {}
+        }
+    }
+    let mut subst = |mgr: &mut BddManager, j: usize, orig: Bdd| -> Result<Bdd, BddError> {
+        mgr.ite(sels[j], data1s[j], orig)
+    };
+    let mut h = eval_cone_bdd(circuit, m, input_fns, root, &pin_subst, &mut subst)?;
+    if let Some(j) = output_pin_code {
+        h = m.ite(sels[j], data1s[j], h)?;
+    }
+
+    // H(t) = ∀z ∃y (h ≡ f').
+    let eq = m.iff(h, fprime)?;
+    let y_vars: Vec<u32> = (0..selection.num_points)
+        .map(|i| y_base + i as u32)
+        .collect();
+    let y_cube = m.var_cube(&y_vars)?;
+    let exists_y = m.exists(eq, y_cube)?;
+    let z_vars: Vec<u32> = collect_z_vars(m, input_fns, fprime);
+    let z_cube = m.var_cube(&z_vars)?;
+    let h_char = m.forall(exists_y, z_cube)?;
+
+    if h_char == m.zero() {
+        return Ok(Vec::new());
+    }
+
+    // Prime cubes of H(t) seed the explicit point-set list.
+    let primes = m.prime_cubes(h_char, max_point_sets)?;
+    let mut out: Vec<PointSet> = Vec::new();
+    for prime in &primes {
+        for decoded in decode_prime(selection, prime, pins, max_decodes_per_prime) {
+            if decoded.is_empty() {
+                continue;
+            }
+            if !topological_constraint_ok(circuit, &decoded, output_index) {
+                continue;
+            }
+            if !out.contains(&decoded) {
+                out.push(decoded);
+            }
+        }
+    }
+    out.sort_by_key(|ps| ps.len());
+    Ok(out)
+}
+
+/// Variables used by the sampling functions and `f'` — the `z` block.
+fn collect_z_vars(m: &BddManager, input_fns: &[Bdd], fprime: Bdd) -> Vec<u32> {
+    let mut vars = std::collections::BTreeSet::new();
+    let mut stack: Vec<Bdd> = input_fns.iter().copied().chain([fprime]).collect();
+    let mut seen = std::collections::HashSet::new();
+    while let Some(f) = stack.pop() {
+        if m.is_const(f) || !seen.insert(f) {
+            continue;
+        }
+        if let Some(v) = m.root_var(f) {
+            vars.insert(v);
+        }
+        stack.push(m.low(f));
+        stack.push(m.high(f));
+    }
+    vars.into_iter().collect()
+}
+
+/// Decodes one prime cube of `H(t)` into concrete point-sets.
+///
+/// For each `t` block, the cube's literals admit a set of pin codes; codes
+/// beyond the pin count mean "this point selects nothing". Up to `max`
+/// combinations of admissible codes are instantiated.
+fn decode_prime(
+    selection: &Selection,
+    prime: &Cube,
+    pins: &[Pin],
+    max: usize,
+) -> Vec<PointSet> {
+    let bits = selection.bits_per_block as usize;
+    // Admissible codes per block. `None` entry = point unused.
+    let mut per_block: Vec<Vec<Option<usize>>> = Vec::with_capacity(selection.num_points);
+    for i in 0..selection.num_points {
+        let vars = selection.block_vars(i);
+        let mut admissible = Vec::new();
+        'code: for code in 0..(1usize << bits) {
+            for (b, &var) in vars.iter().enumerate() {
+                let bit = (code >> (bits - 1 - b)) & 1 == 1;
+                if let Some(phase) = prime.phase(var) {
+                    if phase != bit {
+                        continue 'code;
+                    }
+                }
+            }
+            admissible.push(if code < pins.len() { Some(code) } else { None });
+        }
+        // Prefer concrete pins over "unused", and low codes (shallow pins)
+        // first; a fully unconstrained block contributes only its first few
+        // options to avoid blow-up.
+        admissible.sort_by_key(|c| match c {
+            Some(j) => *j,
+            None => usize::MAX,
+        });
+        admissible.dedup();
+        admissible.truncate(max.max(1));
+        per_block.push(admissible);
+    }
+    // Cartesian product, truncated at `max` results.
+    let mut results: Vec<PointSet> = Vec::new();
+    let mut counters = vec![0usize; per_block.len()];
+    'outer: loop {
+        let mut set: PointSet = Vec::new();
+        for (i, &k) in counters.iter().enumerate() {
+            if let Some(code) = per_block[i][k] {
+                let pin = pins[code];
+                if !set.contains(&pin) {
+                    set.push(pin);
+                }
+            }
+        }
+        set.sort();
+        if !results.contains(&set) {
+            results.push(set);
+            if results.len() >= max {
+                break;
+            }
+        }
+        // Odometer increment.
+        for i in (0..counters.len()).rev() {
+            counters[i] += 1;
+            if counters[i] < per_block[i].len() {
+                continue 'outer;
+            }
+            counters[i] = 0;
+        }
+        break;
+    }
+    results
+}
+
+/// Checks the topological constraint of §3.3: no path may connect any pair
+/// of the selected pins. The output pin is downstream of the whole cone, so
+/// it only ever appears in singleton sets.
+pub fn topological_constraint_ok(circuit: &Circuit, pins: &[Pin], output_index: u32) -> bool {
+    let _ = output_index;
+    for (a, &pa) in pins.iter().enumerate() {
+        for &pb in pins.iter().skip(a + 1) {
+            match (pa.node(), pb.node()) {
+                (Some(na), Some(nb)) => {
+                    // Sibling pins of one gate are path-free; a path between
+                    // distinct pins exists iff one consumer reaches the other
+                    // through its output.
+                    if na != nb
+                        && (topo::tfi_contains(circuit, na, nb)
+                            || topo::tfi_contains(circuit, nb, na))
+                    {
+                        return false;
+                    }
+                }
+                // An output pin paired with anything inside the cone is
+                // connected by a path by definition.
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::{eval_all_bdd, SamplingDomain};
+    use eco_netlist::{Circuit, GateKind};
+
+    /// impl: y = a AND b (wrong); spec: y = a OR b.
+    fn and_vs_or() -> (Circuit, Circuit) {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        let mut s = Circuit::new("spec");
+        let a = s.add_input("a");
+        let b = s.add_input("b");
+        let g = s.add_gate(GateKind::Or, &[a, b]).unwrap();
+        s.add_output("y", g);
+        (c, s)
+    }
+
+    #[test]
+    fn candidate_pins_include_output_last() {
+        let (c, _) = and_vs_or();
+        let root = c.outputs()[0].net();
+        let pins = candidate_pins(&c, root, 0, 8);
+        assert_eq!(*pins.last().unwrap(), Pin::output(0));
+        assert_eq!(pins.len(), 3); // two AND pins + output pin
+    }
+
+    #[test]
+    fn candidate_pins_respect_cap() {
+        let mut c = Circuit::new("big");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let mut w = a;
+        for _ in 0..20 {
+            w = c.add_gate(GateKind::And, &[w, b]).unwrap();
+        }
+        c.add_output("y", w);
+        let pins = candidate_pins(&c, w, 0, 10);
+        assert_eq!(pins.len(), 10);
+        assert_eq!(*pins.last().unwrap(), Pin::output(0));
+    }
+
+    #[test]
+    fn selection_encoding_counts() {
+        let sel = Selection::new(4, 3, 10);
+        assert_eq!(sel.bits_per_block, 4);
+        assert_eq!(sel.num_t_vars(), 12);
+        assert_eq!(sel.block_vars(1), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn selection_minterms_are_disjoint() {
+        let mut m = BddManager::new();
+        let sel = Selection::new(0, 2, 4);
+        let t00 = sel.minterm(&mut m, 0, 0).unwrap();
+        let t01 = sel.minterm(&mut m, 0, 1).unwrap();
+        assert_eq!(m.and(t00, t01).unwrap(), m.zero());
+        // All codes of a block cover the space.
+        let mut cover = m.zero();
+        for code in 0..4 {
+            let t = sel.minterm(&mut m, 0, code).unwrap();
+            cover = m.or(cover, t).unwrap();
+        }
+        assert_eq!(cover, m.one());
+    }
+
+    /// End-to-end: H(t) over the and-vs-or example must admit rectification
+    /// at a single point (either AND pin rewired appropriately, or the
+    /// output itself).
+    #[test]
+    fn point_sets_found_for_simple_revision() {
+        let (c, s) = and_vs_or();
+        let root = c.outputs()[0].net();
+        let mut m = BddManager::new();
+        // Error domain of and-vs-or: a != b. Use both samples.
+        let samples = vec![vec![true, false], vec![false, true]];
+        // Allocate: t at 0.., y after, z last.
+        let pins = candidate_pins(&c, root, 0, 8);
+        let sel = Selection::new(0, 1, pins.len());
+        let y_base = sel.t_base + sel.num_t_vars();
+        let z_base = y_base + 1;
+        let dom = SamplingDomain::new(samples, z_base);
+        let g = dom.input_functions(&mut m, 2).unwrap();
+        // Spec shares input order here.
+        let spec_vals = eval_all_bdd(&s, &mut m, &g).unwrap();
+        let fprime = spec_vals[s.outputs()[0].net().index()];
+        let sets = feasible_point_sets(
+            &c, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4,
+        )
+        .unwrap();
+        assert!(!sets.is_empty(), "a single free pin can fix and→or");
+        for set in &sets {
+            assert_eq!(set.len(), 1, "m=1 yields singletons: {set:?}");
+        }
+    }
+
+    /// With zero rectification points feasible (m too small is impossible
+    /// here since output pin always works at m=1), an equivalent pair gives
+    /// the empty-prime universal solution.
+    #[test]
+    fn equivalent_pair_admits_trivial_selection() {
+        let (c, _) = and_vs_or();
+        let s = c.clone();
+        let root = c.outputs()[0].net();
+        let mut m = BddManager::new();
+        let samples = vec![vec![true, true], vec![false, true]];
+        let pins = candidate_pins(&c, root, 0, 8);
+        let sel = Selection::new(0, 1, pins.len());
+        let y_base = sel.t_base + sel.num_t_vars();
+        let dom = SamplingDomain::new(samples, y_base + 1);
+        let g = dom.input_functions(&mut m, 2).unwrap();
+        let spec_vals = eval_all_bdd(&s, &mut m, &g).unwrap();
+        let fprime = spec_vals[s.outputs()[0].net().index()];
+        let sets = feasible_point_sets(
+            &c, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4,
+        )
+        .unwrap();
+        // H(t) is a tautology here; whatever decodes must satisfy the
+        // topological constraint and reference known pins.
+        for set in &sets {
+            assert!(topological_constraint_ok(&c, set, 0));
+            for p in set {
+                assert!(pins.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn topological_constraint_rejects_chained_pins() {
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, &[g1, b]).unwrap();
+        c.add_output("y", g2);
+        // Pins on g1 and g2: g1 feeds g2, so the pair is rejected.
+        let p1 = Pin::gate(g1.source(), 0);
+        let p2 = Pin::gate(g2.source(), 0);
+        assert!(!topological_constraint_ok(&c, &[p1, p2], 0));
+        // Sibling pins of the same gate have no path between them.
+        let p3 = Pin::gate(g2.source(), 1);
+        assert!(topological_constraint_ok(&c, &[p2, p3], 0));
+        // Output pin combined with a gate pin is rejected.
+        assert!(!topological_constraint_ok(&c, &[p1, Pin::output(0)], 0));
+    }
+}

@@ -1,0 +1,766 @@
+//! The overall rectification flow `RewireRectification` (paper §5.2).
+//!
+//! For every non-equivalent output pair, in increasing order of logical
+//! complexity:
+//!
+//! 1. select error samples and build the sampling domain (§5.1),
+//! 2. enumerate feasible rectification point-sets via `H(t)` (§4.2),
+//! 3. assign candidate rewiring nets per point (§4.3),
+//! 4. compute valid rewiring choices via `Ξ(c)` (§4.4),
+//! 5. validate choices with resource-constrained SAT; counterexamples
+//!    refine the domain, damaged outputs prune the choice, and the choice
+//!    correcting the most outputs is favored.
+//!
+//! The output pin is itself a rectification point, so rewiring the output
+//! to a cloned specification cone is an always-applicable fallback — the
+//! flow never fails, it only degrades to a bigger patch.
+
+use std::collections::{HashMap, HashSet};
+
+use eco_bdd::{BddError, BddManager};
+use eco_netlist::{topo, Circuit, Pin};
+use eco_timing::{DelayModel, TimingReport};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::choices::find_choices;
+use crate::correspond::{Correspondence, OutputPair};
+use crate::error_domain::{check_output_pair, classify_outputs, collect_samples, Equivalence};
+use crate::options::EcoOptions;
+use crate::patch::Patch;
+use crate::points::{candidate_pins, feasible_point_sets, Selection};
+use crate::rewire_nets::{candidates_for_pin, RewireCandidate, RewireNetContext};
+use crate::sampling::{eval_all_bdd, SamplingDomain};
+use crate::validate::{apply_rewires, validate_rewires, CandidateRewire, Validation};
+use crate::EcoError;
+
+/// BDD variable layout: choice block, selection block, rectification
+/// inputs, sampling block — the `c < t < y < z` order of DESIGN.md.
+const C_BASE: u32 = 0;
+const T_BASE: u32 = 64;
+const Y_BASE: u32 = 128;
+const Z_BASE: u32 = 140;
+
+/// Counters describing a rectification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RectifyStats {
+    /// Matched output pairs.
+    pub outputs_total: usize,
+    /// Pairs initially non-equivalent.
+    pub outputs_failing: usize,
+    /// Outputs rectified through non-trivial rewiring search.
+    pub rewire_rectified: usize,
+    /// Outputs that needed the output-rewire fallback.
+    pub fallbacks: usize,
+    /// Sampling-domain refinements (false positives encountered) — the
+    /// metric behind ablations A and B.
+    pub refinements: usize,
+    /// SAT validation calls.
+    pub validations: usize,
+    /// Feasible point-sets examined.
+    pub point_sets_tried: usize,
+    /// Rewiring choices examined.
+    pub choices_tried: usize,
+}
+
+/// Emits a trace line when `SYSECO_TRACE` is set in the environment.
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("SYSECO_TRACE").is_some() {
+            eprintln!("[syseco] {}", format!($($arg)*));
+        }
+    };
+}
+
+enum Attempt {
+    /// Committed a rewire; these output indices are now equivalent.
+    Committed(Vec<u32>),
+    /// The domain produced a false positive; refine with this assignment.
+    Refine(Vec<bool>),
+    /// BDD budget exceeded; retry with fewer candidate pins.
+    NodeLimit,
+    /// No valid choice found in this domain.
+    Exhausted,
+}
+
+/// Runs the full rectification flow, mutating `implementation` in place.
+///
+/// Returns the accumulated [`Patch`] and run statistics. The caller (the
+/// [`Syseco`](crate::Syseco) engine) is responsible for pre-normalizing
+/// ports and for the post-processing patch sweep.
+///
+/// # Errors
+///
+/// [`EcoError`] on malformed inputs; resource exhaustion inside the search
+/// degrades to the fallback instead of erroring.
+pub fn rewire_rectification(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    options: &EcoOptions,
+) -> Result<(Patch, RectifyStats), EcoError> {
+    let corr = Correspondence::build(implementation, spec)?;
+    let mut rng = SmallRng::seed_from_u64(options.seed);
+    let mut patch = Patch::new(implementation.num_nodes());
+    let mut stats = RectifyStats {
+        outputs_total: corr.outputs.len(),
+        ..Default::default()
+    };
+    let timing_model = DelayModel::default();
+    let timing_period = if options.level_driven {
+        let probe = TimingReport::analyze(implementation, &timing_model, 0.0)?;
+        Some(probe.critical_delay() * 1.1)
+    } else {
+        None
+    };
+
+    // ------------------------------------------------------------------
+    // Detect failing outputs: one miter encoding, per-pair assumptions.
+    // ------------------------------------------------------------------
+    let mut failing: HashSet<u32> = HashSet::new();
+    let mut seeds: HashMap<u32, Vec<bool>> = HashMap::new();
+    let verdicts = classify_outputs(
+        implementation,
+        spec,
+        &corr,
+        Some(options.validation_budget.saturating_mul(10)),
+    )?;
+    for (pair, verdict) in corr.outputs.iter().zip(verdicts) {
+        match verdict {
+            Equivalence::Equivalent => {}
+            Equivalence::Counterexample(x) => {
+                failing.insert(pair.impl_index);
+                seeds.insert(pair.impl_index, x);
+            }
+            Equivalence::Unknown => {
+                // Conservatively treat as failing; sample collection will
+                // show whether anything is actually wrong.
+                failing.insert(pair.impl_index);
+            }
+        }
+    }
+    stats.outputs_failing = failing.len();
+    let mut sample_bank: Vec<Vec<bool>> = seeds.values().cloned().collect();
+    // Spec logic already instantiated by earlier commits, shared so
+    // overlapping revisions are cloned once (one patch, many sinks).
+    let mut shared_clones: HashMap<eco_netlist::NetId, eco_netlist::NetId> = HashMap::new();
+
+    // Order failing outputs by logical complexity (cone size).
+    let mut order: Vec<&OutputPair> = corr
+        .outputs
+        .iter()
+        .filter(|p| failing.contains(&p.impl_index))
+        .collect();
+    order.sort_by_key(|p| {
+        topo::cone_size(spec, spec.outputs()[p.spec_index as usize].net())
+            + topo::cone_size(
+                implementation,
+                implementation.outputs()[p.impl_index as usize].net(),
+            )
+    });
+    let order: Vec<OutputPair> = order.into_iter().cloned().collect();
+
+    // ------------------------------------------------------------------
+    // Per-output rectification.
+    // ------------------------------------------------------------------
+    for pair in &order {
+        if !failing.contains(&pair.impl_index) {
+            continue; // fixed as a side effect of an earlier rewire
+        }
+        // Re-confirm: the circuit has changed since detection.
+        let seed = match check_output_pair(
+            implementation,
+            spec,
+            pair,
+            Some(options.validation_budget.saturating_mul(10)),
+        )? {
+            Equivalence::Equivalent => {
+                failing.remove(&pair.impl_index);
+                continue;
+            }
+            Equivalence::Counterexample(x) => Some(x),
+            Equivalence::Unknown => seeds.get(&pair.impl_index).cloned(),
+        };
+        trace!(
+            "output {} ({} remaining): starting rectification",
+            pair.name,
+            failing.len()
+        );
+        let t_out = std::time::Instant::now();
+        // Refresh arrival times: earlier commits added patch logic.
+        let timing = match timing_period {
+            Some(period) => Some(TimingReport::analyze(
+                implementation,
+                &timing_model,
+                period,
+            )?),
+            None => None,
+        };
+        let fixed = rectify_one_output(
+            implementation,
+            spec,
+            &corr,
+            pair,
+            seed.as_deref(),
+            &failing,
+            &mut sample_bank,
+            &mut shared_clones,
+            options,
+            timing.as_ref(),
+            &mut patch,
+            &mut stats,
+            &mut rng,
+        )?;
+        trace!(
+            "output {}: done in {:?} (stats {:?})",
+            pair.name,
+            t_out.elapsed(),
+            stats
+        );
+        for f in fixed {
+            failing.remove(&f);
+        }
+    }
+    implementation.sweep();
+    Ok((patch, stats))
+}
+
+/// Rectifies one output pair; returns the output indices made equivalent.
+#[allow(clippy::too_many_arguments)]
+fn rectify_one_output(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    corr: &Correspondence,
+    pair: &OutputPair,
+    seed: Option<&[bool]>,
+    failing: &HashSet<u32>,
+    sample_bank: &mut Vec<Vec<bool>>,
+    shared_clones: &mut HashMap<eco_netlist::NetId, eco_netlist::NetId>,
+    options: &EcoOptions,
+    timing: Option<&TimingReport>,
+    patch: &mut Patch,
+    stats: &mut RectifyStats,
+    rng: &mut SmallRng,
+) -> Result<Vec<u32>, EcoError> {
+    let mut samples = collect_samples(
+        implementation,
+        spec,
+        corr,
+        pair,
+        options.num_samples,
+        options.sample_policy,
+        seed,
+        rng,
+    )?;
+    if samples.is_empty() {
+        // No error exists: the pair is equivalent after all.
+        return Ok(vec![pair.impl_index]);
+    }
+    for s in &samples {
+        if !sample_bank.contains(s) {
+            sample_bank.push(s.clone());
+        }
+    }
+
+    let mut pin_cap = options.max_candidate_pins.max(2);
+    let mut refinements_left = options.max_refinements;
+    loop {
+        match attempt_with_domain(
+            implementation,
+            spec,
+            corr,
+            pair,
+            &samples,
+            pin_cap,
+            failing,
+            sample_bank,
+            shared_clones,
+            options,
+            timing,
+            patch,
+            stats,
+        )? {
+            Attempt::Committed(fixed) => {
+                stats.rewire_rectified += 1;
+                return Ok(fixed);
+            }
+            Attempt::Refine(x) => {
+                if refinements_left == 0 {
+                    break;
+                }
+                refinements_left -= 1;
+                stats.refinements += 1;
+                if !sample_bank.contains(&x) {
+                    sample_bank.push(x.clone());
+                }
+                samples.push(x);
+            }
+            Attempt::NodeLimit => {
+                if pin_cap <= 4 {
+                    break;
+                }
+                pin_cap /= 2;
+            }
+            Attempt::Exhausted => break,
+        }
+    }
+
+    // Fallback: the output pin is a rectification point whose rectification
+    // function is f' itself, realized by the corresponding output of C'
+    // (§3.3 completeness argument).
+    let spec_root = spec.outputs()[pair.spec_index as usize].net();
+    let fallback = vec![CandidateRewire {
+        pin: Pin::output(pair.impl_index),
+        candidate: RewireCandidate {
+            net: spec_root,
+            from_spec: true,
+            utility: 1.0,
+            arrival: 0.0,
+        },
+    }];
+    let (ops, cloned) = apply_rewires(implementation, spec, &fallback, shared_clones)?;
+    patch.record_cloned(cloned);
+    for op in ops {
+        patch.record_rewire(op);
+    }
+    stats.fallbacks += 1;
+    Ok(vec![pair.impl_index])
+}
+
+/// One search attempt over a fixed sampling domain.
+#[allow(clippy::too_many_arguments)]
+fn attempt_with_domain(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    corr: &Correspondence,
+    pair: &OutputPair,
+    samples: &[Vec<bool>],
+    pin_cap: usize,
+    failing: &HashSet<u32>,
+    sample_bank: &[Vec<bool>],
+    shared_clones: &mut HashMap<eco_netlist::NetId, eco_netlist::NetId>,
+    options: &EcoOptions,
+    timing: Option<&TimingReport>,
+    patch: &mut Patch,
+    stats: &mut RectifyStats,
+) -> Result<Attempt, EcoError> {
+    let root = implementation.outputs()[pair.impl_index as usize].net();
+    let spec_root = spec.outputs()[pair.spec_index as usize].net();
+
+    let mut m = BddManager::with_node_limit(options.bdd_node_limit);
+    let domain = SamplingDomain::new(samples.to_vec(), Z_BASE);
+    let budget = |r: Result<_, BddError>| match r {
+        Ok(v) => Ok(Some(v)),
+        Err(BddError::NodeLimit { .. }) => Ok(None),
+        Err(e) => Err(EcoError::from(e)),
+    };
+
+    let Some(g_impl) = budget(domain.input_functions(&mut m, implementation.num_inputs()))?
+    else {
+        return Ok(Attempt::NodeLimit);
+    };
+    let mut g_spec = vec![m.zero(); spec.num_inputs()];
+    for (pos, sp) in corr.spec_input_pos.iter().enumerate() {
+        if let Some(sp) = sp {
+            g_spec[*sp] = g_impl[pos];
+        }
+    }
+    let Some(impl_vals) = budget(eval_all_bdd(implementation, &mut m, &g_impl))? else {
+        return Ok(Attempt::NodeLimit);
+    };
+    let Some(spec_vals) = budget(eval_all_bdd(spec, &mut m, &g_spec))? else {
+        return Ok(Attempt::NodeLimit);
+    };
+    let fprime = spec_vals[spec_root.index()];
+
+    let pins = candidate_pins(implementation, root, pair.impl_index, pin_cap);
+    let ctx = RewireNetContext::build(implementation, spec, corr, spec_root, samples)?;
+
+    let mut first_counterexample: Option<Vec<bool>> = None;
+    // All validated candidates across every m, scored by patch cost: cloned
+    // spec gates (estimated by cone size), then fewer rewires, then more
+    // outputs fixed. A near-zero-cost candidate (pure or almost pure reuse
+    // of existing implementation logic) commits immediately; otherwise
+    // larger m may still find a cheaper multi-point rewiring (the Figure-1
+    // effect), so the search continues before committing the global best.
+    struct ValidOption {
+        cost: usize,
+        rewires_len: usize,
+        arrival: f64,
+        fixed: Vec<u32>,
+        rewires: Vec<CandidateRewire>,
+    }
+    const EARLY_COMMIT_COST: usize = 1;
+    let clone_cost = |rewires: &[CandidateRewire]| -> usize {
+        rewires
+            .iter()
+            .filter(|r| r.candidate.from_spec)
+            .map(|r| {
+                if shared_clones.contains_key(&r.candidate.net) {
+                    0 // already instantiated by an earlier commit
+                } else {
+                    topo::cone_size(spec, r.candidate.net).max(1)
+                }
+            })
+            .sum()
+    };
+    let mut valid: Vec<ValidOption> = Vec::new();
+    let mut validations_left = options.max_validations_per_output;
+    'outer: for m_points in 1..=options.max_points.clamp(1, 8) {
+        // Escalating m is for finding *cheaper* multi-point rewirings; once
+        // a good-enough option exists, stop growing the search.
+        if valid
+            .iter()
+            .any(|v| v.cost <= options.good_enough_cost)
+        {
+            break;
+        }
+        let selection = Selection::new(T_BASE, m_points, pins.len());
+        if selection.t_base + selection.num_t_vars() > Y_BASE {
+            break; // encoding exceeds the reserved t block
+        }
+        let t_sets = std::time::Instant::now();
+        let sets = match feasible_point_sets(
+            implementation,
+            &mut m,
+            &g_impl,
+            fprime,
+            root,
+            pair.impl_index,
+            &pins,
+            &selection,
+            Y_BASE,
+            options.max_point_sets,
+            options.max_decodes_per_prime,
+        ) {
+            Ok(s) => s,
+            Err(BddError::NodeLimit { .. }) => {
+                trace!("  m={m_points} H(t) node limit after {:?}", t_sets.elapsed());
+                return Ok(Attempt::NodeLimit);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        trace!(
+            "  m={m_points} H(t): {} point-sets in {:?}",
+            sets.len(),
+            t_sets.elapsed()
+        );
+        for point_set in sets {
+            stats.point_sets_tried += 1;
+            trace!(
+                "  m={m_points} point-set: {:?}",
+                point_set.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+            );
+            let mut cand_lists: Vec<Vec<RewireCandidate>> =
+                Vec::with_capacity(point_set.len());
+            for &p in &point_set {
+                cand_lists.push(candidates_for_pin(
+                    implementation,
+                    &ctx,
+                    p,
+                    options.max_rewire_candidates,
+                    timing,
+                )?);
+            }
+            let choices = match find_choices(
+                implementation,
+                &mut m,
+                &g_impl,
+                &impl_vals,
+                &spec_vals,
+                fprime,
+                root,
+                pair.impl_index,
+                &point_set,
+                &cand_lists,
+                Y_BASE,
+                C_BASE,
+                &domain.z_vars(),
+                options.max_choices,
+            ) {
+                Ok(c) => c,
+                Err(BddError::NodeLimit { .. }) => return Ok(Attempt::NodeLimit),
+                Err(e) => return Err(e.into()),
+            };
+
+            // Rank choices: fewer non-trivial rewires first, then higher
+            // total utility; under level-driven selection, earlier arrival
+            // breaks remaining ties (the Table-3 lever).
+            let mut ranked: Vec<Vec<usize>> = choices;
+            ranked.sort_by(|a, b| {
+                let nt = |ch: &Vec<usize>| ch.iter().filter(|&&j| j != 0).count();
+                let util = |ch: &Vec<usize>| -> f64 {
+                    ch.iter()
+                        .enumerate()
+                        .map(|(i, &j)| cand_lists[i][j].utility)
+                        .sum()
+                };
+                let arr = |ch: &Vec<usize>| -> f64 {
+                    ch.iter()
+                        .enumerate()
+                        .map(|(i, &j)| cand_lists[i][j].arrival)
+                        .sum()
+                };
+                nt(a)
+                    .cmp(&nt(b))
+                    .then_with(|| {
+                        util(b)
+                            .partial_cmp(&util(a))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .then_with(|| {
+                        arr(a)
+                            .partial_cmp(&arr(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+            });
+
+            // Validate every decoded choice of this point-set.
+            for choice in ranked {
+                stats.choices_tried += 1;
+                let mut rewires: Vec<CandidateRewire> = Vec::new();
+                for (i, (&pin, &j)) in point_set.iter().zip(choice.iter()).enumerate() {
+                    if j == 0 {
+                        continue; // trivial: the point keeps its driver
+                    }
+                    rewires.push(CandidateRewire {
+                        pin,
+                        candidate: cand_lists[i][j].clone(),
+                    });
+                }
+                if rewires.is_empty() {
+                    continue; // all-trivial: no actual change
+                }
+                if validations_left == 0 {
+                    break 'outer;
+                }
+                validations_left -= 1;
+                stats.validations += 1;
+                let t_val = std::time::Instant::now();
+                match validate_rewires(
+                    implementation,
+                    spec,
+                    corr,
+                    &rewires,
+                    pair,
+                    failing,
+                    sample_bank,
+                    shared_clones,
+                    options.validation_budget,
+                )? {
+                    Validation::Valid { fixed } => {
+                        trace!(
+                            "  m={m_points} validation ok in {:?} ({} rewires, cost {})",
+                            t_val.elapsed(),
+                            rewires.len(),
+                            clone_cost(&rewires)
+                        );
+                        let cost = clone_cost(&rewires);
+                        let arrival = rewires
+                            .iter()
+                            .map(|r| r.candidate.arrival)
+                            .fold(0.0, f64::max);
+                        valid.push(ValidOption {
+                            cost,
+                            rewires_len: rewires.len(),
+                            arrival,
+                            fixed,
+                            rewires,
+                        });
+                        if cost <= EARLY_COMMIT_COST {
+                            break 'outer; // (near-)pure reuse: unbeatable
+                        }
+                    }
+                    Validation::CounterExample(x) => {
+                        trace!("  m={m_points} false positive in {:?}", t_val.elapsed());
+                        if first_counterexample.is_none() {
+                            first_counterexample = Some(x);
+                        }
+                        // The domain endorsed a wrong choice; its siblings
+                        // were endorsed by the same deficient domain, so
+                        // refine immediately unless a valid option is
+                        // already in hand.
+                        if valid.is_empty() {
+                            break 'outer;
+                        }
+                    }
+                    Validation::Damaged | Validation::Unknown => {
+                        trace!("  m={m_points} pruned in {:?}", t_val.elapsed());
+                    }
+                }
+            }
+        }
+    }
+    // Commit the best validated option: smallest clone cost, then fewest
+    // rewires, then most outputs fixed (§5.2's favoring).
+    if !valid.is_empty() {
+        valid.sort_by(|a, b| {
+            a.cost
+                .cmp(&b.cost)
+                .then_with(|| a.rewires_len.cmp(&b.rewires_len))
+                .then_with(|| b.fixed.len().cmp(&a.fixed.len()))
+                // Level-driven selection (§6): among otherwise equal
+                // options, prefer the one fed by earlier-arriving nets.
+                .then_with(|| {
+                    a.arrival
+                        .partial_cmp(&b.arrival)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+        let best = valid.into_iter().next().expect("nonempty");
+        trace!(
+            "  commit: cost {} with {} rewires at {:?}",
+            best.cost,
+            best.rewires.len(),
+            best.rewires.iter().map(|r| r.pin.to_string()).collect::<Vec<_>>()
+        );
+        let (ops, cloned) = apply_rewires(implementation, spec, &best.rewires, shared_clones)
+            .map_err(EcoError::from)?;
+        patch.record_cloned(cloned);
+        for op in ops {
+            patch.record_rewire(op);
+        }
+        let mut all_fixed = vec![pair.impl_index];
+        all_fixed.extend(best.fixed);
+        return Ok(Attempt::Committed(all_fixed));
+    }
+    Ok(match first_counterexample {
+        Some(x) => Attempt::Refine(x),
+        None => Attempt::Exhausted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::GateKind;
+
+    /// impl: y = a & b (wrong), d = a & b reused elsewhere must survive;
+    /// spec: y = a | b, d unchanged.
+    fn and_or_case() -> (Circuit, Circuit) {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let d = c.add_gate(GateKind::Not, &[g]).unwrap();
+        c.add_output("y", g);
+        c.add_output("d", d);
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b");
+        let sg = s.add_gate(GateKind::Or, &[sa, sb]).unwrap();
+        let sand = s.add_gate(GateKind::And, &[sa, sb]).unwrap();
+        let sd = s.add_gate(GateKind::Not, &[sand]).unwrap();
+        s.add_output("y", sg);
+        s.add_output("d", sd);
+        (c, s)
+    }
+
+    fn check_equiv(c: &Circuit, s: &Circuit) {
+        let corr = Correspondence::build(c, s).unwrap();
+        for pair in &corr.outputs {
+            assert_eq!(
+                check_output_pair(c, s, pair, None).unwrap(),
+                Equivalence::Equivalent,
+                "output {} must be rectified",
+                pair.name
+            );
+        }
+    }
+
+    #[test]
+    fn rectifies_and_to_or_preserving_sibling() {
+        let (mut c, s) = and_or_case();
+        let options = EcoOptions::with_seed(3);
+        let (patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        check_equiv(&c, &s);
+        assert_eq!(stats.outputs_failing, 1, "only y fails");
+        assert!(!patch.rewires().is_empty());
+        // The protected output d (= nand) must still be driven by the
+        // original AND cone: rewiring the output pin of y, not the AND's
+        // internals, is the only non-damaging single rewire here.
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn equivalent_designs_need_no_patch() {
+        let (c0, _) = and_or_case();
+        let mut c = c0.clone();
+        let s = c0;
+        let options = EcoOptions::with_seed(1);
+        let (patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        assert_eq!(stats.outputs_failing, 0);
+        assert!(patch.rewires().is_empty());
+        assert_eq!(patch.stats(&c), crate::PatchStats::default());
+    }
+
+    /// The Figure-1 scenario reduced: an existing net (NOT s1) in the
+    /// implementation realizes the revised behaviour — the engine should
+    /// rewire to it instead of cloning spec logic.
+    #[test]
+    fn reuses_existing_logic_when_available() {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s0 = c.add_input("s0");
+        let s1 = c.add_input("s1");
+        let ns1 = c.add_gate(GateKind::Not, &[s1]).unwrap();
+        let t1 = c.add_gate(GateKind::And, &[a, s0]).unwrap();
+        let t2 = c.add_gate(GateKind::And, &[b, s1]).unwrap();
+        let y = c.add_gate(GateKind::Or, &[t1, t2]).unwrap();
+        c.add_output("y", y);
+        c.add_output("aux", ns1);
+
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b");
+        let _ss0 = s.add_input("s0");
+        let ss1 = s.add_input("s1");
+        let sns1 = s.add_gate(GateKind::Not, &[ss1]).unwrap();
+        let st1 = s.add_gate(GateKind::And, &[sa, sns1]).unwrap();
+        let st2 = s.add_gate(GateKind::And, &[sb, ss1]).unwrap();
+        let sy = s.add_gate(GateKind::Or, &[st1, st2]).unwrap();
+        s.add_output("y", sy);
+        s.add_output("aux", sns1);
+
+        let options = EcoOptions::with_seed(11);
+        let (patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        check_equiv(&c, &s);
+        let pstats = patch.stats(&c);
+        assert_eq!(
+            pstats.gates, 0,
+            "existing NOT gate should be reused, not cloned: {pstats:?} ({stats:?})"
+        );
+    }
+
+    #[test]
+    fn multi_output_design_fully_rectified() {
+        // Three outputs, two of them revised.
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Xor, &[g1, d]).unwrap();
+        let g3 = c.add_gate(GateKind::Or, &[a, d]).unwrap();
+        c.add_output("u", g1);
+        c.add_output("v", g2);
+        c.add_output("w", g3);
+
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b");
+        let sd = s.add_input("d");
+        let h1 = s.add_gate(GateKind::Nand, &[sa, sb]).unwrap(); // changed
+        let h2 = s.add_gate(GateKind::Xor, &[h1, sd]).unwrap(); // changed: ¬(a∧b)⊕d
+        let h3 = s.add_gate(GateKind::Or, &[sa, sd]).unwrap(); // same
+        s.add_output("u", h1);
+        s.add_output("v", h2);
+        s.add_output("w", h3);
+
+        let options = EcoOptions::with_seed(5);
+        let (_patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        check_equiv(&c, &s);
+        assert_eq!(stats.outputs_failing, 2);
+        c.check_well_formed().unwrap();
+    }
+}

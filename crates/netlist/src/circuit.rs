@@ -1,0 +1,826 @@
+//! The [`Circuit`] container and its construction / mutation API.
+
+use std::collections::HashMap;
+
+use crate::topo;
+use crate::{GateKind, NetId, NetlistError, NodeId, Pin};
+
+/// A node of the circuit graph: a primary input, a constant, or a gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    kind: GateKind,
+    fanins: Vec<NetId>,
+    name: Option<String>,
+    dead: bool,
+}
+
+impl Node {
+    /// The logic operation of this node.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Nets driving this node's input pins, in pin order.
+    #[inline]
+    pub fn fanins(&self) -> &[NetId] {
+        &self.fanins
+    }
+
+    /// Optional label; primary inputs always have one.
+    #[inline]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Whether the node has been removed by [`Circuit::sweep`].
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+/// A primary output port: a labelled sink pin of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputPort {
+    name: String,
+    net: NetId,
+}
+
+impl OutputPort {
+    /// The port label, used for behavioural correspondence between circuits.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net this port observes.
+    #[inline]
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+}
+
+/// A combinational Boolean circuit (paper §3.1).
+///
+/// Nodes are stored in an arena indexed by [`NodeId`]; each node's output is
+/// the net with the same index. Construction is append-only; mutation is
+/// limited to the ECO primitives ([`rewire`](Circuit::rewire),
+/// [`set_output_net`](Circuit::set_output_net),
+/// [`clone_cone`](Circuit::clone_cone)) and garbage collection
+/// ([`sweep`](Circuit::sweep)), which keeps node ids stable for the lifetime
+/// of an analysis.
+///
+/// # Example
+///
+/// ```
+/// use eco_netlist::{Circuit, GateKind};
+///
+/// # fn main() -> Result<(), eco_netlist::NetlistError> {
+/// let mut c = Circuit::new("mux_demo");
+/// let s = c.add_input("s");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let y = c.add_gate(GateKind::Mux, &[s, a, b])?;
+/// c.add_output("y", y);
+/// assert_eq!(c.eval(&[true, false, true])?, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<OutputPort>,
+    const0: Option<NodeId>,
+    const1: Option<NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    /// The design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a primary input with the given label and returns its net.
+    ///
+    /// Labels establish behavioural correspondence between an implementation
+    /// and its specification; uniqueness is checked by
+    /// [`check_well_formed`](Circuit::check_well_formed) rather than here so
+    /// that bulk builders stay infallible.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: GateKind::Input,
+            fanins: Vec::new(),
+            name: Some(name.into()),
+            dead: false,
+        });
+        self.inputs.push(id);
+        id.into()
+    }
+
+    /// Adds a gate of `kind` over `fanins` and returns its output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if the fanin count is illegal for
+    /// `kind`, [`NetlistError::UnknownNet`] if a fanin does not exist, and
+    /// [`NetlistError::DeadNode`] if a fanin was swept.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: &[NetId]) -> Result<NetId, NetlistError> {
+        if matches!(kind, GateKind::Input) || !kind.accepts_arity(fanins.len()) {
+            return Err(NetlistError::BadArity {
+                kind,
+                got: fanins.len(),
+            });
+        }
+        for &w in fanins {
+            self.check_net(w)?;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            fanins: fanins.to_vec(),
+            name: None,
+            dead: false,
+        });
+        Ok(id.into())
+    }
+
+    /// Returns the net of the constant `value`, creating the node on first
+    /// use.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        let slot = if value { &mut self.const1 } else { &mut self.const0 };
+        if let Some(id) = *slot {
+            return id.into();
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: if value { GateKind::Const1 } else { GateKind::Const0 },
+            fanins: Vec::new(),
+            name: None,
+            dead: false,
+        });
+        *slot = Some(id);
+        id.into()
+    }
+
+    /// Adds a primary output observing `net`; returns the port index.
+    pub fn add_output(&mut self, name: impl Into<String>, net: NetId) -> u32 {
+        let index = self.outputs.len() as u32;
+        self.outputs.push(OutputPort {
+            name: name.into(),
+            net,
+        });
+        index
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Total number of node slots, live and dead.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary-output ports.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The node stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds; use [`try_node`](Circuit::try_node)
+    /// for a fallible lookup.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Fallible variant of [`node`](Circuit::node).
+    pub fn try_node(&self, id: NodeId) -> Result<&Node, NetlistError> {
+        self.nodes
+            .get(id.index())
+            .ok_or(NetlistError::UnknownNode(id))
+    }
+
+    /// Primary-input nodes in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary-output ports in declaration order.
+    #[inline]
+    pub fn outputs(&self) -> &[OutputPort] {
+        &self.outputs
+    }
+
+    /// Iterates over live node ids.
+    pub fn iter_live(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.dead)
+            .map(|(i, _)| NodeId(i as u32))
+    }
+
+    /// Looks up a primary input by label.
+    pub fn input_by_name(&self, name: &str) -> Option<NetId> {
+        self.inputs
+            .iter()
+            .find(|&&id| self.nodes[id.index()].name.as_deref() == Some(name))
+            .map(|&id| id.into())
+    }
+
+    /// Looks up a primary output port index by label.
+    pub fn output_by_name(&self, name: &str) -> Option<u32> {
+        self.outputs
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Position of `id` in the primary-input order, if it is an input.
+    pub fn input_position(&self, id: NodeId) -> Option<usize> {
+        self.inputs.iter().position(|&i| i == id)
+    }
+
+    /// The net currently driving `pin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPin`] when the pin does not exist.
+    pub fn pin_net(&self, pin: Pin) -> Result<NetId, NetlistError> {
+        match pin {
+            Pin::Gate { node, pos } => {
+                let n = self.try_node(node)?;
+                n.fanins
+                    .get(pos as usize)
+                    .copied()
+                    .ok_or(NetlistError::UnknownPin(pin))
+            }
+            Pin::Output { index } => self
+                .outputs
+                .get(index as usize)
+                .map(|p| p.net)
+                .ok_or(NetlistError::UnknownPin(pin)),
+        }
+    }
+
+    /// Computes the sink pins of every net.
+    ///
+    /// Index `i` of the result lists the pins consuming net `i`. Dead nodes
+    /// contribute no pins. The result is recomputed on each call; callers in
+    /// hot loops should cache it while the circuit is not mutated.
+    pub fn fanouts(&self) -> Vec<Vec<Pin>> {
+        let mut fo: Vec<Vec<Pin>> = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.dead {
+                continue;
+            }
+            for (pos, w) in n.fanins.iter().enumerate() {
+                fo[w.index()].push(Pin::gate(NodeId(i as u32), pos as u8));
+            }
+        }
+        for (i, p) in self.outputs.iter().enumerate() {
+            fo[p.net.index()].push(Pin::output(i as u32));
+        }
+        fo
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (the ECO primitives)
+    // ------------------------------------------------------------------
+
+    /// Disconnects `pin` from its driving net and connects it to `net` — the
+    /// rewire operation `p/s` of paper §3.3.
+    ///
+    /// Acyclicity is preserved: the mutation is rejected when the consuming
+    /// gate lies in the transitive fanin of `net`'s source.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownPin`] / [`NetlistError::UnknownNet`] for bad
+    /// references, [`NetlistError::DeadNode`] for swept sources, and
+    /// [`NetlistError::WouldCycle`] when the rewire would create a
+    /// combinational cycle.
+    pub fn rewire(&mut self, pin: Pin, net: NetId) -> Result<(), NetlistError> {
+        self.check_net(net)?;
+        match pin {
+            Pin::Output { index } => {
+                if index as usize >= self.outputs.len() {
+                    return Err(NetlistError::UnknownPin(pin));
+                }
+                self.outputs[index as usize].net = net;
+                Ok(())
+            }
+            Pin::Gate { node, pos } => {
+                let n = self.try_node(node)?;
+                if pos as usize >= n.fanins.len() {
+                    return Err(NetlistError::UnknownPin(pin));
+                }
+                // Connecting net -> node adds edge net.source -> node; a cycle
+                // appears exactly when node already reaches net.source, i.e.
+                // node is in the transitive fanin of the new source.
+                if node == net.source() || topo::tfi_contains(self, net.source(), node) {
+                    return Err(NetlistError::WouldCycle { pin, net });
+                }
+                self.nodes[node.index()].fanins[pos as usize] = net;
+                Ok(())
+            }
+        }
+    }
+
+    /// Redirects primary output `index` to observe `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownPin`] when the port does not exist,
+    /// [`NetlistError::UnknownNet`] / [`NetlistError::DeadNode`] for bad nets.
+    pub fn set_output_net(&mut self, index: u32, net: NetId) -> Result<(), NetlistError> {
+        self.rewire(Pin::output(index), net)
+    }
+
+    /// Copies the transitive fanin cones of `roots` from `src` into `self`.
+    ///
+    /// `boundary` maps nets of `src` to already-existing nets of `self`;
+    /// traversal stops at mapped nets. Source primary inputs that are not in
+    /// `boundary` are resolved by label against this circuit's inputs. The
+    /// returned map extends `boundary` with an entry for every cloned net
+    /// (including the roots).
+    ///
+    /// This realizes the instantiation of spec logic required when a rewiring
+    /// net comes from `C'` (paper §3.3: "its logic copy is instantiated in C").
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnmappedCloneInput`] when the cone depends on a source
+    /// input that has no boundary entry and no like-named input here;
+    /// [`NetlistError::UnknownNet`] for roots outside `src`.
+    pub fn clone_cone(
+        &mut self,
+        src: &Circuit,
+        roots: &[NetId],
+        boundary: &HashMap<NetId, NetId>,
+    ) -> Result<HashMap<NetId, NetId>, NetlistError> {
+        let mut map = boundary.clone();
+        let mut order: Vec<NetId> = Vec::new();
+        // Iterative DFS computing a topological order of unmapped src nodes.
+        let mut state: HashMap<NetId, u8> = HashMap::new(); // 1=open, 2=done
+        let mut stack: Vec<(NetId, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+        for &r in roots {
+            src.check_net(r).map_err(|_| NetlistError::UnknownNet(r))?;
+        }
+        while let Some((w, expanded)) = stack.pop() {
+            if map.contains_key(&w) || state.get(&w) == Some(&2) {
+                continue;
+            }
+            if expanded {
+                state.insert(w, 2);
+                order.push(w);
+                continue;
+            }
+            state.insert(w, 1);
+            stack.push((w, true));
+            let node = src.node(w.source());
+            if node.kind() == GateKind::Input {
+                let name = node.name().unwrap_or("").to_string();
+                match self.input_by_name(&name) {
+                    Some(here) => {
+                        map.insert(w, here);
+                        stack.pop(); // cancel the post-visit
+                        state.insert(w, 2);
+                    }
+                    None => return Err(NetlistError::UnmappedCloneInput { name }),
+                }
+                continue;
+            }
+            for &f in node.fanins() {
+                if !map.contains_key(&f) && state.get(&f) != Some(&2) {
+                    stack.push((f, false));
+                }
+            }
+        }
+        for w in order {
+            let node = src.node(w.source());
+            let new_net = match node.kind() {
+                GateKind::Const0 => self.constant(false),
+                GateKind::Const1 => self.constant(true),
+                kind => {
+                    let fanins: Vec<NetId> = node.fanins().iter().map(|f| map[f]).collect();
+                    self.add_gate(kind, &fanins)?
+                }
+            };
+            map.insert(w, new_net);
+        }
+        Ok(map)
+    }
+
+    /// Marks every node unreachable from the primary outputs as dead and
+    /// returns the number of nodes swept.
+    ///
+    /// Primary inputs are never swept (ports must survive), and node ids
+    /// remain stable.
+    pub fn sweep(&mut self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.iter().map(|p| p.net.source()).collect();
+        while let Some(n) = stack.pop() {
+            if live[n.index()] {
+                continue;
+            }
+            live[n.index()] = true;
+            for &f in &self.nodes[n.index()].fanins {
+                if !live[f.index()] {
+                    stack.push(f.source());
+                }
+            }
+        }
+        for &i in &self.inputs {
+            live[i.index()] = true;
+        }
+        let mut swept = 0;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !live[i] && !node.dead {
+                node.dead = true;
+                node.fanins.clear();
+                swept += 1;
+            }
+        }
+        if self.const0.is_some_and(|c| self.nodes[c.index()].dead) {
+            self.const0 = None;
+        }
+        if self.const1.is_some_and(|c| self.nodes[c.index()].dead) {
+            self.const1 = None;
+        }
+        swept
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation & validation
+    // ------------------------------------------------------------------
+
+    /// Evaluates the circuit on one primary-input assignment, returning the
+    /// output values in port order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InputCountMismatch`] when `inputs` does not match the
+    /// number of primary inputs; [`NetlistError::Cyclic`] when the circuit
+    /// has a combinational cycle.
+    pub fn eval(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.eval_nets(inputs)?;
+        Ok(self.outputs.iter().map(|p| values[p.net.index()]).collect())
+    }
+
+    /// Evaluates every net of the circuit on one input assignment.
+    ///
+    /// The result is indexed by net; dead nets evaluate to `false`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`eval`](Circuit::eval).
+    pub fn eval_nets(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.inputs.len() {
+            return Err(NetlistError::InputCountMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let order = topo::topo_order(self)?;
+        let mut values = vec![false; self.nodes.len()];
+        for (pos, &id) in self.inputs.iter().enumerate() {
+            values[id.index()] = inputs[pos];
+        }
+        let mut buf: Vec<bool> = Vec::with_capacity(4);
+        for id in order {
+            let node = &self.nodes[id.index()];
+            if node.kind() == GateKind::Input {
+                continue;
+            }
+            buf.clear();
+            buf.extend(node.fanins.iter().map(|f| values[f.index()]));
+            values[id.index()] = node.kind().eval(&buf);
+        }
+        Ok(values)
+    }
+
+    /// Checks the well-formedness invariants of paper §3.1: legal arities,
+    /// valid and live fanin references, acyclicity, and unique port labels.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant is reported.
+    pub fn check_well_formed(&self) -> Result<(), NetlistError> {
+        let mut seen = std::collections::HashSet::new();
+        for &i in &self.inputs {
+            let name = self.nodes[i.index()].name.clone().unwrap_or_default();
+            if !seen.insert(name.clone()) {
+                return Err(NetlistError::DuplicateName(name));
+            }
+        }
+        let mut seen_out = std::collections::HashSet::new();
+        for p in &self.outputs {
+            if !seen_out.insert(p.name.clone()) {
+                return Err(NetlistError::DuplicateName(p.name.clone()));
+            }
+            self.check_net(p.net)?;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.dead {
+                continue;
+            }
+            if node.kind() != GateKind::Input && !node.kind().accepts_arity(node.fanins.len()) {
+                return Err(NetlistError::BadArity {
+                    kind: node.kind(),
+                    got: node.fanins.len(),
+                });
+            }
+            for &f in &node.fanins {
+                self.check_net(f)?;
+                let _ = i;
+            }
+        }
+        topo::topo_order(self)?;
+        Ok(())
+    }
+
+    fn check_net(&self, w: NetId) -> Result<(), NetlistError> {
+        match self.nodes.get(w.index()) {
+            None => Err(NetlistError::UnknownNet(w)),
+            Some(n) if n.dead => Err(NetlistError::DeadNode(w.source())),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new("fa");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let cin = c.add_input("cin");
+        let ab = c.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let s = c.add_gate(GateKind::Xor, &[ab, cin]).unwrap();
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::And, &[ab, cin]).unwrap();
+        let cout = c.add_gate(GateKind::Or, &[g1, g2]).unwrap();
+        c.add_output("s", s);
+        c.add_output("cout", cout);
+        c
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let c = full_adder();
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                for cin in 0..2u8 {
+                    let out = c.eval(&[a == 1, b == 1, cin == 1]).unwrap();
+                    let total = a + b + cin;
+                    assert_eq!(out[0], total % 2 == 1, "sum at {a}{b}{cin}");
+                    assert_eq!(out[1], total >= 2, "carry at {a}{b}{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn well_formed_ok() {
+        full_adder().check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        assert!(matches!(
+            c.add_gate(GateKind::And, &[a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            c.add_gate(GateKind::Not, &[a, a]),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            c.add_gate(GateKind::Input, &[]),
+            Err(NetlistError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let bogus = NetId::from_index(99);
+        assert_eq!(
+            c.add_gate(GateKind::And, &[a, bogus]),
+            Err(NetlistError::UnknownNet(bogus))
+        );
+    }
+
+    #[test]
+    fn constants_are_cached() {
+        let mut c = Circuit::new("t");
+        let k0 = c.constant(false);
+        let k0b = c.constant(false);
+        let k1 = c.constant(true);
+        assert_eq!(k0, k0b);
+        assert_ne!(k0, k1);
+        assert_eq!(c.num_nodes(), 2);
+    }
+
+    #[test]
+    fn rewire_changes_function() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        assert_eq!(c.eval(&[true, false]).unwrap(), vec![false]);
+        // Rewire the AND's second pin from b to a: y becomes a AND a = a.
+        c.rewire(Pin::gate(g.source(), 1), a).unwrap();
+        assert_eq!(c.eval(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn rewire_rejects_cycle() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, &[g1, b]).unwrap();
+        c.add_output("y", g2);
+        // g1 feeding from g2 would form a cycle g1 -> g2 -> g1.
+        let err = c.rewire(Pin::gate(g1.source(), 0), g2).unwrap_err();
+        assert!(matches!(err, NetlistError::WouldCycle { .. }));
+        // Self-loop also rejected.
+        let err = c.rewire(Pin::gate(g1.source(), 0), g1).unwrap_err();
+        assert!(matches!(err, NetlistError::WouldCycle { .. }));
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn output_rewire() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        c.set_output_net(0, b).unwrap();
+        assert_eq!(c.eval(&[true, false]).unwrap(), vec![false]);
+        assert_eq!(c.eval(&[false, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn sweep_removes_dangling() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let _g2 = c.add_gate(GateKind::Or, &[a, b]).unwrap(); // dangling
+        c.add_output("y", g1);
+        assert_eq!(c.sweep(), 1);
+        assert_eq!(c.iter_live().count(), 3);
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn fanouts_enumerate_all_sinks() {
+        let c = full_adder();
+        let fo = c.fanouts();
+        let a = c.input_by_name("a").unwrap();
+        // `a` feeds the first xor and the first and.
+        assert_eq!(fo[a.index()].len(), 2);
+        // Total sinks = sum of fanin lengths + outputs.
+        let total: usize = fo.iter().map(|v| v.len()).sum();
+        let expect: usize = c
+            .iter_live()
+            .map(|id| c.node(id).fanins().len())
+            .sum::<usize>()
+            + c.num_outputs();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn clone_cone_by_name() {
+        let src = full_adder();
+        let mut dst = Circuit::new("dst");
+        dst.add_input("a");
+        dst.add_input("b");
+        dst.add_input("cin");
+        let root = src.outputs()[1].net(); // cout
+        let map = dst.clone_cone(&src, &[root], &HashMap::new()).unwrap();
+        let here = map[&root];
+        dst.add_output("cout", here);
+        dst.check_well_formed().unwrap();
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                for cin in 0..2u8 {
+                    let v = [a == 1, b == 1, cin == 1];
+                    assert_eq!(dst.eval(&v).unwrap()[0], src.eval(&v).unwrap()[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clone_cone_unmapped_input_fails() {
+        let src = full_adder();
+        let mut dst = Circuit::new("dst");
+        dst.add_input("a"); // missing b, cin
+        let root = src.outputs()[0].net();
+        let err = dst
+            .clone_cone(&src, &[root], &HashMap::new())
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::UnmappedCloneInput { .. }));
+    }
+
+    #[test]
+    fn clone_cone_with_boundary() {
+        let src = full_adder();
+        let mut dst = Circuit::new("dst");
+        let x = dst.add_input("x");
+        let y = dst.add_input("y");
+        let z = dst.add_input("z");
+        let mut boundary = HashMap::new();
+        boundary.insert(src.input_by_name("a").unwrap(), x);
+        boundary.insert(src.input_by_name("b").unwrap(), y);
+        boundary.insert(src.input_by_name("cin").unwrap(), z);
+        let root = src.outputs()[0].net();
+        let map = dst.clone_cone(&src, &[root], &boundary).unwrap();
+        dst.add_output("s", map[&root]);
+        dst.check_well_formed().unwrap();
+        let v = [true, true, false];
+        assert_eq!(dst.eval(&v).unwrap()[0], src.eval(&v).unwrap()[0]);
+    }
+
+    #[test]
+    fn duplicate_port_names_detected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let _b = c.add_input("a");
+        c.add_output("y", a);
+        assert!(matches!(
+            c.check_well_formed(),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn input_count_mismatch() {
+        let c = full_adder();
+        assert!(matches!(
+            c.eval(&[true, false]),
+            Err(NetlistError::InputCountMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn pin_net_reads_current_driver() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        assert_eq!(c.pin_net(Pin::gate(g.source(), 0)).unwrap(), a);
+        assert_eq!(c.pin_net(Pin::output(0)).unwrap(), g);
+        assert!(c.pin_net(Pin::gate(g.source(), 7)).is_err());
+        assert!(c.pin_net(Pin::output(3)).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Error type for netlist operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{NetId, NodeId, Pin};
+
+/// Errors produced by circuit construction, mutation, and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A node id referenced a node that does not exist in this circuit.
+    UnknownNode(NodeId),
+    /// A net id referenced a net that does not exist in this circuit.
+    UnknownNet(NetId),
+    /// A pin referenced a nonexistent gate input position or output port.
+    UnknownPin(Pin),
+    /// A gate was created with a fanin count its kind does not accept.
+    BadArity {
+        /// The offending gate kind.
+        kind: crate::GateKind,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The requested mutation would create a combinational cycle.
+    WouldCycle {
+        /// Pin being rewired.
+        pin: Pin,
+        /// Net the pin was to be connected to.
+        net: NetId,
+    },
+    /// The circuit contains a combinational cycle.
+    Cyclic,
+    /// An input/output label is used more than once.
+    DuplicateName(String),
+    /// An evaluation was given the wrong number of primary-input values.
+    InputCountMismatch {
+        /// Number of primary inputs the circuit has.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A node that was swept (dead) was used in an operation.
+    DeadNode(NodeId),
+    /// Cloning referenced a source whose support could not be mapped.
+    UnmappedCloneInput {
+        /// Name of the unmapped source-circuit input, if it had one.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetlistError::UnknownNet(w) => write!(f, "unknown net {w}"),
+            NetlistError::UnknownPin(p) => write!(f, "unknown pin {p}"),
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} does not accept {got} fanins")
+            }
+            NetlistError::WouldCycle { pin, net } => {
+                write!(f, "rewiring pin {pin} to net {net} would create a cycle")
+            }
+            NetlistError::Cyclic => write!(f, "circuit contains a combinational cycle"),
+            NetlistError::DuplicateName(name) => {
+                write!(f, "duplicate port name {name:?}")
+            }
+            NetlistError::InputCountMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::DeadNode(n) => write!(f, "node {n} was swept and is dead"),
+            NetlistError::UnmappedCloneInput { name } => {
+                write!(f, "clone source input {name:?} has no mapping")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases: Vec<NetlistError> = vec![
+            NetlistError::UnknownNode(NodeId::from_index(1)),
+            NetlistError::UnknownNet(NetId::from_index(2)),
+            NetlistError::UnknownPin(Pin::output(0)),
+            NetlistError::BadArity {
+                kind: GateKind::Not,
+                got: 3,
+            },
+            NetlistError::WouldCycle {
+                pin: Pin::gate(NodeId::from_index(0), 0),
+                net: NetId::from_index(1),
+            },
+            NetlistError::Cyclic,
+            NetlistError::DuplicateName("a".into()),
+            NetlistError::InputCountMismatch {
+                expected: 2,
+                got: 3,
+            },
+            NetlistError::DeadNode(NodeId::from_index(4)),
+            NetlistError::UnmappedCloneInput { name: "x".into() },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! Typed identifiers for circuit elements.
+
+use std::fmt;
+
+/// Identifier of a node (primary input, constant, or gate) in a [`Circuit`].
+///
+/// Node ids are dense indices assigned in creation order; they are stable
+/// across mutations because nodes are never physically removed (sweeping only
+/// marks nodes dead).
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a raw index.
+    ///
+    /// Intended for serialization and test helpers; indices are only
+    /// meaningful relative to the circuit they came from.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a net: the single output of the node with the same index.
+///
+/// A net connects its source (the node output) to every sink pin referring to
+/// it. `NetId` and [`NodeId`] are in 1:1 correspondence; the conversion is
+/// explicit to keep "a place in the graph" and "a signal" apart in APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Returns the raw index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a net id from a raw index (see [`NodeId::from_index`]).
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+
+    /// The node whose output pin is the source of this net.
+    #[inline]
+    pub fn source(self) -> NodeId {
+        NodeId(self.0)
+    }
+}
+
+impl From<NodeId> for NetId {
+    #[inline]
+    fn from(n: NodeId) -> Self {
+        NetId(n.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A sink pin: a location where a net is consumed.
+///
+/// Pins are the unit of rectification in rewire-based ECO (paper §3.2): a
+/// rectification point is a pin that gets disconnected from its driving net
+/// and reconnected elsewhere. Both gate inputs and primary-output ports are
+/// rectifiable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pin {
+    /// Input position `pos` of gate `node`.
+    Gate {
+        /// The consuming gate.
+        node: NodeId,
+        /// Zero-based input position within the gate's fanin list.
+        pos: u8,
+    },
+    /// Primary-output port `index` of the circuit.
+    Output {
+        /// Index into the circuit's output list.
+        index: u32,
+    },
+}
+
+impl Pin {
+    /// Convenience constructor for a gate input pin.
+    #[inline]
+    pub fn gate(node: NodeId, pos: u8) -> Self {
+        Pin::Gate { node, pos }
+    }
+
+    /// Convenience constructor for a primary-output pin.
+    #[inline]
+    pub fn output(index: u32) -> Self {
+        Pin::Output { index }
+    }
+
+    /// Returns the consuming node if this is a gate pin.
+    #[inline]
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            Pin::Gate { node, .. } => Some(node),
+            Pin::Output { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pin::Gate { node, pos } => write!(f, "{node}.{pos}"),
+            Pin::Output { index } => write!(f, "po{index}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_net_roundtrip() {
+        let n = NodeId::from_index(7);
+        let w: NetId = n.into();
+        assert_eq!(w.index(), 7);
+        assert_eq!(w.source(), n);
+        assert_eq!(NetId::from_index(7), w);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(NetId::from_index(3).to_string(), "w3");
+        assert_eq!(Pin::gate(NodeId::from_index(3), 1).to_string(), "n3.1");
+        assert_eq!(Pin::output(2).to_string(), "po2");
+    }
+
+    #[test]
+    fn pin_node_accessor() {
+        assert_eq!(
+            Pin::gate(NodeId::from_index(1), 0).node(),
+            Some(NodeId::from_index(1))
+        );
+        assert_eq!(Pin::output(0).node(), None);
+    }
+
+    #[test]
+    fn pin_ordering_is_total() {
+        let mut pins = vec![
+            Pin::output(1),
+            Pin::gate(NodeId::from_index(2), 0),
+            Pin::output(0),
+            Pin::gate(NodeId::from_index(1), 1),
+        ];
+        pins.sort();
+        assert_eq!(
+            pins,
+            vec![
+                Pin::gate(NodeId::from_index(1), 1),
+                Pin::gate(NodeId::from_index(2), 0),
+                Pin::output(0),
+                Pin::output(1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Boolean circuit data model for the syseco ECO engine.
+//!
+//! This crate provides the internal design representation shared by every
+//! other crate in the workspace: a combinational [`Circuit`] made of typed
+//! [gates](GateKind) connected by nets, together with the graph analyses the
+//! rectification flow relies on (topological ordering, logic levels,
+//! transitive fanin/fanout, cone extraction), fast 64-way parallel
+//! [simulation](sim), [structural hashing](strash), and the mutation
+//! primitives of rewire-based ECO: [`Circuit::rewire`] and
+//! [`Circuit::clone_cone`].
+//!
+//! # Terminology (paper §3.1)
+//!
+//! * A **net** carries a value from its single *source* pin (a gate output or
+//!   a primary input) to its *sink* pins (gate inputs or primary outputs).
+//!   Every node's output is exactly one net, so [`NetId`] and [`NodeId`] are
+//!   in 1:1 correspondence; the distinct types keep the two roles apart.
+//! * A **pin** is a sink location: either input position `pos` of a gate or a
+//!   primary-output port. Rectification points are pins.
+//! * A circuit is **well-formed** when all pins are connected and the gate
+//!   graph is acyclic; see [`Circuit::check_well_formed`].
+//!
+//! # Example
+//!
+//! ```
+//! use eco_netlist::{Circuit, GateKind};
+//!
+//! # fn main() -> Result<(), eco_netlist::NetlistError> {
+//! let mut c = Circuit::new("half_adder");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let sum = c.add_gate(GateKind::Xor, &[a, b])?;
+//! let carry = c.add_gate(GateKind::And, &[a, b])?;
+//! c.add_output("sum", sum);
+//! c.add_output("carry", carry);
+//! c.check_well_formed()?;
+//! assert_eq!(c.eval(&[true, true])?, vec![false, true]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod error;
+mod gate;
+mod id;
+pub mod io;
+pub mod sim;
+pub mod stats;
+pub mod strash;
+pub mod topo;
+
+pub use circuit::{Circuit, Node, OutputPort};
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use id::{NetId, NodeId, Pin};
+pub use io::{read_blif, write_blif, write_dot, ParseBlifError};
+pub use stats::CircuitStats;

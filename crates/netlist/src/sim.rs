@@ -1,0 +1,169 @@
+//! 64-way bit-parallel simulation.
+//!
+//! Each net is simulated over 64 input patterns at once by packing the
+//! pattern values into a `u64` word. This is the workhorse behind error-
+//! domain sampling and the rectification-utility heuristic (paper §4.3),
+//! where many candidate nets must be compared over a set of error minterms.
+
+use crate::topo::topo_order;
+use crate::{Circuit, GateKind, NetlistError};
+
+/// Simulates `circuit` over up to 64 parallel patterns.
+///
+/// `patterns[i]` packs the values of primary input `i` (in declaration
+/// order): bit `j` is the value of input `i` under pattern `j`. The result is
+/// indexed by net and packed the same way.
+///
+/// # Errors
+///
+/// [`NetlistError::InputCountMismatch`] when `patterns` does not match the
+/// number of primary inputs, [`NetlistError::Cyclic`] for cyclic circuits.
+///
+/// # Example
+///
+/// ```
+/// use eco_netlist::{Circuit, GateKind, sim};
+///
+/// # fn main() -> Result<(), eco_netlist::NetlistError> {
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let y = c.add_gate(GateKind::And, &[a, b])?;
+/// c.add_output("y", y);
+/// // Four patterns: (a,b) = 00, 10, 01, 11 in bits 0..4.
+/// let words = sim::simulate64(&c, &[0b0110, 0b1010])?;
+/// assert_eq!(words[y.index()] & 0b1111, 0b0010);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate64(circuit: &Circuit, patterns: &[u64]) -> Result<Vec<u64>, NetlistError> {
+    if patterns.len() != circuit.num_inputs() {
+        return Err(NetlistError::InputCountMismatch {
+            expected: circuit.num_inputs(),
+            got: patterns.len(),
+        });
+    }
+    let order = topo_order(circuit)?;
+    let mut words = vec![0u64; circuit.num_nodes()];
+    for (pos, &id) in circuit.inputs().iter().enumerate() {
+        words[id.index()] = patterns[pos];
+    }
+    let mut buf: Vec<u64> = Vec::with_capacity(4);
+    for id in order {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input {
+            continue;
+        }
+        buf.clear();
+        buf.extend(node.fanins().iter().map(|f| words[f.index()]));
+        words[id.index()] = node.kind().eval64(&buf);
+    }
+    Ok(words)
+}
+
+/// Simulates an arbitrary number of patterns, given as explicit assignments.
+///
+/// `assignments[j]` is the primary-input vector of pattern `j`. Returns one
+/// word vector per 64-pattern block, as produced by [`simulate64`]; pattern
+/// `j` lives in block `j / 64`, bit `j % 64`.
+///
+/// # Errors
+///
+/// Propagates [`simulate64`] errors; every assignment must have exactly
+/// `circuit.num_inputs()` values or [`NetlistError::InputCountMismatch`] is
+/// returned.
+pub fn simulate_patterns(
+    circuit: &Circuit,
+    assignments: &[Vec<bool>],
+) -> Result<Vec<Vec<u64>>, NetlistError> {
+    let n = circuit.num_inputs();
+    let mut blocks = Vec::new();
+    for chunk in assignments.chunks(64) {
+        let mut patterns = vec![0u64; n];
+        for (j, a) in chunk.iter().enumerate() {
+            if a.len() != n {
+                return Err(NetlistError::InputCountMismatch {
+                    expected: n,
+                    got: a.len(),
+                });
+            }
+            for (i, &v) in a.iter().enumerate() {
+                if v {
+                    patterns[i] |= 1u64 << j;
+                }
+            }
+        }
+        blocks.push(simulate64(circuit, &patterns)?);
+    }
+    Ok(blocks)
+}
+
+/// Extracts the boolean value of `bit` within pattern-block `words` for the
+/// given net index.
+#[inline]
+pub fn word_bit(words: &[u64], net_index: usize, bit: usize) -> bool {
+    (words[net_index] >> bit) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, GateKind};
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("s");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let g1 = c.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Mux, &[d, g1, a]).unwrap();
+        c.add_output("y", g2);
+        c
+    }
+
+    #[test]
+    fn parallel_matches_scalar() {
+        let c = sample();
+        // All 8 input combinations in bits 0..8.
+        let mut patterns = vec![0u64; 3];
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..8u64 {
+            for i in 0..3 {
+                if (j >> i) & 1 == 1 {
+                    patterns[i] |= 1 << j;
+                }
+            }
+        }
+        let words = simulate64(&c, &patterns).unwrap();
+        let ynet = c.outputs()[0].net();
+        for j in 0..8 {
+            let assign: Vec<bool> = (0..3).map(|i| (j >> i) & 1 == 1).collect();
+            let scalar = c.eval(&assign).unwrap()[0];
+            assert_eq!(word_bit(&words, ynet.index(), j), scalar, "pattern {j}");
+        }
+    }
+
+    #[test]
+    fn multi_block_patterns() {
+        let c = sample();
+        // 100 repeated assignments spanning two blocks.
+        let assignments: Vec<Vec<bool>> = (0..100)
+            .map(|j| vec![j % 2 == 0, j % 3 == 0, j % 5 == 0])
+            .collect();
+        let blocks = simulate_patterns(&c, &assignments).unwrap();
+        assert_eq!(blocks.len(), 2);
+        let ynet = c.outputs()[0].net();
+        for (j, a) in assignments.iter().enumerate() {
+            let scalar = c.eval(a).unwrap()[0];
+            let got = word_bit(&blocks[j / 64], ynet.index(), j % 64);
+            assert_eq!(got, scalar, "pattern {j}");
+        }
+    }
+
+    #[test]
+    fn input_count_checked() {
+        let c = sample();
+        assert!(simulate64(&c, &[0, 0]).is_err());
+        assert!(simulate_patterns(&c, &[vec![true, false]]).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Circuit statistics in the units of the paper's Table 1.
+
+use std::fmt;
+
+use crate::{Circuit, GateKind};
+
+/// Size attributes of a circuit, counted as in paper Table 1.
+///
+/// * `gates` — live logic gates (inputs and constants excluded),
+/// * `nets` — live nets with a source (every live node drives one),
+/// * `sinks` — total sink pins: gate fanin connections plus output ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Live logic gates.
+    pub gates: usize,
+    /// Live nets.
+    pub nets: usize,
+    /// Total sink pins.
+    pub sinks: usize,
+    /// Maximum logic level over the outputs (0 for constant circuits).
+    pub depth: u32,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eco_netlist::{Circuit, CircuitStats, GateKind};
+    ///
+    /// # fn main() -> Result<(), eco_netlist::NetlistError> {
+    /// let mut c = Circuit::new("t");
+    /// let a = c.add_input("a");
+    /// let b = c.add_input("b");
+    /// let y = c.add_gate(GateKind::And, &[a, b])?;
+    /// c.add_output("y", y);
+    /// let s = CircuitStats::of(&c);
+    /// assert_eq!((s.inputs, s.outputs, s.gates, s.nets, s.sinks), (2, 1, 1, 3, 3));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut gates = 0;
+        let mut nets = 0;
+        let mut sinks = circuit.num_outputs();
+        for id in circuit.iter_live() {
+            let node = circuit.node(id);
+            nets += 1;
+            if node.kind() != GateKind::Input && !node.kind().is_const() {
+                gates += 1;
+            }
+            sinks += node.fanins().len();
+        }
+        let depth = crate::topo::levels(circuit)
+            .map(|lv| {
+                circuit
+                    .outputs()
+                    .iter()
+                    .map(|p| lv[p.net().index()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        CircuitStats {
+            inputs: circuit.num_inputs(),
+            outputs: circuit.num_outputs(),
+            gates,
+            nets,
+            sinks,
+            depth,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inputs={} outputs={} gates={} nets={} sinks={} depth={}",
+            self.inputs, self.outputs, self.gates, self.nets, self.sinks, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, GateKind};
+
+    #[test]
+    fn counts_exclude_dead_nodes() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let _g2 = c.add_gate(GateKind::Or, &[a, b]).unwrap();
+        c.add_output("y", g1);
+        let before = CircuitStats::of(&c);
+        assert_eq!(before.gates, 2);
+        c.sweep();
+        let after = CircuitStats::of(&c);
+        assert_eq!(after.gates, 1);
+        assert_eq!(after.nets, 3);
+        assert_eq!(after.sinks, 3);
+        assert_eq!(after.depth, 1);
+    }
+
+    #[test]
+    fn constants_counted_as_nets_not_gates() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let k = c.constant(true);
+        let g = c.add_gate(GateKind::And, &[a, k]).unwrap();
+        c.add_output("y", g);
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.gates, 1);
+        assert_eq!(s.nets, 3);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let c = Circuit::new("t");
+        assert!(!CircuitStats::of(&c).to_string().is_empty());
+    }
+}

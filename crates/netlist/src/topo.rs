@@ -1,0 +1,277 @@
+//! Graph analyses: topological order, logic levels, transitive fanin/fanout,
+//! cones, and structural support.
+
+use std::collections::HashSet;
+
+use crate::{Circuit, GateKind, NetId, NetlistError, NodeId};
+
+/// Returns the live nodes of `circuit` in topological order (fanins before
+/// fanouts).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cyclic`] when the circuit graph contains a
+/// combinational cycle.
+pub fn topo_order(circuit: &Circuit) -> Result<Vec<NodeId>, NetlistError> {
+    let n = circuit.num_nodes();
+    let mut order = Vec::with_capacity(n);
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut state = vec![0u8; n];
+    for seed in 0..n {
+        let seed = NodeId::from_index(seed);
+        if state[seed.index()] != 0 || circuit.node(seed).is_dead() {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(seed, 0)];
+        state[seed.index()] = 1;
+        while let Some(&mut (id, ref mut child)) = stack.last_mut() {
+            let fanins = circuit.node(id).fanins();
+            if *child < fanins.len() {
+                let next = fanins[*child].source();
+                *child += 1;
+                match state[next.index()] {
+                    0 => {
+                        state[next.index()] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => return Err(NetlistError::Cyclic),
+                    _ => {}
+                }
+            } else {
+                state[id.index()] = 2;
+                order.push(id);
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Computes the logic level of every node: inputs and constants are level 0,
+/// a gate is one more than its deepest fanin.
+///
+/// The result is indexed by node; dead nodes get level 0.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cyclic`] for cyclic circuits.
+pub fn levels(circuit: &Circuit) -> Result<Vec<u32>, NetlistError> {
+    let order = topo_order(circuit)?;
+    let mut lv = vec![0u32; circuit.num_nodes()];
+    for id in order {
+        let node = circuit.node(id);
+        if node.kind() == GateKind::Input || node.kind().is_const() {
+            continue;
+        }
+        lv[id.index()] = node
+            .fanins()
+            .iter()
+            .map(|f| lv[f.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+    }
+    Ok(lv)
+}
+
+/// Returns the set of nodes in the transitive fanin of `roots` (the roots
+/// themselves included), as a membership bitmap indexed by node.
+pub fn tfi(circuit: &Circuit, roots: &[NodeId]) -> Vec<bool> {
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        for &f in circuit.node(id).fanins() {
+            if !seen[f.index()] {
+                stack.push(f.source());
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `node` lies in the transitive fanin of `root` (inclusive).
+pub fn tfi_contains(circuit: &Circuit, root: NodeId, node: NodeId) -> bool {
+    if root == node {
+        return true;
+    }
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        if id == node {
+            return true;
+        }
+        for &f in circuit.node(id).fanins() {
+            if !seen[f.index()] {
+                stack.push(f.source());
+            }
+        }
+    }
+    false
+}
+
+/// Returns the set of nodes in the transitive fanout of `roots` (inclusive),
+/// as a membership bitmap indexed by node.
+pub fn tfo(circuit: &Circuit, roots: &[NodeId]) -> Vec<bool> {
+    let fanouts = circuit.fanouts();
+    let mut seen = vec![false; circuit.num_nodes()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        for pin in &fanouts[id.index()] {
+            if let Some(consumer) = pin.node() {
+                if !seen[consumer.index()] {
+                    stack.push(consumer);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// The structural input support of `net`: indices (in primary-input order)
+/// of the inputs its cone depends on.
+pub fn support(circuit: &Circuit, net: NetId) -> HashSet<usize> {
+    let seen = tfi(circuit, &[net.source()]);
+    circuit
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, id)| seen[id.index()])
+        .map(|(pos, _)| pos)
+        .collect()
+}
+
+/// Primary-output port indices whose cones contain any of `nodes`.
+pub fn outputs_depending_on(circuit: &Circuit, nodes: &[NodeId]) -> Vec<u32> {
+    let reach = tfo(circuit, nodes);
+    circuit
+        .outputs()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| reach[p.net().index()])
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Number of live gates in the cone of `net` (inputs and constants excluded).
+pub fn cone_size(circuit: &Circuit, net: NetId) -> usize {
+    let seen = tfi(circuit, &[net.source()]);
+    seen.iter()
+        .enumerate()
+        .filter(|&(i, &s)| {
+            s && {
+                let k = circuit.node(NodeId::from_index(i)).kind();
+                k != GateKind::Input && !k.is_const()
+            }
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, GateKind};
+
+    fn chain(len: usize) -> (Circuit, Vec<NetId>) {
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let mut nets = vec![a, b];
+        let mut prev = a;
+        for _ in 0..len {
+            prev = c.add_gate(GateKind::And, &[prev, b]).unwrap();
+            nets.push(prev);
+        }
+        c.add_output("y", prev);
+        (c, nets)
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let (c, _) = chain(5);
+        let order = topo_order(&c).unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for id in c.iter_live() {
+            for f in c.node(id).fanins() {
+                assert!(pos[&f.source()] < pos[&id], "{f} before {id}");
+            }
+        }
+        assert_eq!(order.len(), c.iter_live().count());
+    }
+
+    #[test]
+    fn levels_increase_along_chain() {
+        let (c, nets) = chain(4);
+        let lv = levels(&c).unwrap();
+        assert_eq!(lv[nets[0].index()], 0);
+        for (i, w) in nets.iter().enumerate().skip(2) {
+            assert_eq!(lv[w.index()], (i - 1) as u32);
+        }
+    }
+
+    #[test]
+    fn tfi_and_support() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, &[d, d]).unwrap();
+        c.add_output("y1", g1);
+        c.add_output("y2", g2);
+        let s1 = support(&c, g1);
+        assert_eq!(s1, [0usize, 1].into_iter().collect());
+        let s2 = support(&c, g2);
+        assert_eq!(s2, [2usize].into_iter().collect());
+        assert!(tfi_contains(&c, g1.source(), a.source()));
+        assert!(!tfi_contains(&c, g2.source(), a.source()));
+    }
+
+    #[test]
+    fn tfo_reaches_outputs() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Not, &[g1]).unwrap();
+        let g3 = c.add_gate(GateKind::Or, &[b, b]).unwrap();
+        c.add_output("y1", g2);
+        c.add_output("y2", g3);
+        let deps = outputs_depending_on(&c, &[a.source()]);
+        assert_eq!(deps, vec![0]);
+        let deps = outputs_depending_on(&c, &[b.source()]);
+        assert_eq!(deps, vec![0, 1]);
+    }
+
+    #[test]
+    fn cone_size_counts_gates_only() {
+        let (c, nets) = chain(3);
+        assert_eq!(cone_size(&c, *nets.last().unwrap()), 3);
+        assert_eq!(cone_size(&c, nets[0]), 0);
+    }
+
+    #[test]
+    fn dead_nodes_skipped_in_topo() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let _dangling = c.add_gate(GateKind::Or, &[a, b]).unwrap();
+        c.add_output("y", g1);
+        c.sweep();
+        let order = topo_order(&c).unwrap();
+        assert_eq!(order.len(), 3);
+    }
+}

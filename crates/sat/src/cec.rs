@@ -1,0 +1,279 @@
+//! Combinational equivalence-checking assistance (fraiging-lite).
+//!
+//! Monolithic CDCL on a miter of two *structurally dissimilar*
+//! implementations of the same function is exponentially hard — precisely
+//! the situation every ECO query here is in (an optimized implementation
+//! against a lightly synthesized specification). Industrial equivalence
+//! checkers solve this by discovering **internal equivalence points**:
+//! candidate pairs found by random simulation, proven bottom-up with
+//! budgeted SAT, and added as equality constraints so downstream proofs
+//! become local.
+//!
+//! [`assist_equivalences`] does exactly that on an already-encoded pair of
+//! circuits. It is sound: an equality clause is only added after both
+//! implications are proven UNSAT under the current formula, so the model
+//! set over circuit variables never changes.
+
+use std::collections::HashMap;
+
+use eco_netlist::{sim, topo, Circuit, GateKind, NetId, NetlistError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tseitin::VarMap;
+use crate::{SolveResult, Solver};
+
+/// Options for the internal-equivalence discovery pass.
+#[derive(Debug, Clone)]
+pub struct CecOptions {
+    /// 64-pattern simulation blocks used for candidate signatures.
+    pub sim_blocks: usize,
+    /// Conflict budget per implication proof.
+    pub pair_budget: u64,
+    /// Maximum candidate pairs attempted.
+    pub max_pairs: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for CecOptions {
+    fn default() -> Self {
+        CecOptions {
+            sim_blocks: 4,
+            pair_budget: 4_000,
+            max_pairs: 4_096,
+            seed: 0xCEC,
+        }
+    }
+}
+
+/// Statistics of an [`assist_equivalences`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CecStats {
+    /// Candidate pairs examined.
+    pub candidates: usize,
+    /// Equivalences proven and asserted.
+    pub proven: usize,
+    /// Complementary equivalences proven and asserted.
+    pub proven_complement: usize,
+}
+
+/// Discovers and asserts internal equivalences between two encoded
+/// circuits.
+///
+/// `left_map`/`right_map` are the net→variable maps from
+/// [`crate::tseitin::encode_pairs`]. Inputs are matched by label for the
+/// shared simulation. For every simulation-supported candidate pair, both
+/// implications are checked with a conflict budget; proven pairs (equal or
+/// complementary) are asserted as binary clauses, making subsequent
+/// output-level queries on the same solver cheap.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulation.
+pub fn assist_equivalences(
+    solver: &mut Solver,
+    left: &Circuit,
+    right: &Circuit,
+    left_map: &VarMap,
+    right_map: &VarMap,
+    options: &CecOptions,
+) -> Result<CecStats, NetlistError> {
+    let mut rng = SmallRng::seed_from_u64(options.seed);
+    let mut stats = CecStats::default();
+
+    // Shared random simulation, inputs matched by label.
+    let mut left_sigs: HashMap<NetId, Vec<u64>> = HashMap::new();
+    let mut right_sigs: HashMap<NetId, Vec<u64>> = HashMap::new();
+    for _ in 0..options.sim_blocks.max(1) {
+        let mut by_label: HashMap<&str, u64> = HashMap::new();
+        for circuit in [left, right] {
+            for &id in circuit.inputs() {
+                by_label
+                    .entry(circuit.node(id).name().unwrap_or(""))
+                    .or_insert_with(|| rng.gen());
+            }
+        }
+        let patterns = |c: &Circuit| -> Vec<u64> {
+            c.inputs()
+                .iter()
+                .map(|&id| by_label[c.node(id).name().unwrap_or("")])
+                .collect()
+        };
+        let lw = sim::simulate64(left, &patterns(left))?;
+        let rw = sim::simulate64(right, &patterns(right))?;
+        for id in left.iter_live() {
+            let net: NetId = id.into();
+            left_sigs.entry(net).or_default().push(lw[net.index()]);
+        }
+        for id in right.iter_live() {
+            let net: NetId = id.into();
+            right_sigs.entry(net).or_default().push(rw[net.index()]);
+        }
+    }
+
+    // Index left nets by signature (and complemented signature).
+    let mut by_sig: HashMap<Vec<u64>, Vec<NetId>> = HashMap::new();
+    for id in left.iter_live() {
+        if left.node(id).kind() == GateKind::Input {
+            continue; // inputs are already shared variables
+        }
+        let net: NetId = id.into();
+        by_sig.entry(left_sigs[&net].clone()).or_default().push(net);
+    }
+
+    // Candidate pairs in topological (level) order of the right side, so
+    // proofs build on already-asserted equivalences below them.
+    let right_levels = topo::levels(right)?;
+    let mut right_nets: Vec<NetId> = right
+        .iter_live()
+        .filter(|&id| {
+            let k = right.node(id).kind();
+            k != GateKind::Input && !k.is_const()
+        })
+        .map(NetId::from)
+        .collect();
+    right_nets.sort_by_key(|w| right_levels[w.index()]);
+
+    let left_levels = topo::levels(left)?;
+    solver.set_conflict_budget(Some(options.pair_budget));
+    'outer: for rnet in right_nets {
+        let sig = &right_sigs[&rnet];
+        let complement: Vec<u64> = sig.iter().map(|w| !w).collect();
+        for (cands, comp) in [(by_sig.get(sig), false), (by_sig.get(&complement), true)] {
+            let Some(cands) = cands else { continue };
+            // Prefer the shallowest left candidate.
+            let mut cands: Vec<NetId> = cands.clone();
+            cands.sort_by_key(|w| left_levels[w.index()]);
+            for lnet in cands.into_iter().take(2) {
+                if stats.candidates >= options.max_pairs {
+                    break 'outer;
+                }
+                stats.candidates += 1;
+                let a = left_map.lit(lnet).expect("left net encoded");
+                let b = right_map.lit(rnet).expect("right net encoded");
+                let b = if comp { !b } else { b };
+                // Prove a ≡ b: both (a ∧ ¬b) and (¬a ∧ b) unsatisfiable.
+                if solver.solve(&[a, !b]) != SolveResult::Unsat {
+                    continue;
+                }
+                if solver.solve(&[!a, b]) != SolveResult::Unsat {
+                    continue;
+                }
+                solver.add_clause(&[!a, b]);
+                solver.add_clause(&[a, !b]);
+                if comp {
+                    stats.proven_complement += 1;
+                } else {
+                    stats.proven += 1;
+                }
+                break; // one representative equality suffices
+            }
+        }
+    }
+    solver.set_conflict_budget(None);
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tseitin::encode_pairs;
+
+    /// Two structurally different implementations of the same functions.
+    fn dissimilar_pair() -> (Circuit, Circuit) {
+        let mut a = Circuit::new("a");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let z = a.add_input("z");
+        let g1 = a.add_gate(GateKind::And, &[x, y]).unwrap();
+        let g2 = a.add_gate(GateKind::Or, &[g1, z]).unwrap();
+        a.add_output("o", g2);
+
+        let mut b = Circuit::new("b");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let z = b.add_input("z");
+        // De Morgan form of the same function.
+        let nx = b.add_gate(GateKind::Not, &[x]).unwrap();
+        let ny = b.add_gate(GateKind::Not, &[y]).unwrap();
+        let o1 = b.add_gate(GateKind::Or, &[nx, ny]).unwrap();
+        let nand = b.add_gate(GateKind::Not, &[o1]).unwrap();
+        let nz = b.add_gate(GateKind::Not, &[z]).unwrap();
+        let n2 = b.add_gate(GateKind::Not, &[nand]).unwrap();
+        let and2 = b.add_gate(GateKind::And, &[n2, nz]).unwrap();
+        let o = b.add_gate(GateKind::Not, &[and2]).unwrap();
+        b.add_output("o", o);
+        (a, b)
+    }
+
+    #[test]
+    fn proves_internal_equivalences() {
+        let (a, b) = dissimilar_pair();
+        let mut solver = Solver::new();
+        let pairs = [(a.outputs()[0].net(), b.outputs()[0].net())];
+        let miter = encode_pairs(&mut solver, &a, &b, &pairs).unwrap();
+        let stats = assist_equivalences(
+            &mut solver,
+            &a,
+            &b,
+            &miter.left,
+            &miter.right,
+            &CecOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            stats.proven + stats.proven_complement >= 1,
+            "the AND point or its complement should be proven: {stats:?}"
+        );
+        // The output query must now be UNSAT (equivalent).
+        assert_eq!(solver.solve(&[miter.diff_lits[0]]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn soundness_on_differing_circuits() {
+        // Equivalence assistance must never make a differing pair UNSAT.
+        let mut a = Circuit::new("a");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.add_gate(GateKind::And, &[x, y]).unwrap();
+        a.add_output("o", g);
+        let mut b = Circuit::new("b");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let g = b.add_gate(GateKind::Or, &[x, y]).unwrap();
+        b.add_output("o", g);
+        let mut solver = Solver::new();
+        let pairs = [(a.outputs()[0].net(), b.outputs()[0].net())];
+        let miter = encode_pairs(&mut solver, &a, &b, &pairs).unwrap();
+        assist_equivalences(
+            &mut solver,
+            &a,
+            &b,
+            &miter.left,
+            &miter.right,
+            &CecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(solver.solve(&[miter.diff_lits[0]]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn budget_zero_proves_nothing_but_stays_sound() {
+        let (a, b) = dissimilar_pair();
+        let mut solver = Solver::new();
+        let pairs = [(a.outputs()[0].net(), b.outputs()[0].net())];
+        let miter = encode_pairs(&mut solver, &a, &b, &pairs).unwrap();
+        let opts = CecOptions {
+            pair_budget: 0,
+            ..Default::default()
+        };
+        let stats =
+            assist_equivalences(&mut solver, &a, &b, &miter.left, &miter.right, &opts)
+                .unwrap();
+        // With no conflict budget, only propagation-trivial pairs can be
+        // proven — whatever was added must keep the formula sound.
+        let _ = stats;
+        assert_eq!(solver.solve(&[miter.diff_lits[0]]), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,229 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Lets the solver interoperate with the standard SAT ecosystem: formulas
+//! can be dumped for cross-checking against reference solvers, and external
+//! instances can be loaded for benchmarking.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Lit, Solver, Var};
+
+/// Errors produced when parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A token was not an integer literal.
+    BadLiteral {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A literal referenced a variable beyond the header's count.
+    VarOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The variable index (1-based, as in the file).
+        var: i64,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader { line } => {
+                write!(f, "line {line}: missing or malformed `p cnf` header")
+            }
+            ParseDimacsError::BadLiteral { line, token } => {
+                write!(f, "line {line}: bad literal {token:?}")
+            }
+            ParseDimacsError::VarOutOfRange { line, var } => {
+                write!(f, "line {line}: variable {var} beyond the declared count")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// A plain CNF: variable count and clauses as signed DIMACS literals
+/// mirrored into [`Lit`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Clauses over variables `0..num_vars`.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads this formula into a fresh solver, returning the solver and its
+    /// variables in index order.
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| s.new_var()).collect();
+        for clause in &self.clauses {
+            s.add_clause(clause);
+        }
+        (s, vars)
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// Comment lines (`c …`) are skipped; clauses may span lines and are
+/// terminated by `0`.
+///
+/// # Errors
+///
+/// See [`ParseDimacsError`].
+pub fn read_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses: Vec<Vec<Lit>> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+            if tokens.len() != 4 || tokens[1] != "cnf" {
+                return Err(ParseDimacsError::BadHeader { line });
+            }
+            let nv: usize = tokens[2]
+                .parse()
+                .map_err(|_| ParseDimacsError::BadHeader { line })?;
+            num_vars = Some(nv);
+            continue;
+        }
+        let nv = num_vars.ok_or(ParseDimacsError::BadHeader { line })? as i64;
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| ParseDimacsError::BadLiteral {
+                line,
+                token: token.to_string(),
+            })?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+                continue;
+            }
+            let var = value.unsigned_abs() as i64;
+            if var > nv {
+                return Err(ParseDimacsError::VarOutOfRange { line, var });
+            }
+            let v = Var::from_index((var - 1) as usize);
+            current.push(Lit::with_phase(v, value > 0));
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Cnf {
+        num_vars: num_vars.unwrap_or(0),
+        clauses,
+    })
+}
+
+/// Serializes a CNF to DIMACS text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    use std::fmt::Write;
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars, cnf.clauses.len());
+    for clause in &cnf.clauses {
+        for &l in clause {
+            let signed = (l.var().index() as i64 + 1) * if l.is_neg() { -1 } else { 1 };
+            let _ = write!(out, "{signed} ");
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_and_solve_sat() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = read_dimacs(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let (mut s, _) = cnf.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn parse_and_solve_unsat() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let cnf = read_dimacs(text).unwrap();
+        let (mut s, _) = cnf.into_solver();
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "p cnf 4 3\n1 -2 0\n3 4 -1 0\n2 0\n";
+        let cnf = read_dimacs(text).unwrap();
+        let again = read_dimacs(&write_dimacs(&cnf)).unwrap();
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let text = "p cnf 3 1\n1 2\n3 0\n";
+        let cnf = read_dimacs(text).unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn header_required() {
+        assert!(matches!(
+            read_dimacs("1 2 0\n"),
+            Err(ParseDimacsError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            read_dimacs("p dnf 2 1\n1 0\n"),
+            Err(ParseDimacsError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_var_rejected() {
+        assert!(matches!(
+            read_dimacs("p cnf 2 1\n5 0\n"),
+            Err(ParseDimacsError::VarOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        assert!(matches!(
+            read_dimacs("p cnf 2 1\nxyz 0\n"),
+            Err(ParseDimacsError::BadLiteral { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let cases = [
+            ParseDimacsError::BadHeader { line: 1 },
+            ParseDimacsError::BadLiteral {
+                line: 2,
+                token: "z".into(),
+            },
+            ParseDimacsError::VarOutOfRange { line: 3, var: 9 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: the CDCL solver against a brute-force oracle.
+
+use eco_sat::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+const MAX_VARS: usize = 8;
+
+/// A random CNF: clauses of literal codes (var, phase).
+#[derive(Debug, Clone)]
+struct RandomCnf {
+    num_vars: usize,
+    clauses: Vec<Vec<(usize, bool)>>,
+}
+
+fn cnf_strategy() -> impl Strategy<Value = RandomCnf> {
+    (2usize..=MAX_VARS).prop_flat_map(|nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4);
+        let clauses = proptest::collection::vec(clause, 1..24);
+        clauses.prop_map(move |clauses| RandomCnf {
+            num_vars: nv,
+            clauses,
+        })
+    })
+}
+
+fn brute_force(cnf: &RandomCnf) -> Option<Vec<bool>> {
+    'outer: for j in 0..(1u32 << cnf.num_vars) {
+        let assign: Vec<bool> = (0..cnf.num_vars).map(|i| (j >> i) & 1 == 1).collect();
+        for clause in &cnf.clauses {
+            if !clause.iter().any(|&(v, phase)| assign[v] == phase) {
+                continue 'outer;
+            }
+        }
+        return Some(assign);
+    }
+    None
+}
+
+fn load(cnf: &RandomCnf) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, phase)| Lit::with_phase(vars[v], phase))
+            .collect();
+        s.add_clause(&lits);
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in cnf_strategy()) {
+        let oracle = brute_force(&cnf);
+        let (mut s, vars) = load(&cnf);
+        match s.solve(&[]) {
+            SolveResult::Sat => {
+                prop_assert!(oracle.is_some(), "solver SAT but formula UNSAT");
+                // Model must satisfy every clause.
+                for clause in &cnf.clauses {
+                    let ok = clause.iter().any(|&(v, phase)| {
+                        s.value(vars[v]).unwrap_or(false) == phase
+                    });
+                    prop_assert!(ok, "model violates clause {clause:?}");
+                }
+            }
+            SolveResult::Unsat => {
+                prop_assert!(oracle.is_none(), "solver UNSAT but formula SAT");
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    #[test]
+    fn assumptions_equal_added_units(cnf in cnf_strategy(), phases in proptest::collection::vec(any::<bool>(), MAX_VARS)) {
+        // Solving under assumptions must agree with solving a copy where the
+        // assumptions are unit clauses.
+        let (mut s1, vars1) = load(&cnf);
+        let assumptions: Vec<Lit> = (0..cnf.num_vars.min(3))
+            .map(|i| Lit::with_phase(vars1[i], phases[i]))
+            .collect();
+        let r1 = s1.solve(&assumptions);
+
+        let (mut s2, vars2) = load(&cnf);
+        let mut ok = true;
+        for i in 0..cnf.num_vars.min(3) {
+            ok &= s2.add_clause(&[Lit::with_phase(vars2[i], phases[i])]);
+        }
+        let r2 = if ok { s2.solve(&[]) } else { SolveResult::Unsat };
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn solver_is_reusable_across_calls(cnf in cnf_strategy()) {
+        let (mut s, vars) = load(&cnf);
+        let first = s.solve(&[]);
+        let second = s.solve(&[]);
+        prop_assert_eq!(first, second);
+        if first == SolveResult::Sat {
+            // Model still satisfies all clauses on the second call.
+            for clause in &cnf.clauses {
+                let ok = clause.iter().any(|&(v, phase)| {
+                    s.value(vars[v]).unwrap_or(false) == phase
+                });
+                prop_assert!(ok);
+            }
+        }
+    }
+
+    #[test]
+    fn model_enumeration_counts_match(cnf in cnf_strategy()) {
+        // Count models over the first min(nv,5) vars via blocking clauses,
+        // and compare with brute force projected counts.
+        let proj = cnf.num_vars.min(5);
+        let mut expected = std::collections::HashSet::new();
+        for j in 0..(1u32 << cnf.num_vars) {
+            let assign: Vec<bool> = (0..cnf.num_vars).map(|i| (j >> i) & 1 == 1).collect();
+            let sat = cnf.clauses.iter().all(|clause| {
+                clause.iter().any(|&(v, phase)| assign[v] == phase)
+            });
+            if sat {
+                let key: Vec<bool> = assign[..proj].to_vec();
+                expected.insert(key);
+            }
+        }
+        let (mut s, vars) = load(&cnf);
+        let mut found = 0usize;
+        while s.solve(&[]) == SolveResult::Sat {
+            let block: Vec<Lit> = (0..proj)
+                .map(|i| Lit::with_phase(vars[i], !s.value(vars[i]).unwrap_or(false)))
+                .collect();
+            found += 1;
+            prop_assert!(found <= expected.len(), "enumerated too many models");
+            s.add_clause(&block);
+        }
+        prop_assert_eq!(found, expected.len());
+    }
+}

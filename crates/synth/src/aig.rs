@@ -1,0 +1,505 @@
+//! And-inverter graphs (AIGs).
+//!
+//! The standard intermediate representation of modern logic synthesis: all
+//! logic is decomposed into two-input ANDs with complemented edges, with
+//! structural hashing making sharing maximal. `eco-synth` uses AIGs for the
+//! most aggressive restructuring mode ([`crate::opt::OptOptions::aggressive`]):
+//! converting a typed-gate netlist through an AIG and back erases all
+//! original gate boundaries, the strongest structural-dissimilarity
+//! treatment available to the workload generator.
+
+use std::collections::HashMap;
+
+use eco_netlist::{topo, Circuit, GateKind, NetId, NetlistError};
+
+/// A literal: an AIG node with an optional complement.
+///
+/// Node 0 is the constant-false terminal, so `AigLit::FALSE` is `0` and
+/// `AigLit::TRUE` its complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// The literal for `node` with the given complement flag.
+    #[inline]
+    pub fn new(node: u32, complement: bool) -> Self {
+        AigLit((node << 1) | complement as u32)
+    }
+
+    /// Index of the underlying node.
+    #[inline]
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the edge is complemented.
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // domain name, Copy receiver
+    pub fn not(self) -> Self {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AigNode {
+    Const,
+    Input(u32),
+    And(AigLit, AigLit),
+}
+
+/// An and-inverter graph with structural hashing.
+///
+/// # Example
+///
+/// ```
+/// use eco_synth::aig::Aig;
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let y = g.xor(a, b);
+/// g.add_output("y", y);
+/// assert_eq!(g.eval(&[true, false]), vec![true]);
+/// assert_eq!(g.eval(&[true, true]), vec![false]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(AigLit, AigLit), u32>,
+    input_names: Vec<String>,
+    outputs: Vec<(String, AigLit)>,
+}
+
+impl Aig {
+    /// Creates an empty AIG.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::Const],
+            strash: HashMap::new(),
+            input_names: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes (constant and inputs included).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(..)))
+            .count()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// The output list `(name, literal)`.
+    pub fn outputs(&self) -> &[(String, AigLit)] {
+        &self.outputs
+    }
+
+    /// Adds a primary input and returns its literal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> AigLit {
+        let id = self.nodes.len() as u32;
+        self.nodes
+            .push(AigNode::Input(self.input_names.len() as u32));
+        self.input_names.push(name.into());
+        AigLit::new(id, false)
+    }
+
+    /// Registers an output.
+    pub fn add_output(&mut self, name: impl Into<String>, lit: AigLit) {
+        self.outputs.push((name.into(), lit));
+    }
+
+    /// The conjunction of two literals, with constant folding, trivial-case
+    /// simplification, and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Normalization and trivial cases.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == b.not() {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(a, b)) {
+            return AigLit::new(id, false);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(a, b));
+        self.strash.insert((a, b), id);
+        AigLit::new(id, false)
+    }
+
+    /// Disjunction via De Morgan.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// Exclusive or (two ANDs plus sharing).
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let t1 = self.and(a, b.not());
+        let t2 = self.and(a.not(), b);
+        self.or(t1, t2)
+    }
+
+    /// Multiplexer `s ? d1 : d0`.
+    pub fn mux(&mut self, s: AigLit, d0: AigLit, d1: AigLit) -> AigLit {
+        let t1 = self.and(s, d1);
+        let t0 = self.and(s.not(), d0);
+        self.or(t0, t1)
+    }
+
+    /// Evaluates the registered outputs on an input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len()` differs from the input count.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs(), "input count mismatch");
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                AigNode::Const => false,
+                AigNode::Input(pos) => inputs[pos as usize],
+                AigNode::And(a, b) => {
+                    let va = values[a.node() as usize] ^ a.is_complement();
+                    let vb = values[b.node() as usize] ^ b.is_complement();
+                    va && vb
+                }
+            };
+        }
+        self.outputs
+            .iter()
+            .map(|(_, l)| values[l.node() as usize] ^ l.is_complement())
+            .collect()
+    }
+
+    /// Logic level (AND depth) of every node.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lv = vec![0u32; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                lv[i] = lv[a.node() as usize].max(lv[b.node() as usize]) + 1;
+            }
+        }
+        lv
+    }
+
+    /// Maximum output level.
+    pub fn depth(&self) -> u32 {
+        let lv = self.levels();
+        self.outputs
+            .iter()
+            .map(|(_, l)| lv[l.node() as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Imports a gate-level circuit (live logic only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] for malformed inputs.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, NetlistError> {
+        let mut g = Aig::new();
+        let mut lits: HashMap<NetId, AigLit> = HashMap::new();
+        for &id in circuit.inputs() {
+            let lit = g.add_input(circuit.node(id).name().unwrap_or(""));
+            lits.insert(id.into(), lit);
+        }
+        for id in topo::topo_order(circuit)? {
+            let node = circuit.node(id);
+            let net: NetId = id.into();
+            let f: Vec<AigLit> = node.fanins().iter().map(|w| lits[w]).collect();
+            let lit = match node.kind() {
+                GateKind::Input => continue,
+                GateKind::Const0 => AigLit::FALSE,
+                GateKind::Const1 => AigLit::TRUE,
+                GateKind::Buf => f[0],
+                GateKind::Not => f[0].not(),
+                GateKind::And => f.iter().skip(1).fold(f[0], |acc, &x| g.and(acc, x)),
+                GateKind::Nand => f
+                    .iter()
+                    .skip(1)
+                    .fold(f[0], |acc, &x| g.and(acc, x))
+                    .not(),
+                GateKind::Or => f.iter().skip(1).fold(f[0], |acc, &x| g.or(acc, x)),
+                GateKind::Nor => f
+                    .iter()
+                    .skip(1)
+                    .fold(f[0], |acc, &x| g.or(acc, x))
+                    .not(),
+                GateKind::Xor => f.iter().skip(1).fold(f[0], |acc, &x| g.xor(acc, x)),
+                GateKind::Xnor => f
+                    .iter()
+                    .skip(1)
+                    .fold(f[0], |acc, &x| g.xor(acc, x))
+                    .not(),
+                GateKind::Mux => g.mux(f[0], f[1], f[2]),
+            };
+            lits.insert(net, lit);
+        }
+        for port in circuit.outputs() {
+            g.add_output(port.name(), lits[&port.net()]);
+        }
+        Ok(g)
+    }
+
+    /// Exports back to a typed-gate circuit (AND and NOT gates only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from construction (cannot occur for a
+    /// well-formed AIG).
+    pub fn to_circuit(&self, name: impl Into<String>) -> Result<Circuit, NetlistError> {
+        let mut c = Circuit::new(name);
+        let mut nets: Vec<Option<NetId>> = vec![None; self.nodes.len()];
+        let mut inverted: HashMap<NetId, NetId> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            nets[i] = Some(match *node {
+                AigNode::Const => c.constant(false),
+                AigNode::Input(pos) => c.add_input(self.input_names[pos as usize].clone()),
+                AigNode::And(a, b) => {
+                    let wa = resolve(&mut c, &nets, &mut inverted, a)?;
+                    let wb = resolve(&mut c, &nets, &mut inverted, b)?;
+                    c.add_gate(GateKind::And, &[wa, wb])?
+                }
+            });
+        }
+        for (name, lit) in &self.outputs {
+            let w = resolve(&mut c, &nets, &mut inverted, *lit)?;
+            c.add_output(name.clone(), w);
+        }
+        c.sweep();
+        return Ok(c);
+
+        fn resolve(
+            c: &mut Circuit,
+            nets: &[Option<NetId>],
+            inverted: &mut HashMap<NetId, NetId>,
+            lit: AigLit,
+        ) -> Result<NetId, NetlistError> {
+            let base = nets[lit.node() as usize].expect("topological construction");
+            if !lit.is_complement() {
+                return Ok(base);
+            }
+            if let Some(&w) = inverted.get(&base) {
+                return Ok(w);
+            }
+            let w = c.add_gate(GateKind::Not, &[base])?;
+            inverted.insert(base, w);
+            Ok(w)
+        }
+    }
+
+    /// Rebuilds the AIG with depth-balanced AND trees.
+    ///
+    /// Conjunction chains are collected and re-associated as balanced
+    /// binary trees (sorted by operand depth), typically reducing logic
+    /// depth on long chains at equal node count.
+    pub fn balance(&self) -> Aig {
+        let mut g = Aig::new();
+        let mut map: Vec<Option<AigLit>> = vec![None; self.nodes.len()];
+        map[0] = Some(AigLit::FALSE);
+        for (i, node) in self.nodes.iter().enumerate() {
+            match *node {
+                AigNode::Const => {}
+                AigNode::Input(pos) => {
+                    let lit = g.add_input(self.input_names[pos as usize].clone());
+                    map[i] = Some(lit);
+                }
+                AigNode::And(..) => {
+                    // Collect the maximal conjunction chain under this node.
+                    let mut leaves: Vec<AigLit> = Vec::new();
+                    self.collect_and_leaves(AigLit::new(i as u32, false), &mut leaves);
+                    let mut mapped: Vec<AigLit> = leaves
+                        .iter()
+                        .map(|l| {
+                            let m = map[l.node() as usize].expect("topological order");
+                            if l.is_complement() {
+                                m.not()
+                            } else {
+                                m
+                            }
+                        })
+                        .collect();
+                    // Balanced reduction: combine the two shallowest first.
+                    while mapped.len() > 1 {
+                        let lv = g.levels();
+                        let depth_of = |l: &AigLit| lv[l.node() as usize];
+                        mapped.sort_by_key(depth_of);
+                        let a = mapped.remove(0);
+                        let b = mapped.remove(0);
+                        let r = g.and(a, b);
+                        mapped.push(r);
+                    }
+                    map[i] = Some(mapped[0]);
+                }
+            }
+        }
+        for (name, lit) in &self.outputs {
+            let m = map[lit.node() as usize].expect("outputs are reachable");
+            let m = if lit.is_complement() { m.not() } else { m };
+            g.add_output(name.clone(), m);
+        }
+        g
+    }
+
+    /// Collects conjunction leaves of `lit`, descending only through
+    /// non-complemented AND edges.
+    fn collect_and_leaves(&self, lit: AigLit, out: &mut Vec<AigLit>) {
+        match self.nodes[lit.node() as usize] {
+            AigNode::And(a, b) if !lit.is_complement() => {
+                self.collect_and_leaves(a, out);
+                self.collect_and_leaves(b, out);
+            }
+            _ => out.push(lit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new("s");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let g1 = c.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Mux, &[d, g1, a]).unwrap();
+        let g3 = c.add_gate(GateKind::Nor, &[g2, b, d]).unwrap();
+        c.add_output("y", g3);
+        c.add_output("t", g1);
+        c
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let l = AigLit::new(5, true);
+        assert_eq!(l.node(), 5);
+        assert!(l.is_complement());
+        assert_eq!(l.not().node(), 5);
+        assert!(!l.not().is_complement());
+        assert_eq!(AigLit::FALSE.not(), AigLit::TRUE);
+    }
+
+    #[test]
+    fn and_simplification_rules() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(AigLit::TRUE, b), b);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), AigLit::FALSE);
+        // Structural hashing: same operands -> same node.
+        let ab1 = g.and(a, b);
+        let ab2 = g.and(b, a);
+        assert_eq!(ab1, ab2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let c = sample_circuit();
+        let g = Aig::from_circuit(&c).unwrap();
+        let back = g.to_circuit("roundtrip").unwrap();
+        back.check_well_formed().unwrap();
+        for j in 0..8u8 {
+            let assign = [(j & 1) == 1, (j & 2) == 2, (j & 4) == 4];
+            let expect = c.eval(&assign).unwrap();
+            assert_eq!(g.eval(&assign), expect, "aig at {j}");
+            assert_eq!(back.eval(&assign).unwrap(), expect, "circuit at {j}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_contains_only_and_not() {
+        let c = sample_circuit();
+        let g = Aig::from_circuit(&c).unwrap();
+        let back = g.to_circuit("rt").unwrap();
+        for id in back.iter_live() {
+            let k = back.node(id).kind();
+            assert!(
+                matches!(
+                    k,
+                    GateKind::Input | GateKind::And | GateKind::Not | GateKind::Const0
+                ),
+                "unexpected gate kind {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn balancing_reduces_chain_depth() {
+        // A long AND chain: depth n-1 unbalanced, ~log2(n) balanced.
+        let mut g = Aig::new();
+        let inputs: Vec<AigLit> = (0..16).map(|i| g.add_input(format!("x{i}"))).collect();
+        let mut acc = inputs[0];
+        for &x in &inputs[1..] {
+            acc = g.and(acc, x);
+        }
+        g.add_output("y", acc);
+        assert_eq!(g.depth(), 15);
+        let balanced = g.balance();
+        assert!(balanced.depth() <= 5, "depth {} after balance", balanced.depth());
+        // Function preserved on a few patterns.
+        for j in [0u32, 1, 0xFFFF, 0xAAAA, 0x7FFF] {
+            let assign: Vec<bool> = (0..16).map(|i| (j >> i) & 1 == 1).collect();
+            assert_eq!(g.eval(&assign), balanced.eval(&assign), "pattern {j:#x}");
+        }
+    }
+
+    #[test]
+    fn balance_preserves_arbitrary_function() {
+        let c = sample_circuit();
+        let g = Aig::from_circuit(&c).unwrap();
+        let balanced = g.balance();
+        for j in 0..8u8 {
+            let assign = [(j & 1) == 1, (j & 2) == 2, (j & 4) == 4];
+            assert_eq!(g.eval(&assign), balanced.eval(&assign), "{j}");
+        }
+    }
+
+    #[test]
+    fn sharing_through_strash() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x1 = g.xor(a, b);
+        let x2 = g.xor(a, b);
+        assert_eq!(x1, x2);
+        assert_eq!(g.num_ands(), 3);
+    }
+
+    #[test]
+    fn depth_of_constant_graph_is_zero() {
+        let mut g = Aig::new();
+        g.add_output("k", AigLit::TRUE);
+        assert_eq!(g.depth(), 0);
+        assert_eq!(g.eval(&[]), vec![true]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Lightweight synthesis and logic optimization for syseco.
+//!
+//! The paper's experimental setup (§6) starts from two artifacts per test
+//! case: an implementation `C` that was *heavily optimized* by production
+//! synthesis, and a revised specification `C'` obtained from VHDL by
+//! *lightweight* technology-independent synthesis. This crate provides both
+//! sides:
+//!
+//! * [`rtl`] — a word-level "RTL-lite" IR ([`RtlModule`], [`WordExpr`])
+//!   standing in for the paper's VHDL specifications,
+//! * [`lower`] — direct, unoptimized synthesis of an RTL module into an
+//!   [`eco_netlist::Circuit`] (the `C'` path),
+//! * [`opt`] — the optimization pipeline used to manufacture structural
+//!   dissimilarity for the `C` path: constant folding and simplification,
+//!   structural hashing, randomized semantics-preserving restructuring
+//!   (De Morgan, XOR/MUX decomposition, associativity regrouping), and
+//!   SAT-sweeping (merging functionally equivalent nodes), mirroring the
+//!   logic-sharing and duplication effects described in §1,
+//! * [`aig`] — an and-inverter graph used by the most aggressive
+//!   restructuring mode (AIG round-trip + depth balancing).
+//!
+//! # Example
+//!
+//! ```
+//! use eco_synth::rtl::{RtlModule, WordExpr};
+//! use eco_synth::{lower, opt};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = RtlModule::new("demo");
+//! m.add_input("a", 4);
+//! m.add_input("b", 4);
+//! let sum = m.add_signal("sum", WordExpr::add(WordExpr::input("a"), WordExpr::input("b")));
+//! m.add_output("sum", sum);
+//! let spec = lower::synthesize(&m)?;          // lightweight C'
+//! let mut impl_c = spec.clone();
+//! opt::optimize(&mut impl_c, &opt::OptOptions::heavy(7))?; // optimized C
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aig;
+pub mod lower;
+pub mod opt;
+pub mod rtl;
+
+pub use lower::SynthesisError;
+pub use rtl::{RtlModule, WordExpr};

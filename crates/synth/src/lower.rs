@@ -1,0 +1,593 @@
+//! Lightweight synthesis: direct elaboration of an [`RtlModule`] into gates.
+//!
+//! Each word signal lowers to one net per bit; input and output words map to
+//! bit-level ports named `word[i]`, which is the label convention used for
+//! behavioural correspondence between an implementation and a revised
+//! specification. No optimization is performed — this is the technology-
+//! independent representation the paper synthesizes from VHDL (§6).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use eco_netlist::{Circuit, GateKind, NetId, NetlistError};
+
+use crate::rtl::{ReduceOp, RtlModule, WordExpr};
+
+/// Errors produced by elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// An expression referenced an undefined input or signal.
+    UnknownName(String),
+    /// Binary operands had different widths.
+    WidthMismatch {
+        /// Operation description.
+        op: &'static str,
+        /// Left operand width.
+        left: u32,
+        /// Right operand width.
+        right: u32,
+    },
+    /// A mux select or `GATE` bit operand was not 1 bit wide.
+    NotSingleBit {
+        /// Operation description.
+        op: &'static str,
+        /// Actual width.
+        width: u32,
+    },
+    /// A slice had `lo > hi` or exceeded the operand width.
+    BadSlice {
+        /// Low bound requested.
+        lo: u32,
+        /// High bound requested.
+        hi: u32,
+        /// Operand width.
+        width: u32,
+    },
+    /// A constant's value needs more bits than its declared width.
+    ConstTooWide {
+        /// Constant value.
+        value: u64,
+        /// Declared width.
+        width: u32,
+    },
+    /// Netlist construction failed (internal invariant violation).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::UnknownName(n) => write!(f, "unknown input or signal {n:?}"),
+            SynthesisError::WidthMismatch { op, left, right } => {
+                write!(f, "width mismatch in {op}: {left} vs {right}")
+            }
+            SynthesisError::NotSingleBit { op, width } => {
+                write!(f, "{op} control operand must be 1 bit, got {width}")
+            }
+            SynthesisError::BadSlice { lo, hi, width } => {
+                write!(f, "invalid slice [{lo}..{hi}] of a {width}-bit word")
+            }
+            SynthesisError::ConstTooWide { value, width } => {
+                write!(f, "constant {value} does not fit in {width} bits")
+            }
+            SynthesisError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NetlistError> for SynthesisError {
+    fn from(e: NetlistError) -> Self {
+        SynthesisError::Netlist(e)
+    }
+}
+
+/// The bit-level port label of bit `i` of word `name`.
+pub fn bit_label(name: &str, bit: u32) -> String {
+    format!("{name}[{bit}]")
+}
+
+struct Elaborator<'a> {
+    module: &'a RtlModule,
+    circuit: Circuit,
+    env: HashMap<String, Vec<NetId>>,
+}
+
+impl<'a> Elaborator<'a> {
+    fn eval(&mut self, expr: &WordExpr) -> Result<Vec<NetId>, SynthesisError> {
+        match expr {
+            WordExpr::Input(name) | WordExpr::Signal(name) => self
+                .env
+                .get(name.as_str())
+                .cloned()
+                .ok_or_else(|| SynthesisError::UnknownName(name.clone())),
+            WordExpr::Const { value, width } => {
+                if *width < 64 && *value >> *width != 0 {
+                    return Err(SynthesisError::ConstTooWide {
+                        value: *value,
+                        width: *width,
+                    });
+                }
+                Ok((0..*width)
+                    .map(|i| self.circuit.constant((*value >> i) & 1 == 1))
+                    .collect())
+            }
+            WordExpr::Not(a) => {
+                let a = self.eval(a)?;
+                a.iter()
+                    .map(|&w| Ok(self.circuit.add_gate(GateKind::Not, &[w])?))
+                    .collect()
+            }
+            WordExpr::And(a, b) => self.bitwise("and", GateKind::And, a, b),
+            WordExpr::Or(a, b) => self.bitwise("or", GateKind::Or, a, b),
+            WordExpr::Xor(a, b) => self.bitwise("xor", GateKind::Xor, a, b),
+            WordExpr::Add(a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                self.check_widths("add", &a, &b)?;
+                // Ripple-carry, carry-out discarded (modulo arithmetic).
+                let mut out = Vec::with_capacity(a.len());
+                let mut carry: Option<NetId> = None;
+                for (&ai, &bi) in a.iter().zip(&b) {
+                    let s0 = self.circuit.add_gate(GateKind::Xor, &[ai, bi])?;
+                    match carry {
+                        None => {
+                            out.push(s0);
+                            carry = Some(self.circuit.add_gate(GateKind::And, &[ai, bi])?);
+                        }
+                        Some(c) => {
+                            let s = self.circuit.add_gate(GateKind::Xor, &[s0, c])?;
+                            out.push(s);
+                            let g = self.circuit.add_gate(GateKind::And, &[ai, bi])?;
+                            let p = self.circuit.add_gate(GateKind::And, &[s0, c])?;
+                            carry = Some(self.circuit.add_gate(GateKind::Or, &[g, p])?);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            WordExpr::Eq(a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                self.check_widths("eq", &a, &b)?;
+                let bits: Vec<NetId> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&ai, &bi)| {
+                        self.circuit
+                            .add_gate(GateKind::Xnor, &[ai, bi])
+                            .map_err(SynthesisError::from)
+                    })
+                    .collect::<Result<_, _>>()?;
+                Ok(vec![self.reduce_nets(ReduceOp::And, &bits)?])
+            }
+            WordExpr::Mux { sel, d0, d1 } => {
+                let sel = self.single_bit("mux", sel)?;
+                let d0 = self.eval(d0)?;
+                let d1 = self.eval(d1)?;
+                self.check_widths("mux", &d0, &d1)?;
+                d0.iter()
+                    .zip(&d1)
+                    .map(|(&a, &b)| {
+                        Ok(self.circuit.add_gate(GateKind::Mux, &[sel, a, b])?)
+                    })
+                    .collect()
+            }
+            WordExpr::Gate(word, bit) => {
+                let bit = self.single_bit("gate", bit)?;
+                let word = self.eval(word)?;
+                word.iter()
+                    .map(|&w| Ok(self.circuit.add_gate(GateKind::And, &[w, bit])?))
+                    .collect()
+            }
+            WordExpr::Slice { word, lo, hi } => {
+                let word = self.eval(word)?;
+                if lo > hi || *hi as usize >= word.len() {
+                    return Err(SynthesisError::BadSlice {
+                        lo: *lo,
+                        hi: *hi,
+                        width: word.len() as u32,
+                    });
+                }
+                Ok(word[*lo as usize..=*hi as usize].to_vec())
+            }
+            WordExpr::Concat(hi, lo) => {
+                let hi = self.eval(hi)?;
+                let mut out = self.eval(lo)?;
+                out.extend(hi);
+                Ok(out)
+            }
+            WordExpr::Reduce(op, a) => {
+                let a = self.eval(a)?;
+                Ok(vec![self.reduce_nets(*op, &a)?])
+            }
+        }
+    }
+
+    fn bitwise(
+        &mut self,
+        op: &'static str,
+        kind: GateKind,
+        a: &WordExpr,
+        b: &WordExpr,
+    ) -> Result<Vec<NetId>, SynthesisError> {
+        let a = self.eval(a)?;
+        let b = self.eval(b)?;
+        self.check_widths(op, &a, &b)?;
+        a.iter()
+            .zip(&b)
+            .map(|(&ai, &bi)| Ok(self.circuit.add_gate(kind, &[ai, bi])?))
+            .collect()
+    }
+
+    fn reduce_nets(&mut self, op: ReduceOp, bits: &[NetId]) -> Result<NetId, SynthesisError> {
+        let kind = match op {
+            ReduceOp::And => GateKind::And,
+            ReduceOp::Or => GateKind::Or,
+            ReduceOp::Xor => GateKind::Xor,
+        };
+        let mut acc = bits[0];
+        if bits.len() == 1 {
+            return Ok(acc);
+        }
+        for &b in &bits[1..] {
+            acc = self.circuit.add_gate(kind, &[acc, b])?;
+        }
+        Ok(acc)
+    }
+
+    fn single_bit(&mut self, op: &'static str, e: &WordExpr) -> Result<NetId, SynthesisError> {
+        let bits = self.eval(e)?;
+        if bits.len() != 1 {
+            return Err(SynthesisError::NotSingleBit {
+                op,
+                width: bits.len() as u32,
+            });
+        }
+        Ok(bits[0])
+    }
+
+    fn check_widths(
+        &self,
+        op: &'static str,
+        a: &[NetId],
+        b: &[NetId],
+    ) -> Result<(), SynthesisError> {
+        if a.len() != b.len() {
+            return Err(SynthesisError::WidthMismatch {
+                op,
+                left: a.len() as u32,
+                right: b.len() as u32,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Elaborates `module` into a gate-level [`Circuit`] without optimization.
+///
+/// Input word `w` of width `n` becomes primary inputs `w[0]..w[n-1]`;
+/// output port `o` exposing an `n`-bit signal becomes primary outputs
+/// `o[0]..o[n-1]`.
+///
+/// # Errors
+///
+/// See [`SynthesisError`]; the common cases are unknown names and operand
+/// width mismatches.
+pub fn synthesize(module: &RtlModule) -> Result<Circuit, SynthesisError> {
+    let mut el = Elaborator {
+        module,
+        circuit: Circuit::new(module.name()),
+        env: HashMap::new(),
+    };
+    for (name, width) in module.inputs() {
+        let bits: Vec<NetId> = (0..*width)
+            .map(|i| el.circuit.add_input(bit_label(name, i)))
+            .collect();
+        el.env.insert(name.clone(), bits);
+    }
+    for (name, expr) in module.signals() {
+        let bits = el.eval(expr)?;
+        el.env.insert(name.clone(), bits);
+    }
+    for port in module.outputs() {
+        let bits = el
+            .env
+            .get(&port.signal)
+            .cloned()
+            .ok_or_else(|| SynthesisError::UnknownName(port.signal.clone()))?;
+        for (i, w) in bits.iter().enumerate() {
+            el.circuit.add_output(bit_label(&port.name, i as u32), *w);
+        }
+    }
+    let _ = el.module;
+    el.circuit.check_well_formed()?;
+    Ok(el.circuit)
+}
+
+/// Evaluates `module` at the word level (an elaboration-independent oracle
+/// used by tests). Input words are given in declaration order.
+///
+/// # Errors
+///
+/// Same name/width conditions as [`synthesize`].
+pub fn interpret(module: &RtlModule, inputs: &[u64]) -> Result<Vec<(String, u64)>, SynthesisError> {
+    let mut env: HashMap<String, (u64, u32)> = HashMap::new();
+    for ((name, width), &value) in module.inputs().iter().zip(inputs) {
+        let mask = if *width == 64 { !0 } else { (1u64 << width) - 1 };
+        env.insert(name.clone(), (value & mask, *width));
+    }
+    fn eval(
+        e: &WordExpr,
+        env: &HashMap<String, (u64, u32)>,
+    ) -> Result<(u64, u32), SynthesisError> {
+        let mask = |w: u32| if w == 64 { !0u64 } else { (1u64 << w) - 1 };
+        Ok(match e {
+            WordExpr::Input(n) | WordExpr::Signal(n) => *env
+                .get(n.as_str())
+                .ok_or_else(|| SynthesisError::UnknownName(n.clone()))?,
+            WordExpr::Const { value, width } => (*value & mask(*width), *width),
+            WordExpr::Not(a) => {
+                let (v, w) = eval(a, env)?;
+                (!v & mask(w), w)
+            }
+            WordExpr::And(a, b) => {
+                let (va, wa) = eval(a, env)?;
+                let (vb, _) = eval(b, env)?;
+                (va & vb, wa)
+            }
+            WordExpr::Or(a, b) => {
+                let (va, wa) = eval(a, env)?;
+                let (vb, _) = eval(b, env)?;
+                (va | vb, wa)
+            }
+            WordExpr::Xor(a, b) => {
+                let (va, wa) = eval(a, env)?;
+                let (vb, _) = eval(b, env)?;
+                (va ^ vb, wa)
+            }
+            WordExpr::Add(a, b) => {
+                let (va, wa) = eval(a, env)?;
+                let (vb, _) = eval(b, env)?;
+                (va.wrapping_add(vb) & mask(wa), wa)
+            }
+            WordExpr::Eq(a, b) => {
+                let (va, _) = eval(a, env)?;
+                let (vb, _) = eval(b, env)?;
+                ((va == vb) as u64, 1)
+            }
+            WordExpr::Mux { sel, d0, d1 } => {
+                let (s, _) = eval(sel, env)?;
+                let (v0, w) = eval(d0, env)?;
+                let (v1, _) = eval(d1, env)?;
+                (if s & 1 == 1 { v1 } else { v0 }, w)
+            }
+            WordExpr::Gate(word, bit) => {
+                let (v, w) = eval(word, env)?;
+                let (b, _) = eval(bit, env)?;
+                (if b & 1 == 1 { v } else { 0 }, w)
+            }
+            WordExpr::Slice { word, lo, hi } => {
+                let (v, _) = eval(word, env)?;
+                let w = hi - lo + 1;
+                ((v >> lo) & mask(w), w)
+            }
+            WordExpr::Concat(hi, lo) => {
+                let (vh, wh) = eval(hi, env)?;
+                let (vl, wl) = eval(lo, env)?;
+                ((vh << wl) | vl, wh + wl)
+            }
+            WordExpr::Reduce(op, a) => {
+                let (v, w) = eval(a, env)?;
+                let bits = (0..w).map(|i| (v >> i) & 1 == 1);
+                let r = match op {
+                    ReduceOp::And => bits.clone().all(|b| b),
+                    ReduceOp::Or => bits.clone().any(|b| b),
+                    ReduceOp::Xor => bits.clone().fold(false, |a, b| a ^ b),
+                };
+                (r as u64, 1)
+            }
+        })
+    }
+    let mut out = Vec::new();
+    let mut scratch = env;
+    for (name, expr) in module.signals() {
+        let v = eval(expr, &scratch)?;
+        scratch.insert(name.clone(), v);
+    }
+    for port in module.outputs() {
+        let (v, _) = *scratch
+            .get(&port.signal)
+            .ok_or_else(|| SynthesisError::UnknownName(port.signal.clone()))?;
+        out.push((port.name.clone(), v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::{ReduceOp, RtlModule, WordExpr as E};
+
+    /// Evaluates circuit outputs of word `name` as an integer.
+    fn circuit_word(c: &Circuit, inputs: &[(String, u32, u64)], out: &str, width: u32) -> u64 {
+        let mut assign = vec![false; c.num_inputs()];
+        for (name, w, value) in inputs {
+            for i in 0..*w {
+                let net = c
+                    .input_by_name(&bit_label(name, i))
+                    .unwrap_or_else(|| panic!("input {name}[{i}]"));
+                let pos = c.input_position(net.source()).unwrap();
+                assign[pos] = (value >> i) & 1 == 1;
+            }
+        }
+        let values = c.eval(&assign).unwrap();
+        let mut word = 0u64;
+        for i in 0..width {
+            let idx = c
+                .output_by_name(&bit_label(out, i))
+                .unwrap_or_else(|| panic!("output {out}[{i}]"));
+            if values[idx as usize] {
+                word |= 1 << i;
+            }
+        }
+        word
+    }
+
+    fn check_against_interpreter(m: &RtlModule, samples: &[Vec<u64>]) {
+        let c = synthesize(m).unwrap();
+        for s in samples {
+            let oracle = interpret(m, s).unwrap();
+            let named: Vec<(String, u32, u64)> = m
+                .inputs()
+                .iter()
+                .zip(s)
+                .map(|((n, w), &v)| (n.clone(), *w, v))
+                .collect();
+            for (name, expect) in &oracle {
+                // Find output width by counting ports.
+                let width = (0..65)
+                    .find(|&i| c.output_by_name(&bit_label(name, i)).is_none())
+                    .unwrap();
+                let got = circuit_word(&c, &named, name, width);
+                assert_eq!(got, *expect, "output {name} on {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_matches_interpreter() {
+        let mut m = RtlModule::new("add8");
+        m.add_input("a", 8);
+        m.add_input("b", 8);
+        let s = m.add_signal("s", E::add(E::input("a"), E::input("b")));
+        m.add_output("s", s);
+        check_against_interpreter(
+            &m,
+            &[
+                vec![0, 0],
+                vec![1, 1],
+                vec![255, 1],
+                vec![170, 85],
+                vec![200, 100],
+            ],
+        );
+    }
+
+    #[test]
+    fn figure1_style_gating() {
+        // V_out := GATE(w_in1, v0) | GATE(w_in2, v1)  (paper Example 1)
+        let mut m = RtlModule::new("fig1");
+        m.add_input("w_in1", 4);
+        m.add_input("w_in2", 4);
+        m.add_input("v0", 1);
+        m.add_input("v1", 1);
+        let g1 = E::gate(E::input("w_in1"), E::input("v0"));
+        let g2 = E::gate(E::input("w_in2"), E::input("v1"));
+        let v = m.add_signal("vout", E::or(g1, g2));
+        m.add_output("vout", v);
+        check_against_interpreter(
+            &m,
+            &[
+                vec![0b1010, 0b0101, 0, 0],
+                vec![0b1010, 0b0101, 1, 0],
+                vec![0b1010, 0b0101, 0, 1],
+                vec![0b1010, 0b0101, 1, 1],
+            ],
+        );
+    }
+
+    #[test]
+    fn mux_eq_slice_concat_reduce() {
+        let mut m = RtlModule::new("misc");
+        m.add_input("a", 4);
+        m.add_input("b", 4);
+        m.add_input("s", 1);
+        let eq = m.add_signal("eq", E::eq(E::input("a"), E::input("b")));
+        let mx = m.add_signal(
+            "mx",
+            E::mux(E::signal("eq"), E::input("a"), E::input("b")),
+        );
+        let sl = m.add_signal("sl", E::slice(E::signal("mx"), 1, 2));
+        let cc = m.add_signal("cc", E::concat(E::signal("sl"), E::input("s")));
+        let rd = m.add_signal("rd", E::reduce(ReduceOp::Xor, E::input("a")));
+        m.add_output("eq", eq);
+        m.add_output("mx", mx);
+        m.add_output("sl", sl);
+        m.add_output("cc", cc);
+        m.add_output("rd", rd);
+        check_against_interpreter(
+            &m,
+            &[
+                vec![3, 3, 1],
+                vec![3, 5, 0],
+                vec![15, 0, 1],
+                vec![9, 9, 0],
+            ],
+        );
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let mut m = RtlModule::new("bad");
+        m.add_input("a", 4);
+        m.add_input("b", 2);
+        m.add_signal("s", E::and(E::input("a"), E::input("b")));
+        assert!(matches!(
+            synthesize(&m),
+            Err(SynthesisError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_name_detected() {
+        let mut m = RtlModule::new("bad");
+        m.add_input("a", 4);
+        m.add_signal("s", E::signal("ghost"));
+        assert!(matches!(
+            synthesize(&m),
+            Err(SynthesisError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn bad_slice_detected() {
+        let mut m = RtlModule::new("bad");
+        m.add_input("a", 4);
+        m.add_signal("s", E::slice(E::input("a"), 2, 7));
+        assert!(matches!(synthesize(&m), Err(SynthesisError::BadSlice { .. })));
+    }
+
+    #[test]
+    fn const_too_wide_detected() {
+        let mut m = RtlModule::new("bad");
+        m.add_input("a", 2);
+        m.add_signal("s", E::and(E::input("a"), E::constant(9, 2)));
+        assert!(matches!(
+            synthesize(&m),
+            Err(SynthesisError::ConstTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn mux_select_must_be_single_bit() {
+        let mut m = RtlModule::new("bad");
+        m.add_input("a", 2);
+        m.add_signal("s", E::mux(E::input("a"), E::input("a"), E::input("a")));
+        assert!(matches!(
+            synthesize(&m),
+            Err(SynthesisError::NotSingleBit { .. })
+        ));
+    }
+}

@@ -1,0 +1,345 @@
+//! RTL-lite: a small word-level IR standing in for the paper's VHDL
+//! specifications.
+//!
+//! A module is a list of word-valued signals defined by [`WordExpr`]s over
+//! the module inputs and previously defined signals. Revisions (the "ECO"
+//! part) are expressed by editing signal definitions; see `eco-workload`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A word-level expression.
+///
+/// Widths are inferred during elaboration; mismatched operand widths are
+/// reported by [`synthesize`](crate::lower::synthesize).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordExpr {
+    /// Reference to a module input by name.
+    Input(String),
+    /// Reference to a previously defined signal by name.
+    Signal(String),
+    /// Constant with explicit width (low bits of `value`).
+    Const {
+        /// Bit value (little-endian).
+        value: u64,
+        /// Width in bits (1..=64).
+        width: u32,
+    },
+    /// Bitwise negation.
+    Not(Box<WordExpr>),
+    /// Bitwise conjunction.
+    And(Box<WordExpr>, Box<WordExpr>),
+    /// Bitwise disjunction.
+    Or(Box<WordExpr>, Box<WordExpr>),
+    /// Bitwise exclusive or.
+    Xor(Box<WordExpr>, Box<WordExpr>),
+    /// Unsigned addition (modulo `2^width`, carry discarded).
+    Add(Box<WordExpr>, Box<WordExpr>),
+    /// Equality comparison; result width 1.
+    Eq(Box<WordExpr>, Box<WordExpr>),
+    /// Word multiplexer: `sel` must have width 1.
+    Mux {
+        /// Single-bit select.
+        sel: Box<WordExpr>,
+        /// Value when `sel = 0`.
+        d0: Box<WordExpr>,
+        /// Value when `sel = 1`.
+        d1: Box<WordExpr>,
+    },
+    /// The paper's `GATE(word, bit)` operator: bitwise AND of a word with a
+    /// single-bit signal (Example 1, §4.2).
+    Gate(Box<WordExpr>, Box<WordExpr>),
+    /// Bit slice `[lo, hi]` inclusive; result width `hi - lo + 1`.
+    Slice {
+        /// Operand.
+        word: Box<WordExpr>,
+        /// Low bit index.
+        lo: u32,
+        /// High bit index.
+        hi: u32,
+    },
+    /// Concatenation: `hi` occupies the upper bits.
+    Concat(Box<WordExpr>, Box<WordExpr>),
+    /// Reduction of all bits into one (result width 1).
+    Reduce(ReduceOp, Box<WordExpr>),
+}
+
+/// Reduction operator for [`WordExpr::Reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// All bits.
+    And,
+    /// Any bit.
+    Or,
+    /// Parity.
+    Xor,
+}
+
+impl WordExpr {
+    /// Reference to an input by name.
+    pub fn input(name: impl Into<String>) -> Self {
+        WordExpr::Input(name.into())
+    }
+
+    /// Reference to a defined signal by name.
+    pub fn signal(name: impl Into<String>) -> Self {
+        WordExpr::Signal(name.into())
+    }
+
+    /// A constant of the given width.
+    pub fn constant(value: u64, width: u32) -> Self {
+        WordExpr::Const { value, width }
+    }
+
+    /// Bitwise NOT.
+    #[allow(clippy::should_implement_trait)] // static constructor, not an op
+    pub fn not(a: WordExpr) -> Self {
+        WordExpr::Not(Box::new(a))
+    }
+
+    /// Bitwise AND.
+    pub fn and(a: WordExpr, b: WordExpr) -> Self {
+        WordExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Bitwise OR.
+    pub fn or(a: WordExpr, b: WordExpr) -> Self {
+        WordExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(a: WordExpr, b: WordExpr) -> Self {
+        WordExpr::Xor(Box::new(a), Box::new(b))
+    }
+
+    /// Unsigned addition.
+    #[allow(clippy::should_implement_trait)] // static constructor, not an op
+    pub fn add(a: WordExpr, b: WordExpr) -> Self {
+        WordExpr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Equality test (1-bit result).
+    pub fn eq(a: WordExpr, b: WordExpr) -> Self {
+        WordExpr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// Word multiplexer.
+    pub fn mux(sel: WordExpr, d0: WordExpr, d1: WordExpr) -> Self {
+        WordExpr::Mux {
+            sel: Box::new(sel),
+            d0: Box::new(d0),
+            d1: Box::new(d1),
+        }
+    }
+
+    /// The paper's `GATE(word, bit)`: word AND-ed with a single-bit signal.
+    pub fn gate(word: WordExpr, bit: WordExpr) -> Self {
+        WordExpr::Gate(Box::new(word), Box::new(bit))
+    }
+
+    /// Bit slice (inclusive bounds).
+    pub fn slice(word: WordExpr, lo: u32, hi: u32) -> Self {
+        WordExpr::Slice {
+            word: Box::new(word),
+            lo,
+            hi,
+        }
+    }
+
+    /// Concatenation (`hi` in the upper bits).
+    pub fn concat(hi: WordExpr, lo: WordExpr) -> Self {
+        WordExpr::Concat(Box::new(hi), Box::new(lo))
+    }
+
+    /// Bit reduction.
+    pub fn reduce(op: ReduceOp, a: WordExpr) -> Self {
+        WordExpr::Reduce(op, Box::new(a))
+    }
+}
+
+/// A named output of an [`RtlModule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlOutput {
+    /// Port name; bit `i` lowers to the circuit output `name[i]`.
+    pub name: String,
+    /// The signal (by name) this port exposes.
+    pub signal: String,
+}
+
+/// A word-level module: inputs, signal definitions, and outputs.
+///
+/// Signals must be defined before use (no combinational loops by
+/// construction). See the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RtlModule {
+    name: String,
+    inputs: Vec<(String, u32)>,
+    signals: Vec<(String, WordExpr)>,
+    outputs: Vec<RtlOutput>,
+    index: HashMap<String, usize>,
+}
+
+impl RtlModule {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        RtlModule {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an input word of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64 (constants are `u64`-backed).
+    pub fn add_input(&mut self, name: impl Into<String>, width: u32) {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        self.inputs.push((name.into(), width));
+    }
+
+    /// Defines a named signal and returns a reference expression to it.
+    pub fn add_signal(&mut self, name: impl Into<String>, expr: WordExpr) -> WordExpr {
+        let name = name.into();
+        self.index.insert(name.clone(), self.signals.len());
+        self.signals.push((name.clone(), expr));
+        WordExpr::Signal(name)
+    }
+
+    /// Exposes a signal (or input) as a named output port.
+    ///
+    /// `expr` must be a [`WordExpr::Signal`] or [`WordExpr::Input`]
+    /// reference; richer expressions should be defined as a signal first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `expr` is not a plain reference.
+    pub fn add_output(&mut self, name: impl Into<String>, expr: WordExpr) {
+        let signal = match expr {
+            WordExpr::Signal(s) | WordExpr::Input(s) => s,
+            other => panic!("output must reference a signal or input, got {other:?}"),
+        };
+        self.outputs.push(RtlOutput {
+            name: name.into(),
+            signal,
+        });
+    }
+
+    /// Declared inputs `(name, width)` in order.
+    pub fn inputs(&self) -> &[(String, u32)] {
+        &self.inputs
+    }
+
+    /// Signal definitions in order.
+    pub fn signals(&self) -> &[(String, WordExpr)] {
+        &self.signals
+    }
+
+    /// Output ports in order.
+    pub fn outputs(&self) -> &[RtlOutput] {
+        &self.outputs
+    }
+
+    /// The definition of signal `name`, if any.
+    pub fn signal_expr(&self, name: &str) -> Option<&WordExpr> {
+        self.index.get(name).map(|&i| &self.signals[i].1)
+    }
+
+    /// Replaces the definition of signal `name`; returns `false` when the
+    /// signal does not exist. This is how `eco-workload` injects functional
+    /// revisions.
+    pub fn replace_signal(&mut self, name: &str, expr: WordExpr) -> bool {
+        match self.index.get(name) {
+            Some(&i) => {
+                self.signals[i].1 = expr;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The declared width of input `name`, if any.
+    pub fn input_width(&self, name: &str) -> Option<u32> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, w)| w)
+    }
+}
+
+impl fmt::Display for RtlModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} (", self.name)?;
+        for (n, w) in &self.inputs {
+            writeln!(f, "  input  [{w}] {n};")?;
+        }
+        for o in &self.outputs {
+            writeln!(f, "  output {} = {};", o.name, o.signal)?;
+        }
+        writeln!(f, ") {} signals", self.signals.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut m = RtlModule::new("m");
+        m.add_input("a", 8);
+        m.add_input("b", 8);
+        let s = m.add_signal("s", WordExpr::and(WordExpr::input("a"), WordExpr::input("b")));
+        m.add_output("y", s);
+        assert_eq!(m.inputs().len(), 2);
+        assert_eq!(m.input_width("a"), Some(8));
+        assert_eq!(m.input_width("zz"), None);
+        assert!(m.signal_expr("s").is_some());
+        assert_eq!(m.outputs()[0].signal, "s");
+    }
+
+    #[test]
+    fn replace_signal_injects_revision() {
+        let mut m = RtlModule::new("m");
+        m.add_input("a", 4);
+        m.add_signal("s", WordExpr::input("a"));
+        assert!(m.replace_signal("s", WordExpr::not(WordExpr::input("a"))));
+        assert!(!m.replace_signal("nope", WordExpr::input("a")));
+        assert_eq!(
+            m.signal_expr("s"),
+            Some(&WordExpr::not(WordExpr::input("a")))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_rejected() {
+        let mut m = RtlModule::new("m");
+        m.add_input("a", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "output must reference")]
+    fn output_must_be_reference() {
+        let mut m = RtlModule::new("m");
+        m.add_input("a", 1);
+        m.add_output("y", WordExpr::not(WordExpr::input("a")));
+    }
+
+    #[test]
+    fn display_mentions_ports() {
+        let mut m = RtlModule::new("m");
+        m.add_input("a", 2);
+        let s = m.add_signal("s", WordExpr::input("a"));
+        m.add_output("y", s);
+        let text = m.to_string();
+        assert!(text.contains("module m"));
+        assert!(text.contains("input"));
+        assert!(text.contains("output"));
+    }
+}

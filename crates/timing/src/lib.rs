@@ -1,0 +1,317 @@
+//! Static timing analysis for syseco.
+//!
+//! Table 3 of the paper measures the slack impact of ECO patches after place
+//! and route. This crate provides the stand-in timing substrate: a levelized
+//! STA over [`eco_netlist::Circuit`]s with a per-gate-kind delay table and a
+//! fanout-proportional wire-load model (the classic pre-layout
+//! approximation). Arrival times propagate forward, required times backward
+//! from a clock constraint, and the worst output slack summarizes a design.
+//!
+//! The syseco engine consults [`TimingReport::arrival`] when scoring rewiring
+//! candidates — the *level-driven optimization decisions* the paper credits
+//! for its slack advantage (§6).
+//!
+//! # Example
+//!
+//! ```
+//! use eco_netlist::{Circuit, GateKind};
+//! use eco_timing::{DelayModel, TimingReport};
+//!
+//! # fn main() -> Result<(), eco_netlist::NetlistError> {
+//! let mut c = Circuit::new("t");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.add_gate(GateKind::And, &[a, b])?;
+//! c.add_output("y", g);
+//! let report = TimingReport::analyze(&c, &DelayModel::default(), 100.0)?;
+//! assert!(report.worst_slack() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use eco_netlist::{topo, Circuit, GateKind, NetId, NetlistError};
+
+/// Gate and wire delay parameters, in picoseconds.
+///
+/// The defaults approximate a generic standard-cell library: inverters are
+/// fast, XOR/MUX cost roughly two logic levels, and every fanout adds wire
+/// delay (the wire-load proxy for routed interconnect).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    /// Intrinsic delay of NOT/BUF.
+    pub inverter: f64,
+    /// Intrinsic delay of AND/OR/NAND/NOR per 2 fanins.
+    pub simple_gate: f64,
+    /// Intrinsic delay of XOR/XNOR/MUX.
+    pub complex_gate: f64,
+    /// Extra delay per additional fanin beyond two on n-ary gates.
+    pub per_extra_fanin: f64,
+    /// Wire delay added per sink driven by a net.
+    pub wire_per_fanout: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel {
+            inverter: 6.0,
+            simple_gate: 10.0,
+            complex_gate: 18.0,
+            per_extra_fanin: 3.0,
+            wire_per_fanout: 1.5,
+        }
+    }
+}
+
+impl DelayModel {
+    /// Intrinsic delay of a gate of `kind` with `fanins` inputs.
+    pub fn gate_delay(&self, kind: GateKind, fanins: usize) -> f64 {
+        let base = match kind {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Buf | GateKind::Not => self.inverter,
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => self.simple_gate,
+            GateKind::Xor | GateKind::Xnor | GateKind::Mux => self.complex_gate,
+        };
+        let extra = fanins.saturating_sub(2) as f64 * self.per_extra_fanin;
+        base + extra
+    }
+}
+
+/// Result of a timing analysis run.
+///
+/// All times are picoseconds. Nets that are dead carry arrival 0 and
+/// required `clock_period`.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    clock_period: f64,
+    worst_slack: f64,
+    critical_output: Option<u32>,
+}
+
+impl TimingReport {
+    /// Runs STA on `circuit` against `clock_period`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] for cyclic circuits.
+    pub fn analyze(
+        circuit: &Circuit,
+        model: &DelayModel,
+        clock_period: f64,
+    ) -> Result<Self, NetlistError> {
+        let order = topo::topo_order(circuit)?;
+        let fanouts = circuit.fanouts();
+        let n = circuit.num_nodes();
+        let mut arrival = vec![0.0f64; n];
+
+        for &id in &order {
+            let node = circuit.node(id);
+            if node.kind() == GateKind::Input || node.kind().is_const() {
+                continue;
+            }
+            let input_arrival = node
+                .fanins()
+                .iter()
+                .map(|f| arrival[f.index()])
+                .fold(0.0, f64::max);
+            let load = fanouts[id.index()].len() as f64 * model.wire_per_fanout;
+            arrival[id.index()] =
+                input_arrival + model.gate_delay(node.kind(), node.fanins().len()) + load;
+        }
+
+        let mut required = vec![clock_period; n];
+        for &id in order.iter().rev() {
+            // Required time at this net = min over consumers of
+            // (required(consumer) − delay(consumer)).
+            let mut req = f64::INFINITY;
+            for pin in &fanouts[id.index()] {
+                match pin.node() {
+                    Some(consumer) => {
+                        let cn = circuit.node(consumer);
+                        let load =
+                            fanouts[consumer.index()].len() as f64 * model.wire_per_fanout;
+                        let d = model.gate_delay(cn.kind(), cn.fanins().len()) + load;
+                        req = req.min(required[consumer.index()] - d);
+                    }
+                    None => req = req.min(clock_period),
+                }
+            }
+            if req.is_finite() {
+                required[id.index()] = req;
+            }
+        }
+
+        let mut worst_slack = f64::INFINITY;
+        let mut critical_output = None;
+        for (i, port) in circuit.outputs().iter().enumerate() {
+            let slack = clock_period - arrival[port.net().index()];
+            if slack < worst_slack {
+                worst_slack = slack;
+                critical_output = Some(i as u32);
+            }
+        }
+        if !worst_slack.is_finite() {
+            worst_slack = clock_period;
+        }
+        Ok(TimingReport {
+            arrival,
+            required,
+            clock_period,
+            worst_slack,
+            critical_output,
+        })
+    }
+
+    /// Arrival time at `net`.
+    ///
+    /// Nets created after the analysis (e.g. freshly cloned patch logic)
+    /// report 0.0; re-run [`TimingReport::analyze`] for exact numbers.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrival.get(net.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Required time at `net` (see [`TimingReport::arrival`] for staleness).
+    pub fn required(&self, net: NetId) -> f64 {
+        self.required
+            .get(net.index())
+            .copied()
+            .unwrap_or(self.clock_period)
+    }
+
+    /// Slack at `net` (`required − arrival`).
+    pub fn slack(&self, net: NetId) -> f64 {
+        self.required(net) - self.arrival(net)
+    }
+
+    /// The clock constraint the analysis was run against.
+    pub fn clock_period(&self) -> f64 {
+        self.clock_period
+    }
+
+    /// The smallest output slack; negative when the constraint is violated.
+    pub fn worst_slack(&self) -> f64 {
+        self.worst_slack
+    }
+
+    /// Index of the output port with the worst slack, if any outputs exist.
+    pub fn critical_output(&self) -> Option<u32> {
+        self.critical_output
+    }
+
+    /// Maximum arrival time over all outputs (the critical-path delay).
+    pub fn critical_delay(&self) -> f64 {
+        self.clock_period - self.worst_slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::{Circuit, GateKind};
+
+    fn chain(n: usize) -> Circuit {
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let mut w = a;
+        for _ in 0..n {
+            w = c.add_gate(GateKind::And, &[w, b]).unwrap();
+        }
+        c.add_output("y", w);
+        c
+    }
+
+    #[test]
+    fn arrival_accumulates_along_path() {
+        let c = chain(3);
+        let model = DelayModel::default();
+        let r = TimingReport::analyze(&c, &model, 1000.0).unwrap();
+        let per_stage = model.simple_gate + model.wire_per_fanout;
+        let expect = 3.0 * per_stage;
+        assert!((r.critical_delay() - expect).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn slack_is_period_minus_arrival() {
+        let c = chain(2);
+        let model = DelayModel::default();
+        let r = TimingReport::analyze(&c, &model, 100.0).unwrap();
+        let y = c.outputs()[0].net();
+        assert!((r.worst_slack() - (100.0 - r.arrival(y))).abs() < 1e-9);
+        assert_eq!(r.critical_output(), Some(0));
+    }
+
+    #[test]
+    fn negative_slack_when_constraint_violated() {
+        let c = chain(20);
+        let r = TimingReport::analyze(&c, &DelayModel::default(), 10.0).unwrap();
+        assert!(r.worst_slack() < 0.0);
+    }
+
+    #[test]
+    fn fanout_load_slows_nets() {
+        // A net with many sinks arrives later downstream than a single-sink
+        // net of the same logic depth.
+        let mut c = Circuit::new("fan");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let busy = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let mut sinks = Vec::new();
+        for _ in 0..10 {
+            sinks.push(c.add_gate(GateKind::Not, &[busy]).unwrap());
+        }
+        let quiet = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let q1 = c.add_gate(GateKind::Not, &[quiet]).unwrap();
+        for (i, s) in sinks.iter().enumerate() {
+            c.add_output(format!("s{i}"), *s);
+        }
+        c.add_output("q", q1);
+        let r = TimingReport::analyze(&c, &DelayModel::default(), 1000.0).unwrap();
+        assert!(r.arrival(sinks[0]) > r.arrival(q1));
+    }
+
+    #[test]
+    fn required_time_respects_downstream_depth() {
+        let c = chain(4);
+        let r = TimingReport::analyze(&c, &DelayModel::default(), 100.0).unwrap();
+        let a = c.input_by_name("a").unwrap();
+        // The input's required time leaves room for the whole chain.
+        assert!(r.required(a) < 100.0);
+        let y = c.outputs()[0].net();
+        // Along a single path the slack is uniform.
+        assert!((r.slack(a) - r.slack(y)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_has_full_slack() {
+        let c = Circuit::new("empty");
+        let r = TimingReport::analyze(&c, &DelayModel::default(), 50.0).unwrap();
+        assert_eq!(r.worst_slack(), 50.0);
+        assert_eq!(r.critical_output(), None);
+    }
+
+    #[test]
+    fn inputs_have_zero_arrival() {
+        let c = chain(2);
+        let r = TimingReport::analyze(&c, &DelayModel::default(), 100.0).unwrap();
+        let a = c.input_by_name("a").unwrap();
+        assert_eq!(r.arrival(a), 0.0);
+    }
+
+    #[test]
+    fn deeper_patch_hurts_slack() {
+        // Appending logic to the critical path reduces slack — the effect
+        // Table 3 quantifies.
+        let shallow = chain(3);
+        let deep = chain(6);
+        let model = DelayModel::default();
+        let s1 = TimingReport::analyze(&shallow, &model, 100.0)
+            .unwrap()
+            .worst_slack();
+        let s2 = TimingReport::analyze(&deep, &model, 100.0)
+            .unwrap()
+            .worst_slack();
+        assert!(s2 < s1);
+    }
+}

@@ -1,0 +1,236 @@
+//! The benchmark suite: 11 Table-1-shaped ECO cases and 4 timing cases.
+
+use crate::generator::{build_case, CaseParams, EcoCase};
+use crate::revision::RevisionKind;
+
+/// Parameters of the 11 ECO cases mirroring the shape of the paper's
+/// Table 1 (sizes scaled ~50–100× down; the revised-output fraction and the
+/// relative input/output/gate proportions follow the corresponding rows).
+pub fn table1_params() -> Vec<CaseParams> {
+    use RevisionKind as R;
+    vec![
+        // 1: large, ~11% outputs revised.
+        CaseParams {
+            id: 1,
+            name: "core1",
+            seed: 0x0101,
+            input_words: 26,
+            width: 8,
+            logic_signals: 130,
+            output_words: 15,
+            revisions: vec![(0, R::GateTermAdded), (4, R::ConditionFlip)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 2: tiny, two thirds of outputs revised.
+        CaseParams {
+            id: 2,
+            name: "ctrl2",
+            seed: 0x0202,
+            input_words: 11,
+            width: 6,
+            logic_signals: 22,
+            output_words: 6,
+            revisions: vec![
+                (0, R::SharedGating),
+                (1, R::PolarityFlip),
+                (2, R::ConstantChange),
+                (3, R::MuxBranchSwap),
+            ],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 3: the largest case, ~8% revised.
+        CaseParams {
+            id: 3,
+            name: "dp3",
+            seed: 0x0303,
+            input_words: 31,
+            width: 8,
+            logic_signals: 200,
+            output_words: 29,
+            revisions: vec![(0, R::ConditionFlip), (9, R::GateTermAdded)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 4: narrow words, small revised slice.
+        CaseParams {
+            id: 4,
+            name: "dec4",
+            seed: 0x0404,
+            input_words: 30,
+            width: 3,
+            logic_signals: 150,
+            output_words: 7,
+            revisions: vec![(0, R::ConstantChange)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 5: small control block, ~46% revised.
+        CaseParams {
+            id: 5,
+            name: "ctl5",
+            seed: 0x0505,
+            input_words: 10,
+            width: 5,
+            logic_signals: 24,
+            output_words: 6,
+            revisions: vec![
+                (0, R::PolarityFlip),
+                (1, R::ConditionFlip),
+                (2, R::SingleBitFlip),
+            ],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 6: mid-size, a single-bit revision (the paper's 0.3% row).
+        CaseParams {
+            id: 6,
+            name: "exu6",
+            seed: 0x0606,
+            input_words: 28,
+            width: 4,
+            logic_signals: 190,
+            output_words: 10,
+            revisions: vec![(0, R::SingleBitFlip)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 7: ~9.5% revised.
+        CaseParams {
+            id: 7,
+            name: "lsu7",
+            seed: 0x0707,
+            input_words: 18,
+            width: 6,
+            logic_signals: 110,
+            output_words: 12,
+            revisions: vec![(0, R::SharedGating)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 8: ~20% revised.
+        CaseParams {
+            id: 8,
+            name: "ifu8",
+            seed: 0x0808,
+            input_words: 19,
+            width: 4,
+            logic_signals: 95,
+            output_words: 8,
+            revisions: vec![(0, R::MuxBranchSwap), (3, R::ConstantChange)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 9: small, one revised word.
+        CaseParams {
+            id: 9,
+            name: "mmu9",
+            seed: 0x0909,
+            input_words: 16,
+            width: 4,
+            logic_signals: 55,
+            output_words: 13,
+            revisions: vec![(0, R::GateTermAdded)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 10: ~6% revised.
+        CaseParams {
+            id: 10,
+            name: "fpu10",
+            seed: 0x0A0A,
+            input_words: 14,
+            width: 6,
+            logic_signals: 50,
+            output_words: 11,
+            revisions: vec![(0, R::ConditionFlip)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+        // 11: ~3% revised, two single-bit flips.
+        CaseParams {
+            id: 11,
+            name: "iou11",
+            seed: 0x0B0B,
+            input_words: 17,
+            width: 6,
+            logic_signals: 62,
+            output_words: 10,
+            revisions: vec![(0, R::SingleBitFlip), (5, R::SingleBitFlip)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+    ]
+}
+
+/// Parameters of the 4 timing-sensitive cases of Table 3 (ids 12–15):
+/// deeper arithmetic chains where patch depth shows up in slack.
+pub fn timing_params() -> Vec<CaseParams> {
+    use RevisionKind as R;
+    let base = |id: u32, name: &'static str, seed: u64, rev: Vec<(usize, RevisionKind)>| {
+        CaseParams {
+            id,
+            name,
+            seed,
+            input_words: 10,
+            width: 8,
+            logic_signals: 60,
+            output_words: 6,
+            revisions: rev,
+            heavy_optimization: true,
+            aggressive_optimization: true,
+        }
+    };
+    vec![
+        base(12, "tmg12", 0x0C0C, vec![(0, R::GateTermAdded)]),
+        base(13, "tmg13", 0x0D0D, vec![(0, R::ConstantChange), (2, R::ConditionFlip)]),
+        base(14, "tmg14", 0x0E0E, vec![(0, R::SharedGating), (3, R::PolarityFlip)]),
+        base(15, "tmg15", 0x0F0F, vec![(1, R::MuxBranchSwap)]),
+    ]
+}
+
+/// Builds the 11 ECO cases of Tables 1 and 2.
+pub fn table1_cases() -> Vec<EcoCase> {
+    table1_params().iter().map(build_case).collect()
+}
+
+/// Builds the 4 timing cases of Table 3.
+pub fn timing_cases() -> Vec<EcoCase> {
+    timing_params().iter().map(build_case).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_table1_params() {
+        let p = table1_params();
+        assert_eq!(p.len(), 11);
+        let ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+        assert_eq!(ids, (1..=11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn four_timing_params() {
+        let p = timing_params();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0].id, 12);
+        assert_eq!(p[3].id, 15);
+    }
+
+    #[test]
+    fn smallest_case_builds_and_differs() {
+        // Case 5 is cheap enough for a unit test.
+        let params = &table1_params()[4];
+        assert_eq!(params.id, 5);
+        let case = build_case(params);
+        case.implementation.check_well_formed().unwrap();
+        case.spec.check_well_formed().unwrap();
+        assert!(case.revised_outputs > 0);
+        let stats = case.implementation_stats();
+        assert!(stats.gates > 50, "case 5 should have real logic: {stats}");
+        assert!(stats.outputs >= 20);
+    }
+}

@@ -1,0 +1,290 @@
+//! Parametric ECO case generation.
+
+use eco_netlist::{Circuit, CircuitStats};
+use eco_synth::lower::synthesize;
+use eco_synth::opt::{optimize, OptOptions};
+use eco_synth::rtl::{ReduceOp, RtlModule, WordExpr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::revision::RevisionKind;
+
+/// Parameters of one generated ECO case.
+#[derive(Debug, Clone)]
+pub struct CaseParams {
+    /// Case identifier (Table 1 row).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Number of input words.
+    pub input_words: usize,
+    /// Width of every word in the design.
+    pub width: u32,
+    /// Number of intermediate signals.
+    pub logic_signals: usize,
+    /// Number of output words.
+    pub output_words: usize,
+    /// Revisions: `(output word index from the end, kind)`.
+    pub revisions: Vec<(usize, RevisionKind)>,
+    /// Optimization effort applied to derive the implementation.
+    pub heavy_optimization: bool,
+    /// Additionally round-trip the implementation through a depth-balanced
+    /// AIG (production-style depth optimization; used by the timing cases).
+    pub aggressive_optimization: bool,
+}
+
+/// A complete ECO test case.
+#[derive(Debug, Clone)]
+pub struct EcoCase {
+    /// Case identifier.
+    pub id: u32,
+    /// Case name.
+    pub name: String,
+    /// The optimized current implementation `C`.
+    pub implementation: Circuit,
+    /// The lightly synthesized revised specification `C'`.
+    pub spec: Circuit,
+    /// Designer's estimate of an ideal patch, in gates (Table 2 col. 2).
+    pub designer_estimate: usize,
+    /// Number of bit-level outputs affected by the revision.
+    pub revised_outputs: usize,
+}
+
+impl EcoCase {
+    /// Table-1 statistics of the implementation.
+    pub fn implementation_stats(&self) -> CircuitStats {
+        CircuitStats::of(&self.implementation)
+    }
+
+    /// Percentage of outputs affected by the revision.
+    pub fn revised_percent(&self) -> f64 {
+        let total = self.implementation.num_outputs().max(1);
+        100.0 * self.revised_outputs as f64 / total as f64
+    }
+}
+
+/// Builds the original word-level design for `params`.
+fn build_module(params: &CaseParams, rng: &mut SmallRng) -> RtlModule {
+    let mut m = RtlModule::new(format!("case{}", params.id));
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..params.input_words {
+        let n = format!("in{i}");
+        m.add_input(&n, params.width);
+        names.push(n);
+    }
+    // Single-bit control inputs used by muxes and gating.
+    let controls = (params.input_words / 4).max(2);
+    let mut control_names = Vec::new();
+    for i in 0..controls {
+        let n = format!("ctl{i}");
+        m.add_input(&n, 1);
+        control_names.push(n);
+    }
+    let pick = |names: &[String], rng: &mut SmallRng, recent_bias: bool| -> WordExpr {
+        let n = names.len();
+        let idx = if recent_bias && n > 8 && rng.gen_bool(0.6) {
+            rng.gen_range(n - 8..n)
+        } else {
+            rng.gen_range(0..n)
+        };
+        WordExpr::signal(names[idx].clone())
+    };
+    for i in 0..params.logic_signals {
+        let a = pick(&names, rng, true);
+        let b = pick(&names, rng, true);
+        let ctl = WordExpr::input(control_names[rng.gen_range(0..controls)].clone());
+        let expr = match rng.gen_range(0..8) {
+            0 => WordExpr::and(a, b),
+            1 => WordExpr::or(a, b),
+            2 => WordExpr::xor(a, b),
+            3 => WordExpr::add(a, b),
+            4 => WordExpr::mux(ctl, a, b),
+            5 => WordExpr::gate(a, ctl),
+            6 => WordExpr::not(a),
+            _ => {
+                let mask = if params.width == 64 {
+                    !0u64
+                } else {
+                    (1u64 << params.width) - 1
+                };
+                WordExpr::xor(a, WordExpr::constant(rng.gen::<u64>() & mask, params.width))
+            }
+        };
+        let n = format!("s{i}");
+        m.add_signal(&n, expr);
+        names.push(n);
+    }
+    // The last `output_words` signals become outputs.
+    let first = names.len().saturating_sub(params.output_words);
+    for (k, n) in names[first..].iter().enumerate() {
+        m.add_output(format!("out{k}"), WordExpr::signal(n.clone()));
+    }
+    m
+}
+
+/// Builds an ECO case from parameters: original design → optimized
+/// implementation; revised design → lightly synthesized specification.
+///
+/// # Panics
+///
+/// Panics when the parameters are degenerate (no signals/outputs) or when
+/// internal synthesis fails — generator parameters are trusted, they come
+/// from [`crate::table1_params`]/[`crate::timing_params`] or tests.
+pub fn build_case(params: &CaseParams) -> EcoCase {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let original = build_module(params, &mut rng);
+
+    // Inject revisions into a copy of the module.
+    let mut revised = original.clone();
+    let mut estimate = 0usize;
+    let mut revised_bits = 0usize;
+    let mut revised_words: Vec<String> = Vec::new();
+    let out_count = original.outputs().len();
+    for (back_index, kind) in &params.revisions {
+        let port = &original.outputs()[out_count - 1 - (back_index % out_count)];
+        let signal = port.signal.clone();
+        if revised_words.contains(&signal) {
+            continue; // one revision per word keeps the accounting simple
+        }
+        let old = revised
+            .signal_expr(&signal)
+            .expect("output signals are defined")
+            .clone();
+        // Helper word: another (unrevised) output signal or an input.
+        let helper_name = original
+            .outputs()
+            .iter()
+            .map(|p| p.signal.clone())
+            .find(|s| *s != signal && !revised_words.contains(s))
+            .unwrap_or_else(|| "in0".to_string());
+        let helper = WordExpr::signal(helper_name);
+        let gate_bit = WordExpr::reduce(
+            ReduceOp::Or,
+            WordExpr::input(format!("ctl{}", rng.gen_range(0..2))),
+        );
+        let (new_expr, est) = kind.apply(old, helper, gate_bit, params.width, &mut rng);
+        revised.replace_signal(&signal, new_expr);
+        estimate += est;
+        revised_bits += match kind {
+            RevisionKind::SingleBitFlip => 1,
+            _ => params.width as usize,
+        };
+        revised_words.push(signal);
+    }
+
+    // Implementation: synthesize the original and optimize heavily.
+    let mut implementation =
+        synthesize(&original).expect("generated module must elaborate");
+    let opt = if params.aggressive_optimization {
+        OptOptions::aggressive(params.seed ^ 0xC0FFEE)
+    } else if params.heavy_optimization {
+        OptOptions::heavy(params.seed ^ 0xC0FFEE)
+    } else {
+        OptOptions::light(params.seed ^ 0xC0FFEE)
+    };
+    optimize(&mut implementation, &opt).expect("optimization must succeed");
+
+    // Specification: lightweight synthesis of the revised module.
+    let mut spec = synthesize(&revised).expect("revised module must elaborate");
+    optimize(&mut spec, &OptOptions::light(params.seed ^ 0xFACE))
+        .expect("light cleanup must succeed");
+
+    let revised_outputs = revised_bits;
+    EcoCase {
+        id: params.id,
+        name: params.name.to_string(),
+        implementation,
+        spec,
+        designer_estimate: estimate.max(1),
+        revised_outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> CaseParams {
+        CaseParams {
+            id: 99,
+            name: "unit",
+            seed: 42,
+            input_words: 3,
+            width: 4,
+            logic_signals: 12,
+            output_words: 3,
+            revisions: vec![(0, RevisionKind::PolarityFlip)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        }
+    }
+
+    #[test]
+    fn case_is_well_formed_and_deterministic() {
+        let a = build_case(&small_params());
+        let b = build_case(&small_params());
+        a.implementation.check_well_formed().unwrap();
+        a.spec.check_well_formed().unwrap();
+        assert_eq!(
+            CircuitStats::of(&a.implementation),
+            CircuitStats::of(&b.implementation)
+        );
+        assert_eq!(CircuitStats::of(&a.spec), CircuitStats::of(&b.spec));
+    }
+
+    #[test]
+    fn implementation_differs_from_spec_on_revised_outputs() {
+        let case = build_case(&small_params());
+        // At least one input assignment must distinguish them (the revision
+        // is functional, not cosmetic). Random search over a few patterns.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = case.implementation.num_inputs();
+        let mut found = false;
+        'search: for _ in 0..512 {
+            let assign: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+            let iv = case.implementation.eval(&assign).unwrap();
+            // Translate input order by name for the spec.
+            let mut spec_assign = vec![false; case.spec.num_inputs()];
+            for (pos, &id) in case.implementation.inputs().iter().enumerate() {
+                let label = case.implementation.node(id).name().unwrap();
+                if let Some(w) = case.spec.input_by_name(label) {
+                    let spos = case.spec.input_position(w.source()).unwrap();
+                    spec_assign[spos] = assign[pos];
+                }
+            }
+            let sv = case.spec.eval(&spec_assign).unwrap();
+            for (i, port) in case.implementation.outputs().iter().enumerate() {
+                let sidx = case.spec.output_by_name(port.name()).unwrap() as usize;
+                if iv[i] != sv[sidx] {
+                    found = true;
+                    break 'search;
+                }
+            }
+        }
+        assert!(found, "revision must be observable");
+    }
+
+    #[test]
+    fn estimate_positive_and_revised_outputs_counted() {
+        let case = build_case(&small_params());
+        assert!(case.designer_estimate >= 1);
+        assert_eq!(case.revised_outputs, 4); // one word of width 4
+        assert!(case.revised_percent() > 0.0);
+    }
+
+    #[test]
+    fn unoptimized_variant_is_larger_or_equal_in_structure_similarity() {
+        // Heavy optimization changes stats relative to light.
+        let mut p = small_params();
+        let heavy = build_case(&p);
+        p.heavy_optimization = false;
+        let light = build_case(&p);
+        // Same function, different structure: node counts usually differ.
+        assert_eq!(
+            heavy.implementation.num_inputs(),
+            light.implementation.num_inputs()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! ECO test-case generation for syseco.
+//!
+//! The paper evaluates on 11 proprietary microprocessor ECOs (Table 1) plus
+//! 4 timing-sensitive designs (Table 3). Those artifacts are not available,
+//! so this crate generates **deterministic synthetic equivalents** that
+//! preserve the properties the algorithms interact with:
+//!
+//! * each case is a word-level RTL design whose *implementation* is produced
+//!   by heavy optimization (structural hashing, restructuring, SAT sweeping)
+//!   of the original specification — structurally dissimilar from
+//! * the *revised specification*, obtained by injecting a localized
+//!   functional [revision](RevisionKind) and synthesizing lightly, and
+//! * the revision touches a controlled fraction of the outputs, scaled to
+//!   mirror the shape of the paper's Table 1 rows (sizes ~50–100× smaller).
+//!
+//! A designer's patch-size estimate (Table 2, column 2) is approximated by
+//! lightweight-synthesizing the injected change in isolation.
+//!
+//! # Example
+//!
+//! ```no_run
+//! let cases = eco_workload::table1_cases();
+//! assert_eq!(cases.len(), 11);
+//! for case in &cases {
+//!     println!("{}: {} gates", case.id, case.implementation_stats().gates);
+//! }
+//! ```
+
+mod cases;
+mod generator;
+mod revision;
+
+pub use cases::{table1_cases, table1_params, timing_cases, timing_params};
+pub use generator::{build_case, CaseParams, EcoCase};
+pub use revision::RevisionKind;

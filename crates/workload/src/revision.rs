@@ -1,0 +1,150 @@
+//! Functional revision kinds injected into specifications.
+
+use eco_synth::rtl::WordExpr;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The kind of engineering change injected into a signal definition.
+///
+/// Each kind models a class of real specification revisions the paper's
+/// introduction motivates; `SharedGating` is the Figure-1 scenario (a new
+/// single-bit signal gating two multi-sink words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevisionKind {
+    /// OR an extra gated term into the word (new functionality added).
+    GateTermAdded,
+    /// Swap the two data branches of a new mux wrapper (control bug fix).
+    MuxBranchSwap,
+    /// Negate the condition under which the word is selected.
+    ConditionFlip,
+    /// Change an XOR-ed constant (encoding fix).
+    ConstantChange,
+    /// Complement the whole word (polarity fix).
+    PolarityFlip,
+    /// Flip a single output bit (the smallest possible revision).
+    SingleBitFlip,
+    /// Figure 1: introduce a fresh single-bit signal `c` and re-gate the
+    /// word with `c` (the sibling word uses `¬c`).
+    SharedGating,
+    /// Flip the word only when the helper word equals a random constant —
+    /// a *sparse-error* revision whose error domain is a `2^-width`
+    /// fraction of the input space (exercises error-domain sampling).
+    SparseTrigger,
+}
+
+impl RevisionKind {
+    /// All kinds, in the order the generator cycles through them.
+    pub const ALL: [RevisionKind; 8] = [
+        RevisionKind::GateTermAdded,
+        RevisionKind::MuxBranchSwap,
+        RevisionKind::ConditionFlip,
+        RevisionKind::ConstantChange,
+        RevisionKind::PolarityFlip,
+        RevisionKind::SingleBitFlip,
+        RevisionKind::SharedGating,
+        RevisionKind::SparseTrigger,
+    ];
+
+    /// Applies this revision to the definition `old` of a `width`-bit word.
+    ///
+    /// `helper` is another in-scope word (same width) the revision may draw
+    /// on; `gate_bit` is a 1-bit expression (for gating kinds). Returns the
+    /// revised expression and a rough gate-count estimate of the change at
+    /// the word level (the "designer estimate" contribution).
+    pub fn apply(
+        self,
+        old: WordExpr,
+        helper: WordExpr,
+        gate_bit: WordExpr,
+        width: u32,
+        rng: &mut SmallRng,
+    ) -> (WordExpr, usize) {
+        let w = width as usize;
+        match self {
+            RevisionKind::GateTermAdded => (
+                WordExpr::or(old, WordExpr::gate(helper, gate_bit)),
+                2 * w,
+            ),
+            RevisionKind::MuxBranchSwap => (
+                WordExpr::mux(gate_bit, old.clone(), WordExpr::not(old)),
+                2 * w,
+            ),
+            RevisionKind::ConditionFlip => (
+                WordExpr::mux(WordExpr::not(gate_bit), old, helper),
+                w + 1,
+            ),
+            RevisionKind::ConstantChange => {
+                let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+                let k = rng.gen::<u64>() & mask;
+                let k = if k == 0 { 1 } else { k };
+                (WordExpr::xor(old, WordExpr::constant(k, width)), w / 2 + 1)
+            }
+            RevisionKind::PolarityFlip => (WordExpr::not(old), w),
+            RevisionKind::SingleBitFlip => {
+                let bit = rng.gen_range(0..width);
+                (
+                    WordExpr::xor(old, WordExpr::constant(1u64 << bit, width)),
+                    1,
+                )
+            }
+            RevisionKind::SharedGating => (
+                WordExpr::or(
+                    WordExpr::gate(old, gate_bit.clone()),
+                    WordExpr::gate(helper, WordExpr::not(gate_bit)),
+                ),
+                3 * w,
+            ),
+            RevisionKind::SparseTrigger => {
+                let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+                let k = rng.gen::<u64>() & mask;
+                let trigger = WordExpr::eq(helper, WordExpr::constant(k, width));
+                (
+                    WordExpr::xor(old, WordExpr::gate(WordExpr::constant(mask, width), trigger)),
+                    w + 2,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_synth::rtl::ReduceOp;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_kinds_produce_different_expressions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for kind in RevisionKind::ALL {
+            let old = WordExpr::input("x");
+            let helper = WordExpr::input("h");
+            let bit = WordExpr::reduce(ReduceOp::Or, WordExpr::input("g"));
+            let (revised, estimate) = kind.apply(old.clone(), helper, bit, 8, &mut rng);
+            assert_ne!(revised, old, "{kind:?} must change the expression");
+            assert!(estimate >= 1, "{kind:?} estimate must be positive");
+        }
+    }
+
+    #[test]
+    fn constant_change_never_zero_mask() {
+        // A zero mask would be a no-op revision.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let (revised, _) = RevisionKind::ConstantChange.apply(
+                WordExpr::input("x"),
+                WordExpr::input("h"),
+                WordExpr::input("g"),
+                4,
+                &mut rng,
+            );
+            match revised {
+                WordExpr::Xor(_, b) => match *b {
+                    WordExpr::Const { value, .. } => assert_ne!(value, 0),
+                    other => panic!("expected constant, got {other:?}"),
+                },
+                other => panic!("expected xor, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration: RTL → synthesis → optimization → revision →
+//! rectification → verification, across every revision kind.
+
+use eco_synth::lower::synthesize;
+use eco_synth::opt::{optimize, OptOptions};
+use eco_synth::rtl::{ReduceOp, RtlModule, WordExpr as E};
+use eco_workload::RevisionKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use syseco::{verify_rectification, EcoOptions, Syseco};
+
+const WIDTH: u32 = 4;
+
+/// A small datapath with three word outputs.
+fn base_module() -> RtlModule {
+    let mut m = RtlModule::new("dp");
+    m.add_input("x", WIDTH);
+    m.add_input("y", WIDTH);
+    m.add_input("en", 1);
+    m.add_signal("s0", E::add(E::input("x"), E::input("y")));
+    m.add_signal("s1", E::xor(E::signal("s0"), E::input("y")));
+    m.add_signal("s2", E::mux(E::input("en"), E::signal("s1"), E::input("x")));
+    m.add_signal("s3", E::and(E::signal("s2"), E::signal("s0")));
+    m.add_output("o0", E::signal("s1"));
+    m.add_output("o1", E::signal("s2"));
+    m.add_output("o2", E::signal("s3"));
+    m
+}
+
+fn revise(kind: RevisionKind, seed: u64) -> (RtlModule, RtlModule) {
+    let original = base_module();
+    let mut revised = original.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let old = revised.signal_expr("s3").expect("defined").clone();
+    let helper = E::signal("s1");
+    let gate_bit = E::reduce(ReduceOp::Or, E::input("en"));
+    let (new_expr, _est) = kind.apply(old, helper, gate_bit, WIDTH, &mut rng);
+    revised.replace_signal("s3", new_expr);
+    (original, revised)
+}
+
+fn run_kind(kind: RevisionKind, heavy: bool) {
+    let (original, revised) = revise(kind, 0xE2E);
+    let mut implementation = synthesize(&original).expect("elaborates");
+    let opt = if heavy {
+        OptOptions::heavy(17)
+    } else {
+        OptOptions::light(17)
+    };
+    optimize(&mut implementation, &opt).expect("optimizes");
+    let spec = synthesize(&revised).expect("elaborates");
+
+    let engine = Syseco::new(EcoOptions::with_seed(kind as u64 + 1));
+    let result = engine
+        .rectify(&implementation, &spec)
+        .unwrap_or_else(|e| panic!("{kind:?}: rectification failed: {e}"));
+    assert!(
+        verify_rectification(&result.patched, &spec).unwrap(),
+        "{kind:?}: patched design must match the revised spec"
+    );
+    result.patched.check_well_formed().unwrap();
+}
+
+#[test]
+fn rectifies_gate_term_added() {
+    run_kind(RevisionKind::GateTermAdded, true);
+}
+
+#[test]
+fn rectifies_mux_branch_swap() {
+    run_kind(RevisionKind::MuxBranchSwap, true);
+}
+
+#[test]
+fn rectifies_condition_flip() {
+    run_kind(RevisionKind::ConditionFlip, true);
+}
+
+#[test]
+fn rectifies_constant_change() {
+    run_kind(RevisionKind::ConstantChange, true);
+}
+
+#[test]
+fn rectifies_polarity_flip() {
+    run_kind(RevisionKind::PolarityFlip, true);
+}
+
+#[test]
+fn rectifies_single_bit_flip() {
+    run_kind(RevisionKind::SingleBitFlip, true);
+}
+
+#[test]
+fn rectifies_shared_gating() {
+    run_kind(RevisionKind::SharedGating, true);
+}
+
+#[test]
+fn rectifies_without_optimization_too() {
+    // Structural similarity should not break the functional flow.
+    run_kind(RevisionKind::PolarityFlip, false);
+}
+
+#[test]
+fn single_bit_revision_yields_tiny_patch() {
+    // The smallest revision must not trigger whole-cone fallbacks.
+    let (original, revised) = revise(RevisionKind::SingleBitFlip, 99);
+    let mut implementation = synthesize(&original).expect("elaborates");
+    optimize(&mut implementation, &OptOptions::heavy(23)).expect("optimizes");
+    let spec = synthesize(&revised).expect("elaborates");
+    let result = Syseco::new(EcoOptions::with_seed(5))
+        .rectify(&implementation, &spec)
+        .expect("rectifies");
+    assert!(verify_rectification(&result.patched, &spec).unwrap());
+    assert_eq!(
+        result.rectify.outputs_failing, 1,
+        "exactly one bit output is revised"
+    );
+    assert!(
+        result.stats.gates <= 4,
+        "a single-bit flip needs at most an inverter's worth of patch, got {:?}",
+        result.stats
+    );
+}

@@ -18,6 +18,10 @@ pub enum BddError {
         /// The offending variable index.
         var: u32,
     },
+    /// The manager's wall-clock deadline passed mid-computation.
+    DeadlineExceeded,
+    /// The manager's cooperative interrupt flag was set mid-computation.
+    Cancelled,
 }
 
 impl fmt::Display for BddError {
@@ -27,6 +31,8 @@ impl fmt::Display for BddError {
                 write!(f, "bdd node limit of {limit} nodes exceeded")
             }
             BddError::UnknownVar { var } => write!(f, "unknown bdd variable {var}"),
+            BddError::DeadlineExceeded => write!(f, "bdd deadline exceeded"),
+            BddError::Cancelled => write!(f, "bdd computation cancelled"),
         }
     }
 }
@@ -41,6 +47,8 @@ mod tests {
     fn display_nonempty() {
         assert!(!BddError::NodeLimit { limit: 10 }.to_string().is_empty());
         assert!(!BddError::UnknownVar { var: 3 }.to_string().is_empty());
+        assert!(!BddError::DeadlineExceeded.to_string().is_empty());
+        assert!(!BddError::Cancelled.to_string().is_empty());
     }
 
     #[test]

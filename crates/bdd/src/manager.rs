@@ -1,6 +1,9 @@
 //! The BDD node store and core operations.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use crate::BddError;
 
@@ -44,6 +47,9 @@ pub struct BddManager {
     quant_cache: HashMap<(u32, u32, bool), u32>,
     num_vars: u32,
     node_limit: usize,
+    deadline: Option<Instant>,
+    interrupt: Option<Arc<AtomicBool>>,
+    op_tick: u64,
 }
 
 impl Default for BddManager {
@@ -73,6 +79,9 @@ impl BddManager {
             quant_cache: HashMap::new(),
             num_vars: 0,
             node_limit,
+            deadline: None,
+            interrupt: None,
+            op_tick: 0,
         };
         m.nodes.push(Node {
             var: TERMINAL_VAR,
@@ -143,15 +152,46 @@ impl BddManager {
         id
     }
 
+    /// Sets an absolute wall-clock deadline; `None` removes it. Operations
+    /// poll it periodically and fail with [`BddError::DeadlineExceeded`]
+    /// once it has passed.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a cooperative interrupt flag; `None` removes it. Setting
+    /// the flag makes in-flight operations fail with
+    /// [`BddError::Cancelled`] at their next periodic check.
+    pub fn set_interrupt(&mut self, interrupt: Option<Arc<AtomicBool>>) {
+        self.interrupt = interrupt;
+    }
+
     #[inline]
-    fn check_budget(&self) -> Result<(), BddError> {
+    fn check_budget(&mut self) -> Result<(), BddError> {
         if self.nodes.len() > self.node_limit {
-            Err(BddError::NodeLimit {
+            return Err(BddError::NodeLimit {
                 limit: self.node_limit,
-            })
-        } else {
-            Ok(())
+            });
         }
+        // Deadline/interrupt polls amortized over ~1024 cache-missing
+        // recursion steps; skipped entirely when neither is installed.
+        if self.deadline.is_some() || self.interrupt.is_some() {
+            self.op_tick = self.op_tick.wrapping_add(1);
+            // `== 1` so the very first governed operation already polls.
+            if self.op_tick & 0x3FF == 1 {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        return Err(BddError::DeadlineExceeded);
+                    }
+                }
+                if let Some(flag) = &self.interrupt {
+                    if flag.load(Ordering::Relaxed) {
+                        return Err(BddError::Cancelled);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     #[inline]
@@ -365,10 +405,7 @@ impl BddManager {
             return Ok(r);
         }
         self.check_budget()?;
-        let v = self
-            .level(i)
-            .min(self.level(t))
-            .min(self.level(e));
+        let v = self.level(i).min(self.level(t)).min(self.level(e));
         let (i0, i1) = self.cofactors(i, v);
         let (t0, t1) = self.cofactors(t, v);
         let (e0, e1) = self.cofactors(e, v);
@@ -539,10 +576,8 @@ impl BddManager {
             } else {
                 m.nodes[n.hi as usize].var
             };
-            let lo = rec(m, n.lo, num_vars, memo)
-                * 2f64.powi((lo_level - n.var - 1) as i32);
-            let hi = rec(m, n.hi, num_vars, memo)
-                * 2f64.powi((hi_level - n.var - 1) as i32);
+            let lo = rec(m, n.lo, num_vars, memo) * 2f64.powi((lo_level - n.var - 1) as i32);
+            let hi = rec(m, n.hi, num_vars, memo) * 2f64.powi((hi_level - n.var - 1) as i32);
             let c = lo + hi;
             memo.insert(f, c);
             c
@@ -784,6 +819,59 @@ mod tests {
             }
         }
         assert!(matches!(r, Err(BddError::NodeLimit { .. })));
+    }
+
+    #[test]
+    fn expired_deadline_fails_operations() {
+        let mut m = mgr();
+        m.set_deadline(Some(Instant::now()));
+        let mut r = Ok(m.zero());
+        for i in 0..64 {
+            let v = m.var(i);
+            let f = r.unwrap_or(m.zero());
+            r = m.xor(f, v);
+            if r.is_err() {
+                break;
+            }
+        }
+        assert_eq!(r, Err(BddError::DeadlineExceeded));
+        // Clearing the deadline restores normal operation.
+        m.set_deadline(None);
+        let a = m.var(0);
+        let b = m.var(1);
+        assert!(m.and(a, b).is_ok());
+    }
+
+    #[test]
+    fn interrupt_flag_fails_operations() {
+        let mut m = mgr();
+        let flag = Arc::new(AtomicBool::new(true));
+        m.set_interrupt(Some(Arc::clone(&flag)));
+        let mut r = Ok(m.zero());
+        for i in 0..64 {
+            let v = m.var(i);
+            let f = r.unwrap_or(m.zero());
+            r = m.xor(f, v);
+            if r.is_err() {
+                break;
+            }
+        }
+        assert_eq!(r, Err(BddError::Cancelled));
+        flag.store(false, Ordering::Relaxed);
+        let a = m.var(0);
+        let b = m.var(1);
+        assert!(m.and(a, b).is_ok());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let mut m = mgr();
+        m.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        m.set_interrupt(Some(Arc::new(AtomicBool::new(false))));
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b).unwrap();
+        assert_eq!(m.sat_count(f, 2), 2.0);
     }
 
     #[test]

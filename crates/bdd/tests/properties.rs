@@ -67,14 +67,14 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 48, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(i, t, e)| Expr::Ite(Box::new(i), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(i, t, e)| Expr::Ite(
+                Box::new(i),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
 }

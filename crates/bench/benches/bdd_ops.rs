@@ -66,5 +66,11 @@ fn bench_sat_count(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_quantify, bench_primes, bench_sat_count);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_quantify,
+    bench_primes,
+    bench_sat_count
+);
 criterion_main!(benches);

@@ -61,7 +61,11 @@ fn run_config(case: &EcoCase, options: &EcoOptions, label: String) -> AblationPo
 }
 
 /// Ablation A: sweep the sampling-domain size `N`.
-pub fn sampling_size_sweep(case: &EcoCase, sizes: &[usize], base: &EcoOptions) -> Vec<AblationPoint> {
+pub fn sampling_size_sweep(
+    case: &EcoCase,
+    sizes: &[usize],
+    base: &EcoOptions,
+) -> Vec<AblationPoint> {
     sizes
         .iter()
         .map(|&n| {

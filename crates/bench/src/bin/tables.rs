@@ -38,8 +38,7 @@ fn main() {
     let run_ablation_samples = || {
         eprintln!("ablation A: sampling-domain size sweep on case 5…");
         let case = eco_workload::table1_cases().swap_remove(4);
-        let points =
-            ablation::sampling_size_sweep(&case, &[8, 16, 32, 64, 128, 256], &options);
+        let points = ablation::sampling_size_sweep(&case, &[8, 16, 32, 64, 128, 256], &options);
         println!(
             "{}",
             ablation::format_points("Ablation A: sampling-domain size (case 5)", &points)
@@ -51,10 +50,7 @@ fn main() {
         let points = ablation::sample_policy_comparison(&case, &options);
         println!(
             "{}",
-            ablation::format_points(
-                "Ablation B: sample policy (sparse-error case)",
-                &points
-            )
+            ablation::format_points("Ablation B: sample policy (sparse-error case)", &points)
         );
     };
     let run_ablation_level = || {
@@ -73,7 +69,9 @@ fn main() {
 
     match what.as_str() {
         "dump" => {
-            let dir = std::env::args().nth(2).unwrap_or_else(|| "suite".to_string());
+            let dir = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "suite".to_string());
             std::fs::create_dir_all(&dir).expect("create dump directory");
             eprintln!("building and dumping the full suite to {dir}/ …");
             for case in eco_workload::table1_cases()

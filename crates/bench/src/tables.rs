@@ -170,7 +170,13 @@ pub fn reduction_ratios(rows: &[Table2Row]) -> ReductionRatios {
             }
         }
     }
-    let avg = |k: usize| if cnt[k] == 0 { 0.0 } else { acc[k] / cnt[k] as f64 };
+    let avg = |k: usize| {
+        if cnt[k] == 0 {
+            0.0
+        } else {
+            acc[k] / cnt[k] as f64
+        }
+    };
     ReductionRatios {
         inputs: avg(0),
         outputs: avg(1),

@@ -13,7 +13,7 @@ use std::time::Instant;
 use eco_netlist::{NetId, Pin};
 
 use crate::correspond::Correspondence;
-use crate::engine::{normalize_ports, EcoResult};
+use crate::engine::{name_spec_inputs, normalize_ports, EcoResult};
 use crate::error_domain::{classify_outputs, Equivalence};
 use crate::patch::{Patch, RewireOp};
 use crate::rectify::RectifyStats;
@@ -29,8 +29,10 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
     let start = Instant::now();
     implementation.check_well_formed()?;
     spec.check_well_formed()?;
+    let named = name_spec_inputs(spec)?;
+    let spec = named.as_ref().unwrap_or(spec);
     let mut patched = implementation.clone();
-    normalize_ports(&mut patched, spec);
+    normalize_ports(&mut patched, spec)?;
     let corr = Correspondence::build(&patched, spec)?;
     let mut patch = Patch::new(patched.num_nodes());
     let mut stats = RectifyStats {
@@ -40,7 +42,7 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
 
     // Clones are shared across outputs: one boundary map for the whole run.
     let mut boundary: HashMap<NetId, NetId> = HashMap::new();
-    let verdicts = classify_outputs(&patched, spec, &corr, None)?;
+    let verdicts = classify_outputs(&patched, spec, &corr, None, None)?;
     for (pair, verdict) in corr.outputs.clone().iter().zip(verdicts) {
         match verdict {
             Equivalence::Equivalent => continue,

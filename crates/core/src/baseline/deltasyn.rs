@@ -20,7 +20,7 @@ use std::time::Instant;
 use eco_netlist::{topo, Circuit, GateKind, NetId, Pin};
 
 use crate::correspond::Correspondence;
-use crate::engine::{normalize_ports, EcoResult};
+use crate::engine::{name_spec_inputs, normalize_ports, EcoResult};
 use crate::error_domain::{classify_outputs, Equivalence};
 use crate::patch::{Patch, RewireOp};
 use crate::rectify::RectifyStats;
@@ -98,8 +98,10 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
     let start = Instant::now();
     implementation.check_well_formed()?;
     spec.check_well_formed()?;
+    let named = name_spec_inputs(spec)?;
+    let spec = named.as_ref().unwrap_or(spec);
     let mut patched = implementation.clone();
-    normalize_ports(&mut patched, spec);
+    normalize_ports(&mut patched, spec)?;
     let corr = Correspondence::build(&patched, spec)?;
     let mut patch = Patch::new(patched.num_nodes());
     let mut stats = RectifyStats {
@@ -109,7 +111,7 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
 
     let mut matched = structural_match(&patched, spec);
 
-    let verdicts = classify_outputs(&patched, spec, &corr, None)?;
+    let verdicts = classify_outputs(&patched, spec, &corr, None, None)?;
     for (pair, verdict) in corr.outputs.clone().iter().zip(verdicts) {
         match verdict {
             Equivalence::Equivalent => continue,
@@ -124,9 +126,7 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
             .clone_cone(spec, &[spec_root], &matched)
             .map_err(EcoError::from)?;
         matched = map.clone();
-        patch.record_cloned(
-            (before..patched.num_nodes()).map(NetId::from_index),
-        );
+        patch.record_cloned((before..patched.num_nodes()).map(NetId::from_index));
         let pin = Pin::output(pair.impl_index);
         let old_net = patched.pin_net(pin).map_err(EcoError::from)?;
         let new_net = matched[&spec_root];

@@ -5,11 +5,15 @@
 //! syseco check   <impl.blif> <spec.blif>
 //! syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]
 //!                [--out patched.blif] [--seed N] [--samples N]
-//!                [--level-driven]
+//!                [--level-driven] [--timeout SECS]
 //! ```
 //!
 //! Designs are read and written in the BLIF-style format of
 //! [`eco_netlist::io`].
+//!
+//! Exit codes: 0 success, 1 verification failure, 2 usage error, 3 the run
+//! completed but degraded (budget ran out or a per-output search was cut
+//! short; the patch is still verified for every output it claims to fix).
 
 use std::process::ExitCode;
 
@@ -17,11 +21,10 @@ use eco_netlist::{read_blif, write_blif, Circuit, CircuitStats};
 use syseco::baseline::{cone, deltasyn};
 use syseco::correspond::Correspondence;
 use syseco::error_domain::{classify_outputs, Equivalence};
-use syseco::{verify_rectification, EcoOptions, Syseco};
+use syseco::{Budget, EcoOptions, Syseco};
 
 fn load(path: &str) -> Result<Circuit, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     read_blif(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
@@ -29,7 +32,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  syseco stats   <design.blif>\n  syseco check   <impl.blif> <spec.blif>\n  \
          syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]\n                 \
-         [--out patched.blif] [--seed N] [--samples N] [--level-driven]"
+         [--out patched.blif] [--seed N] [--samples N] [--level-driven]\n                 \
+         [--timeout SECS]"
     );
     ExitCode::from(2)
 }
@@ -57,12 +61,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
-            let [_, impl_path, spec_path] = args else { return Ok(usage()) };
+            let [_, impl_path, spec_path] = args else {
+                return Ok(usage());
+            };
             let implementation = load(impl_path)?;
             let spec = load(spec_path)?;
-            let corr = Correspondence::build(&implementation, &spec)
-                .map_err(|e| e.to_string())?;
-            let verdicts = classify_outputs(&implementation, &spec, &corr, None)
+            let corr = Correspondence::build(&implementation, &spec).map_err(|e| e.to_string())?;
+            let verdicts = classify_outputs(&implementation, &spec, &corr, None, None)
                 .map_err(|e| e.to_string())?;
             let mut failing = 0;
             for (pair, verdict) in corr.outputs.iter().zip(&verdicts) {
@@ -78,11 +83,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     }
                 }
             }
-            println!(
-                "{} of {} outputs differ",
-                failing,
-                corr.outputs.len()
-            );
+            println!("{} of {} outputs differ", failing, corr.outputs.len());
             Ok(if failing == 0 {
                 ExitCode::SUCCESS
             } else {
@@ -102,14 +103,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             while i < args.len() {
                 match args[i].as_str() {
                     "--engine" => {
-                        engine_name =
-                            args.get(i + 1).cloned().ok_or("--engine needs a value")?;
+                        engine_name = args.get(i + 1).cloned().ok_or("--engine needs a value")?;
                         i += 2;
                     }
                     "--out" => {
-                        out_path = Some(
-                            args.get(i + 1).cloned().ok_or("--out needs a value")?,
-                        );
+                        out_path = Some(args.get(i + 1).cloned().ok_or("--out needs a value")?);
                         i += 2;
                     }
                     "--seed" => {
@@ -132,9 +130,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         options.level_driven = true;
                         i += 1;
                     }
+                    "--timeout" => {
+                        let secs: f64 = args
+                            .get(i + 1)
+                            .ok_or("--timeout needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad timeout: {e}"))?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err("timeout must be a positive number of seconds".into());
+                        }
+                        options.timeout = Some(std::time::Duration::from_secs_f64(secs));
+                        i += 2;
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
+            let timeout = options.timeout;
             let result = match engine_name.as_str() {
                 "syseco" => Syseco::new(options)
                     .rectify(&implementation, &spec)
@@ -150,15 +161,52 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 "{}",
                 syseco::patch::render_report(&result.patch, &result.patched)
             );
-            let ok = verify_rectification(&result.patched, &spec)
-                .map_err(|e| e.to_string())?;
-            println!("verification: {}", if ok { "PASS" } else { "FAIL" });
+            let degradations = &result.rectify.degradations;
+            if !degradations.is_empty() {
+                println!("degraded outputs ({}):", degradations.len());
+                for d in degradations {
+                    println!("  {d}");
+                }
+            }
+            // Verification gets its own budget window, so even a timed-out
+            // run terminates within roughly twice the requested timeout.
+            let verify_budget = match timeout {
+                Some(t) => Budget::with_deadline(t),
+                None => Budget::unlimited(),
+            };
+            let corr = Correspondence::build(&result.patched, &spec).map_err(|e| e.to_string())?;
+            let verdicts =
+                classify_outputs(&result.patched, &spec, &corr, None, Some(&verify_budget))
+                    .map_err(|e| e.to_string())?;
+            let differs = verdicts
+                .iter()
+                .filter(|v| matches!(v, Equivalence::Counterexample(_)))
+                .count();
+            let unknown = verdicts
+                .iter()
+                .filter(|v| matches!(v, Equivalence::Unknown))
+                .count();
+            if differs > 0 {
+                println!("verification: FAIL ({differs} outputs differ)");
+            } else if unknown > 0 {
+                println!("verification: UNKNOWN ({unknown} outputs unresolved within budget)");
+            } else {
+                println!("verification: PASS");
+            }
             if let Some(path) = out_path {
                 std::fs::write(&path, write_blif(&result.patched))
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("patched design written to {path}");
             }
-            Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(if differs > 0 {
+                ExitCode::FAILURE
+            } else if unknown > 0 || !degradations.is_empty() {
+                // Degraded but honest: every output the patch claims to fix
+                // verified equivalent, yet the run was cut short somewhere.
+                ExitCode::from(3)
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         _ => Ok(usage()),
     }

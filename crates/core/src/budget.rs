@@ -1,0 +1,433 @@
+//! Resource governance for rectification runs (the §5.1 resource
+//! constraints, generalized).
+//!
+//! The paper's engine is explicitly resource-constrained: SAT validation is
+//! budgeted, candidate enumeration is capped, and the output-rewire fallback
+//! guarantees completeness whenever the search runs out of anything. This
+//! module carries those constraints as one value — a [`Budget`] combining a
+//! wall-clock deadline with a cooperative [`CancelToken`] — threaded through
+//! the engine, the per-output search, the SAT solver, and the BDD manager.
+//!
+//! Exhaustion never aborts a run. The engine degrades along the paper's
+//! completeness ladder (best-validated option so far, else the always
+//! applicable output-rewire fallback) and records each cut corner as a
+//! [`Degradation`] in the run statistics.
+//!
+//! Under `cfg(test)` or the `fault-injection` feature, a [`FaultPolicy`]
+//! deterministically forces BDD node-limit hits, SAT budget exhaustion, and
+//! synthetic panics at chosen call counts so every degradation path is
+//! testable.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[cfg(any(test, feature = "fault-injection"))]
+use std::sync::atomic::AtomicU64;
+
+use eco_bdd::BddManager;
+use eco_sat::Solver;
+
+/// Cooperative cancellation token.
+///
+/// Clone the token, hand one copy to the rectification run (via
+/// [`Budget::with_cancel`]) and keep the other; calling [`cancel`] from any
+/// thread makes the run wind down at the next check point, falling back to
+/// the guaranteed output rewires for whatever is still unrectified.
+///
+/// [`cancel`]: CancelToken::cancel
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, for handing to solvers that poll it.
+    pub(crate) fn shared_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+}
+
+/// Whether a [`Budget`] still permits work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetStatus {
+    /// Work may continue.
+    Ok,
+    /// The wall-clock deadline has passed.
+    DeadlineExceeded,
+    /// The cancel token was triggered.
+    Cancelled,
+}
+
+/// Wall-clock and cancellation governance for one rectification run.
+///
+/// A `Budget` is passed by reference into [`Syseco::rectify_with_budget`]
+/// (and down through every resource-consuming layer). It is cheap to query;
+/// the solvers poll it only periodically.
+///
+/// [`Syseco::rectify_with_budget`]: crate::Syseco::rectify_with_budget
+#[derive(Debug, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    faults: FaultPolicy,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_state: FaultCounters,
+}
+
+impl Budget {
+    /// A budget with no deadline and no cancellation: the engine runs to
+    /// completion under its per-call conflict/node caps only.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget expiring `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Budget {
+            deadline: Instant::now().checked_add(timeout),
+            ..Self::default()
+        }
+    }
+
+    /// A budget expiring at an absolute instant.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a cancellation token (builder style).
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Attaches a deterministic fault policy (builder style). Only available
+    /// in test builds or with the `fault-injection` feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn with_faults(mut self, faults: FaultPolicy) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The absolute deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left before the deadline; `None` when unbounded.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Current status: deadline and cancellation checked in that order of
+    /// precedence (a cancelled run past its deadline reports the deadline).
+    pub fn status(&self) -> BudgetStatus {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return BudgetStatus::DeadlineExceeded;
+            }
+        }
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return BudgetStatus::Cancelled;
+            }
+        }
+        BudgetStatus::Ok
+    }
+
+    /// Whether no further search work should start.
+    pub fn is_exhausted(&self) -> bool {
+        self.status() != BudgetStatus::Ok
+    }
+
+    /// The degradation reason corresponding to the current status, if the
+    /// budget is exhausted.
+    pub(crate) fn degrade_reason(&self) -> Option<DegradeReason> {
+        match self.status() {
+            BudgetStatus::Ok => None,
+            BudgetStatus::DeadlineExceeded => Some(DegradeReason::DeadlineExceeded),
+            BudgetStatus::Cancelled => Some(DegradeReason::Cancelled),
+        }
+    }
+
+    /// Arms a SAT solver with this budget's deadline and cancel flag so its
+    /// solve loop stops (returning `Unknown`) when either trips.
+    pub fn arm_solver(&self, solver: &mut Solver) {
+        solver.set_deadline(self.deadline);
+        solver.set_interrupt(self.cancel.as_ref().map(CancelToken::shared_flag));
+    }
+
+    /// Arms a BDD manager likewise; exhaustion surfaces as
+    /// [`eco_bdd::BddError::DeadlineExceeded`] / [`eco_bdd::BddError::Cancelled`].
+    pub fn arm_bdd(&self, manager: &mut BddManager) {
+        manager.set_deadline(self.deadline);
+        manager.set_interrupt(self.cancel.as_ref().map(CancelToken::shared_flag));
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic fault injection (no-ops unless enabled).
+    // ------------------------------------------------------------------
+
+    /// Counts one per-output BDD domain attempt; `true` when the policy says
+    /// this attempt must hit the node limit.
+    #[inline]
+    pub(crate) fn inject_bdd_node_limit(&self) -> bool {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            let n = self
+                .fault_state
+                .bdd_attempts
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            return matches!(self.faults.bdd_node_limit_from, Some(at) if n >= at);
+        }
+        #[allow(unreachable_code)]
+        false
+    }
+
+    /// Counts one SAT validation; `true` when the policy says this
+    /// validation must report budget exhaustion.
+    #[inline]
+    pub(crate) fn inject_sat_exhaust(&self) -> bool {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            let n = self
+                .fault_state
+                .sat_validations
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            return matches!(self.faults.sat_exhaust_from, Some(at) if n >= at);
+        }
+        #[allow(unreachable_code)]
+        false
+    }
+
+    /// Counts one per-output search; panics when the policy says this search
+    /// must die. The engine isolates the panic and falls back.
+    #[inline]
+    pub(crate) fn inject_search_panic(&self) {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            let n = self.fault_state.searches.fetch_add(1, Ordering::Relaxed) + 1;
+            if matches!(self.faults.panic_at, Some(at) if n == at) {
+                panic!("synthetic fault: injected panic in per-output search #{n}");
+            }
+        }
+    }
+}
+
+/// Deterministic fault schedule for exercising degradation paths.
+///
+/// Counters are 1-based: `bdd_node_limit_from: Some(1)` faults every BDD
+/// domain attempt from the first one on. Only available under `cfg(test)`
+/// or the `fault-injection` feature.
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// Force the per-output BDD manager to a 1-node limit from the Nth
+    /// domain attempt onwards.
+    pub bdd_node_limit_from: Option<u64>,
+    /// Force SAT validation to report exhaustion (`Unknown`) from the Nth
+    /// validation onwards.
+    pub sat_exhaust_from: Option<u64>,
+    /// Panic inside the Nth per-output search (exactly once).
+    pub panic_at: Option<u64>,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+#[derive(Debug, Default)]
+struct FaultCounters {
+    bdd_attempts: AtomicU64,
+    sat_validations: AtomicU64,
+    searches: AtomicU64,
+}
+
+// ----------------------------------------------------------------------
+// Degradation accounting
+// ----------------------------------------------------------------------
+
+/// Why one output's search was cut short.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeReason {
+    /// The run's wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The run was cancelled through its [`CancelToken`].
+    Cancelled,
+    /// The sampling-domain BDD exceeded its node budget even at the
+    /// smallest candidate-pin cap.
+    BddNodeLimit,
+    /// SAT validation exhausted its conflict budget without a verdict.
+    SatBudgetExhausted,
+    /// The search panicked; the payload is the panic message.
+    SearchPanicked(String),
+    /// The search returned an error; the payload is its display form.
+    SearchError(String),
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded => write!(f, "deadline exceeded"),
+            DegradeReason::Cancelled => write!(f, "cancelled"),
+            DegradeReason::BddNodeLimit => write!(f, "bdd node limit"),
+            DegradeReason::SatBudgetExhausted => write!(f, "sat budget exhausted"),
+            DegradeReason::SearchPanicked(msg) => write!(f, "search panicked: {msg}"),
+            DegradeReason::SearchError(msg) => write!(f, "search error: {msg}"),
+        }
+    }
+}
+
+/// How the engine recovered from a cut-short search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeAction {
+    /// Committed the best rewiring validated before the cut-off.
+    CommittedBest,
+    /// Applied the §3.3 output-rewire fallback (spec cone clone).
+    OutputRewireFallback,
+}
+
+impl fmt::Display for DegradeAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeAction::CommittedBest => write!(f, "committed best validated option"),
+            DegradeAction::OutputRewireFallback => write!(f, "output-rewire fallback"),
+        }
+    }
+}
+
+/// One output whose rectification was degraded rather than searched to
+/// completion, and how it was still rectified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Label of the affected output.
+    pub output: String,
+    /// Why the search was cut short.
+    pub reason: DegradeReason,
+    /// How the output was rectified anyway.
+    pub action: DegradeAction,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "output {:?}: {} -> {}",
+            self.output, self.reason, self.action
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        assert_eq!(b.status(), BudgetStatus::Ok);
+        assert!(!b.is_exhausted());
+        assert_eq!(b.remaining(), None);
+        assert_eq!(b.degrade_reason(), None);
+    }
+
+    #[test]
+    fn expired_deadline_reports_exhaustion() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(b.status(), BudgetStatus::DeadlineExceeded);
+        assert!(b.is_exhausted());
+        assert_eq!(b.degrade_reason(), Some(DegradeReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_is_ok_and_counts_down() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        assert_eq!(b.status(), BudgetStatus::Ok);
+        assert!(b.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn cancel_token_trips_budget() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(&token);
+        assert_eq!(b.status(), BudgetStatus::Ok);
+        token.cancel();
+        assert_eq!(b.status(), BudgetStatus::Cancelled);
+        assert_eq!(b.degrade_reason(), Some(DegradeReason::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_takes_precedence_over_cancel() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::with_deadline(Duration::ZERO).with_cancel(&token);
+        assert_eq!(b.status(), BudgetStatus::DeadlineExceeded);
+    }
+
+    #[test]
+    fn fault_policy_counts_from_thresholds() {
+        let b = Budget::unlimited().with_faults(FaultPolicy {
+            bdd_node_limit_from: Some(2),
+            sat_exhaust_from: Some(1),
+            panic_at: None,
+        });
+        assert!(!b.inject_bdd_node_limit()); // attempt 1
+        assert!(b.inject_bdd_node_limit()); // attempt 2
+        assert!(b.inject_bdd_node_limit()); // attempt 3 (>= threshold)
+        assert!(b.inject_sat_exhaust());
+        b.inject_search_panic(); // no panic configured
+    }
+
+    #[test]
+    fn fault_panic_fires_at_exact_count() {
+        let b = Budget::unlimited().with_faults(FaultPolicy {
+            panic_at: Some(2),
+            ..FaultPolicy::default()
+        });
+        b.inject_search_panic(); // search 1: fine
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.inject_search_panic() // search 2: boom
+        }));
+        assert!(caught.is_err());
+        b.inject_search_panic(); // search 3: fine again (exact match)
+    }
+
+    #[test]
+    fn degradation_display_is_informative() {
+        let d = Degradation {
+            output: "y".into(),
+            reason: DegradeReason::DeadlineExceeded,
+            action: DegradeAction::OutputRewireFallback,
+        };
+        let s = d.to_string();
+        assert!(s.contains("\"y\""));
+        assert!(s.contains("deadline exceeded"));
+        assert!(s.contains("fallback"));
+        assert!(!DegradeReason::SearchPanicked("boom".into())
+            .to_string()
+            .is_empty());
+        assert!(!DegradeAction::CommittedBest.to_string().is_empty());
+    }
+}

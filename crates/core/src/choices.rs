@@ -51,10 +51,7 @@ impl ChoiceEncoding {
 
     /// Total `c` variables allocated.
     pub fn num_vars(&self) -> u32 {
-        self.blocks
-            .iter()
-            .map(|&(_, bits, _)| bits)
-            .sum()
+        self.blocks.iter().map(|&(_, bits, _)| bits).sum()
     }
 
     /// All `c` variable indices.
@@ -103,11 +100,7 @@ impl ChoiceEncoding {
 
 /// The functions `r_ij(z)` of every candidate, read from precomputed net
 /// values over the sampling domain.
-pub fn candidate_function(
-    cand: &RewireCandidate,
-    impl_vals: &[Bdd],
-    spec_vals: &[Bdd],
-) -> Bdd {
+pub fn candidate_function(cand: &RewireCandidate, impl_vals: &[Bdd], spec_vals: &[Bdd]) -> Bdd {
     if cand.from_spec {
         spec_vals[cand.net.index()]
     } else {
@@ -145,7 +138,8 @@ pub fn find_choices(
     max_choices: usize,
 ) -> Result<Vec<Vec<usize>>, BddError> {
     debug_assert_eq!(points.len(), candidates.len());
-    let encoding = ChoiceEncoding::new(c_base, &candidates.iter().map(Vec::len).collect::<Vec<_>>());
+    let encoding =
+        ChoiceEncoding::new(c_base, &candidates.iter().map(Vec::len).collect::<Vec<_>>());
 
     // h(z, y): the composition function with the selected pins freed.
     let mut pin_subst: HashMap<Pin, usize> = HashMap::new();

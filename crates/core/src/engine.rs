@@ -4,11 +4,12 @@ use std::time::{Duration, Instant};
 
 use eco_netlist::Circuit;
 
+use crate::budget::Budget;
 use crate::correspond::Correspondence;
 use crate::error_domain::{classify_outputs, Equivalence};
 use crate::options::EcoOptions;
 use crate::patch::{refine_patch_inputs_timed, Patch, PatchStats};
-use crate::rectify::{rewire_rectification, RectifyStats};
+use crate::rectify::{rewire_rectification_governed, RectifyStats};
 use crate::EcoError;
 
 /// Result of a rectification run.
@@ -82,23 +83,51 @@ impl Syseco {
     /// specification counterpart, and [`EcoError`] wrappers for malformed
     /// circuits.
     pub fn rectify(&self, implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, EcoError> {
+        let budget = match self.options.timeout {
+            Some(t) => Budget::with_deadline(t),
+            None => Budget::unlimited(),
+        };
+        self.rectify_governed(implementation, spec, &budget)
+    }
+
+    /// Like [`Syseco::rectify`], but governed by an explicit [`Budget`]
+    /// (deadline and/or [`crate::CancelToken`]). On exhaustion the run
+    /// degrades gracefully — remaining outputs take the output-rewire
+    /// fallback and the cuts are recorded in
+    /// [`RectifyStats::degradations`] — instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Syseco::rectify`].
+    pub fn rectify_governed(
+        &self,
+        implementation: &Circuit,
+        spec: &Circuit,
+        budget: &Budget,
+    ) -> Result<EcoResult, EcoError> {
         let start = Instant::now();
         implementation.check_well_formed()?;
         spec.check_well_formed()?;
+        let named = name_spec_inputs(spec)?;
+        let spec = named.as_ref().unwrap_or(spec);
         let mut patched = implementation.clone();
-        normalize_ports(&mut patched, spec);
-        let (patch, rectify) = rewire_rectification(&mut patched, spec, &self.options)?;
+        normalize_ports(&mut patched, spec)?;
+        let (patch, rectify) =
+            rewire_rectification_governed(&mut patched, spec, &self.options, budget)?;
         // Patch-input refinement (§5.2 post-processing): reuse existing
         // implementation logic inside the cloned patch. Under level-driven
-        // selection the merge is timing-aware.
-        let model = eco_timing::DelayModel::default();
-        refine_patch_inputs_timed(
-            &mut patched,
-            &patch,
-            self.options.validation_budget,
-            self.options.seed ^ 0x9e3779b97f4a7c15,
-            self.options.level_driven.then_some(&model),
-        )?;
+        // selection the merge is timing-aware. It is a pure optimisation,
+        // so a spent budget skips it and the run returns promptly.
+        if !budget.is_exhausted() {
+            let model = eco_timing::DelayModel::default();
+            refine_patch_inputs_timed(
+                &mut patched,
+                &patch,
+                self.options.validation_budget,
+                self.options.seed ^ 0x9e3779b97f4a7c15,
+                self.options.level_driven.then_some(&model),
+            )?;
+        }
         patched.sweep();
         let stats = patch.stats(&patched);
         Ok(EcoResult {
@@ -111,21 +140,88 @@ impl Syseco {
     }
 }
 
+/// Gives every unnamed (empty-labelled) specification input a stable
+/// generated name `__pi<position>`, so it cannot silently alias another port
+/// during normalization. Returns the renamed clone, or `None` when every
+/// input already has a proper name.
+///
+/// # Errors
+///
+/// [`EcoError::PortMismatch`] when two specification inputs share a
+/// (non-empty) name.
+pub(crate) fn name_spec_inputs(spec: &Circuit) -> Result<Option<Circuit>, EcoError> {
+    let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // Existing names are claimed first so generated ones cannot collide.
+    for &id in spec.inputs() {
+        let name = spec.node(id).name().unwrap_or("");
+        if name.is_empty() {
+            continue;
+        }
+        if !taken.insert(name.to_string()) {
+            return Err(EcoError::PortMismatch(format!(
+                "specification has duplicate input name {name:?}"
+            )));
+        }
+    }
+    let mut renames: Vec<(usize, String)> = Vec::new();
+    for (pos, &id) in spec.inputs().iter().enumerate() {
+        if !spec.node(id).name().unwrap_or("").is_empty() {
+            continue;
+        }
+        let mut label = format!("__pi{pos}");
+        while !taken.insert(label.clone()) {
+            label.push('_');
+        }
+        renames.push((pos, label));
+    }
+    if renames.is_empty() {
+        return Ok(None);
+    }
+    let mut named = spec.clone();
+    for (pos, label) in renames {
+        named.set_input_name(pos, label)?;
+    }
+    Ok(Some(named))
+}
+
 /// Adds spec-only inputs and outputs to the implementation so the port
-/// correspondence becomes total.
-pub(crate) fn normalize_ports(implementation: &mut Circuit, spec: &Circuit) {
+/// correspondence becomes total. Call [`name_spec_inputs`] first: unnamed
+/// spec inputs would otherwise all map to the empty-string label.
+///
+/// # Errors
+///
+/// [`EcoError::PortMismatch`] when the specification declares a duplicate
+/// input or output name.
+pub(crate) fn normalize_ports(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+) -> Result<(), EcoError> {
+    let mut seen_in = std::collections::HashSet::new();
     for &id in spec.inputs() {
         let label = spec.node(id).name().unwrap_or("").to_string();
+        if !seen_in.insert(label.clone()) {
+            return Err(EcoError::PortMismatch(format!(
+                "specification has duplicate input name {label:?}"
+            )));
+        }
         if implementation.input_by_name(&label).is_none() {
             implementation.add_input(label);
         }
     }
+    let mut seen_out = std::collections::HashSet::new();
     for port in spec.outputs() {
+        if !seen_out.insert(port.name().to_string()) {
+            return Err(EcoError::PortMismatch(format!(
+                "specification has duplicate output name {:?}",
+                port.name()
+            )));
+        }
         if implementation.output_by_name(port.name()).is_none() {
             let k = implementation.constant(false);
             implementation.add_output(port.name(), k);
         }
     }
+    Ok(())
 }
 
 /// Verifies full behavioural equivalence of a patched implementation
@@ -136,7 +232,7 @@ pub(crate) fn normalize_ports(implementation: &mut Circuit, spec: &Circuit) {
 /// [`EcoError`] on port mismatches or malformed circuits.
 pub fn verify_rectification(patched: &Circuit, spec: &Circuit) -> Result<bool, EcoError> {
     let corr = Correspondence::build(patched, spec)?;
-    let verdicts = classify_outputs(patched, spec, &corr, None)?;
+    let verdicts = classify_outputs(patched, spec, &corr, None, None)?;
     Ok(verdicts
         .iter()
         .all(|v| matches!(v, Equivalence::Equivalent)))
@@ -158,10 +254,56 @@ mod tests {
         let g = s.add_gate(GateKind::And, &[sa, sb]).unwrap();
         s.add_output("y", g);
         s.add_output("extra", sb);
-        normalize_ports(&mut c, &s);
+        normalize_ports(&mut c, &s).unwrap();
         assert!(c.input_by_name("b_new").is_some());
         assert!(c.output_by_name("extra").is_some());
         assert!(Correspondence::build(&c, &s).is_ok());
+    }
+
+    #[test]
+    fn unnamed_spec_inputs_get_stable_generated_names() {
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input(""); // unnamed
+        let g = s.add_gate(GateKind::And, &[sa, sb]).unwrap();
+        s.add_output("y", g);
+        let named = name_spec_inputs(&s).unwrap().expect("rename required");
+        assert_eq!(named.node(named.inputs()[1]).name(), Some("__pi1"));
+        // Deterministic: running it again on the renamed spec is a no-op.
+        assert!(name_spec_inputs(&named).unwrap().is_none());
+        // The generated name flows into normalization without collisions.
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        normalize_ports(&mut c, &named).unwrap();
+        assert!(c.input_by_name("__pi1").is_some());
+        assert!(c.check_well_formed().is_ok());
+    }
+
+    #[test]
+    fn generated_input_names_avoid_existing_labels() {
+        let mut s = Circuit::new("spec");
+        s.add_input("__pi1"); // occupies the name position 1 would get
+        let sb = s.add_input("");
+        s.add_output("y", sb);
+        let named = name_spec_inputs(&s).unwrap().expect("rename required");
+        assert_eq!(named.node(named.inputs()[1]).name(), Some("__pi1_"));
+        assert!(named.check_well_formed().is_ok());
+    }
+
+    #[test]
+    fn duplicate_spec_output_names_are_rejected() {
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        s.add_output("y", sa);
+        s.add_output("y", sa);
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        assert!(matches!(
+            normalize_ports(&mut c, &s),
+            Err(EcoError::PortMismatch(_))
+        ));
     }
 
     #[test]

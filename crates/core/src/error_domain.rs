@@ -14,6 +14,7 @@ use eco_sat::{tseitin, Lit, SolveResult, Solver};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::budget::Budget;
 use crate::correspond::{Correspondence, OutputPair};
 use crate::options::SamplePolicy;
 
@@ -38,6 +39,7 @@ pub fn check_output_pair(
     spec: &Circuit,
     pair: &OutputPair,
     budget: Option<u64>,
+    governor: Option<&Budget>,
 ) -> Result<Equivalence, NetlistError> {
     let mut solver = Solver::new();
     let lnet = implementation.outputs()[pair.impl_index as usize].net();
@@ -53,6 +55,9 @@ pub fn check_output_pair(
     )?;
     solver.add_clause(&miter.diff_lits);
     solver.set_conflict_budget(budget);
+    if let Some(g) = governor {
+        g.arm_solver(&mut solver);
+    }
     Ok(match solver.solve(&[]) {
         SolveResult::Unsat => Equivalence::Equivalent,
         SolveResult::Sat => {
@@ -76,6 +81,7 @@ pub fn classify_outputs(
     spec: &Circuit,
     corr: &Correspondence,
     budget: Option<u64>,
+    governor: Option<&Budget>,
 ) -> Result<Vec<Equivalence>, NetlistError> {
     let pairs: Vec<_> = corr
         .outputs
@@ -101,15 +107,16 @@ pub fn classify_outputs(
         &CecOptions::default(),
     )?;
     solver.set_conflict_budget(budget);
+    if let Some(g) = governor {
+        g.arm_solver(&mut solver);
+    }
     let mut out = Vec::with_capacity(pairs.len());
     for &d in &miter.diff_lits {
         out.push(match solver.solve(&[d]) {
             SolveResult::Unsat => Equivalence::Equivalent,
-            SolveResult::Sat => Equivalence::Counterexample(tseitin::model_inputs(
-                &solver,
-                &miter,
-                implementation,
-            )),
+            SolveResult::Sat => {
+                Equivalence::Counterexample(tseitin::model_inputs(&solver, &miter, implementation))
+            }
             SolveResult::Unknown => Equivalence::Unknown,
         });
     }
@@ -140,6 +147,7 @@ pub fn collect_samples(
     policy: SamplePolicy,
     seed_sample: Option<&[bool]>,
     rng: &mut SmallRng,
+    governor: Option<&Budget>,
 ) -> Result<Vec<Vec<bool>>, NetlistError> {
     let mut samples: Vec<Vec<bool>> = Vec::new();
     let mut seen: HashSet<Vec<bool>> = HashSet::new();
@@ -153,9 +161,9 @@ pub fn collect_samples(
     }
 
     let fill_random = |want: usize,
-                           samples: &mut Vec<Vec<bool>>,
-                           seen: &mut HashSet<Vec<bool>>,
-                           rng: &mut SmallRng| {
+                       samples: &mut Vec<Vec<bool>>,
+                       seen: &mut HashSet<Vec<bool>>,
+                       rng: &mut SmallRng| {
         // The distinct-assignment space may be smaller than `want` (few
         // inputs); bound the attempts so exhaustion terminates.
         let space = 1usize
@@ -194,8 +202,12 @@ pub fn collect_samples(
         if samples.len() >= want {
             break;
         }
-        let impl_patterns: Vec<u64> =
-            (0..implementation.num_inputs()).map(|_| rng.gen()).collect();
+        if governor.is_some_and(Budget::is_exhausted) {
+            break;
+        }
+        let impl_patterns: Vec<u64> = (0..implementation.num_inputs())
+            .map(|_| rng.gen())
+            .collect();
         // Translate to spec input order bit-plane-wise.
         let mut spec_patterns = vec![0u64; spec.num_inputs()];
         for (pos, &word) in impl_patterns.iter().enumerate() {
@@ -213,10 +225,7 @@ pub fn collect_samples(
             if (diff >> bit) & 1 == 0 {
                 continue;
             }
-            let s: Vec<bool> = impl_patterns
-                .iter()
-                .map(|w| (w >> bit) & 1 == 1)
-                .collect();
+            let s: Vec<bool> = impl_patterns.iter().map(|w| (w >> bit) & 1 == 1).collect();
             push(s, &mut samples);
             if samples.len() >= want {
                 break;
@@ -258,6 +267,9 @@ pub fn collect_samples(
             solver.add_clause(&block);
         }
         solver.set_conflict_budget(Some(200_000));
+        if let Some(g) = governor {
+            g.arm_solver(&mut solver);
+        }
         while samples.len() < want {
             match solver.solve(&[]) {
                 SolveResult::Sat => {
@@ -315,7 +327,7 @@ mod tests {
         let s = c.clone();
         let (_, p) = pair0(&c, &s);
         assert_eq!(
-            check_output_pair(&c, &s, &p, None).unwrap(),
+            check_output_pair(&c, &s, &p, None, None).unwrap(),
             Equivalence::Equivalent
         );
     }
@@ -324,7 +336,7 @@ mod tests {
     fn different_pair_yields_counterexample() {
         let (c, s) = and_vs_or();
         let (_, p) = pair0(&c, &s);
-        match check_output_pair(&c, &s, &p, None).unwrap() {
+        match check_output_pair(&c, &s, &p, None, None).unwrap() {
             Equivalence::Counterexample(x) => {
                 assert_ne!(c.eval(&x).unwrap()[0], s.eval(&x).unwrap()[0]);
             }
@@ -337,8 +349,18 @@ mod tests {
         let (c, s) = and_vs_or();
         let (corr, p) = pair0(&c, &s);
         let mut rng = SmallRng::seed_from_u64(7);
-        let samples =
-            collect_samples(&c, &s, &corr, &p, 16, SamplePolicy::ErrorDomain, None, &mut rng).unwrap();
+        let samples = collect_samples(
+            &c,
+            &s,
+            &corr,
+            &p,
+            16,
+            SamplePolicy::ErrorDomain,
+            None,
+            &mut rng,
+            None,
+        )
+        .unwrap();
         // The error domain has exactly two elements: 01 and 10.
         assert_eq!(samples.len(), 2);
         for x in &samples {
@@ -352,8 +374,18 @@ mod tests {
         let (corr, p) = pair0(&c, &s);
         let mut rng = SmallRng::seed_from_u64(7);
         let seed = vec![true, false];
-        let samples =
-            collect_samples(&c, &s, &corr, &p, 8, SamplePolicy::Random, Some(&seed), &mut rng).unwrap();
+        let samples = collect_samples(
+            &c,
+            &s,
+            &corr,
+            &p,
+            8,
+            SamplePolicy::Random,
+            Some(&seed),
+            &mut rng,
+            None,
+        )
+        .unwrap();
         assert!(samples.contains(&seed));
         // The 2-input space has only 4 distinct assignments.
         assert_eq!(samples.len(), 4);
@@ -364,8 +396,18 @@ mod tests {
         let (c, s) = and_vs_or();
         let (corr, p) = pair0(&c, &s);
         let mut rng = SmallRng::seed_from_u64(9);
-        let samples =
-            collect_samples(&c, &s, &corr, &p, 64, SamplePolicy::Random, None, &mut rng).unwrap();
+        let samples = collect_samples(
+            &c,
+            &s,
+            &corr,
+            &p,
+            64,
+            SamplePolicy::Random,
+            None,
+            &mut rng,
+            None,
+        )
+        .unwrap();
         let set: HashSet<_> = samples.iter().cloned().collect();
         assert_eq!(set.len(), samples.len());
     }

@@ -57,6 +57,7 @@
 //! | [`baseline`] | §6 | DeltaSyn-style and cone-rewrite baselines |
 
 pub mod baseline;
+pub mod budget;
 pub mod choices;
 pub mod correspond;
 mod engine;
@@ -70,8 +71,11 @@ pub mod rewire_nets;
 pub mod sampling;
 pub mod validate;
 
+#[cfg(any(test, feature = "fault-injection"))]
+pub use budget::FaultPolicy;
+pub use budget::{Budget, BudgetStatus, CancelToken, Degradation, DegradeAction, DegradeReason};
 pub use engine::{verify_rectification, EcoResult, Syseco};
 pub use error::EcoError;
 pub use options::{EcoOptions, SamplePolicy};
 pub use patch::{Patch, PatchStats, RewireOp};
-pub use rectify::RectifyStats;
+pub use rectify::{rewire_rectification, rewire_rectification_governed, RectifyStats};

@@ -59,6 +59,12 @@ pub struct EcoOptions {
     pub seed: u64,
     /// Node budget of the per-output BDD manager.
     pub bdd_node_limit: usize,
+    /// Wall-clock budget for the whole rectification run. When it expires,
+    /// outputs still unrectified degrade to the output-rewire fallback and
+    /// the cut is recorded in [`RectifyStats::degradations`].
+    ///
+    /// [`RectifyStats::degradations`]: crate::RectifyStats::degradations
+    pub timeout: Option<std::time::Duration>,
 }
 
 impl Default for EcoOptions {
@@ -79,6 +85,7 @@ impl Default for EcoOptions {
             level_driven: false,
             seed: 0xEC0,
             bdd_node_limit: 2_000_000,
+            timeout: None,
         }
     }
 }

@@ -161,15 +161,21 @@ impl Patch {
 pub fn render_report(patch: &Patch, patched: &Circuit) -> String {
     use std::fmt::Write;
     let stats = patch.stats(patched);
-    let mut out = format!("patch summary: {stats}
-");
+    let mut out = format!(
+        "patch summary: {stats}
+"
+    );
     if patch.rewires().is_empty() {
-        out.push_str("  (no rewires — design was already equivalent)
-");
+        out.push_str(
+            "  (no rewires — design was already equivalent)
+",
+        );
         return out;
     }
-    out.push_str("rewire operations (p/s of paper §3.3):
-");
+    out.push_str(
+        "rewire operations (p/s of paper §3.3):
+",
+    );
     for op in patch.rewires() {
         let _ = writeln!(
             out,
@@ -177,7 +183,11 @@ pub fn render_report(patch: &Patch, patched: &Circuit) -> String {
             op.pin,
             op.old_net,
             op.new_net,
-            if op.from_spec { "  [cloned from C']" } else { "  [existing net]" }
+            if op.from_spec {
+                "  [cloned from C']"
+            } else {
+                "  [existing net]"
+            }
         );
     }
     let mut clones: Vec<NetId> = patched
@@ -192,14 +202,15 @@ pub fn render_report(patch: &Patch, patched: &Circuit) -> String {
         .collect();
     clones.sort();
     if clones.is_empty() {
-        out.push_str("cloned logic: none (pure rewiring)
-");
+        out.push_str(
+            "cloned logic: none (pure rewiring)
+",
+        );
     } else {
         let _ = writeln!(out, "cloned logic ({} gates):", clones.len());
         for w in clones {
             let node = patched.node(w.source());
-            let fanins: Vec<String> =
-                node.fanins().iter().map(|f| f.to_string()).collect();
+            let fanins: Vec<String> = node.fanins().iter().map(|f| f.to_string()).collect();
             let _ = writeln!(out, "  {} = {}({})", w, node.kind(), fanins.join(", "));
         }
     }
@@ -289,7 +300,11 @@ pub fn refine_patch_inputs_timed(
         let Some(candidates) = existing.get(&signatures[&net]) else {
             continue;
         };
-        let lit = map.lit(net).expect("net encoded");
+        // Nets swept between encoding and refinement have no literal; they
+        // cannot be merged, only skipped.
+        let Some(lit) = map.lit(net) else {
+            continue;
+        };
         for &cand in candidates {
             if cand == net {
                 break; // only earlier-in-topo representatives qualify
@@ -301,7 +316,9 @@ pub fn refine_patch_inputs_timed(
                     continue;
                 }
             }
-            let cl = map.lit(cand).expect("net encoded");
+            let Some(cl) = map.lit(cand) else {
+                continue;
+            };
             if solver.solve(&[lit, !cl]) != SolveResult::Unsat {
                 continue;
             }

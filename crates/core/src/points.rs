@@ -131,12 +131,7 @@ impl Selection {
     /// # Errors
     ///
     /// [`BddError::NodeLimit`] when the manager budget is exhausted.
-    pub fn data1(
-        &self,
-        m: &mut BddManager,
-        pin_code: usize,
-        y_base: u32,
-    ) -> Result<Bdd, BddError> {
+    pub fn data1(&self, m: &mut BddManager, pin_code: usize, y_base: u32) -> Result<Bdd, BddError> {
         let mut acc = m.one();
         for i in 0..self.num_points {
             let t = self.minterm(m, i, pin_code)?;
@@ -273,12 +268,7 @@ fn collect_z_vars(m: &BddManager, input_fns: &[Bdd], fprime: Bdd) -> Vec<u32> {
 /// For each `t` block, the cube's literals admit a set of pin codes; codes
 /// beyond the pin count mean "this point selects nothing". Up to `max`
 /// combinations of admissible codes are instantiated.
-fn decode_prime(
-    selection: &Selection,
-    prime: &Cube,
-    pins: &[Pin],
-    max: usize,
-) -> Vec<PointSet> {
+fn decode_prime(selection: &Selection, prime: &Cube, pins: &[Pin], max: usize) -> Vec<PointSet> {
     let bits = selection.bits_per_block as usize;
     // Admissible codes per block. `None` entry = point unused.
     let mut per_block: Vec<Vec<Option<usize>>> = Vec::with_capacity(selection.num_points);
@@ -457,10 +447,8 @@ mod tests {
         // Spec shares input order here.
         let spec_vals = eval_all_bdd(&s, &mut m, &g).unwrap();
         let fprime = spec_vals[s.outputs()[0].net().index()];
-        let sets = feasible_point_sets(
-            &c, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4,
-        )
-        .unwrap();
+        let sets = feasible_point_sets(&c, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4)
+            .unwrap();
         assert!(!sets.is_empty(), "a single free pin can fix and→or");
         for set in &sets {
             assert_eq!(set.len(), 1, "m=1 yields singletons: {set:?}");
@@ -484,10 +472,8 @@ mod tests {
         let g = dom.input_functions(&mut m, 2).unwrap();
         let spec_vals = eval_all_bdd(&s, &mut m, &g).unwrap();
         let fprime = spec_vals[s.outputs()[0].net().index()];
-        let sets = feasible_point_sets(
-            &c, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4,
-        )
-        .unwrap();
+        let sets = feasible_point_sets(&c, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4)
+            .unwrap();
         // H(t) is a tautology here; whatever decodes must satisfy the
         // topological constraint and reference known pins.
         for set in &sets {

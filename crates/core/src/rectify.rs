@@ -16,6 +16,7 @@
 //! flow never fails, it only degrades to a bigger patch.
 
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use eco_bdd::{BddError, BddManager};
 use eco_netlist::{topo, Circuit, Pin};
@@ -23,6 +24,7 @@ use eco_timing::{DelayModel, TimingReport};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::budget::{Budget, Degradation, DegradeAction, DegradeReason};
 use crate::choices::find_choices;
 use crate::correspond::{Correspondence, OutputPair};
 use crate::error_domain::{check_output_pair, classify_outputs, collect_samples, Equivalence};
@@ -42,7 +44,7 @@ const Y_BASE: u32 = 128;
 const Z_BASE: u32 = 140;
 
 /// Counters describing a rectification run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RectifyStats {
     /// Matched output pairs.
     pub outputs_total: usize,
@@ -61,6 +63,11 @@ pub struct RectifyStats {
     pub point_sets_tried: usize,
     /// Rewiring choices examined.
     pub choices_tried: usize,
+    /// Outputs whose search was cut short (budget exhaustion, resource
+    /// limits, panics), with the recovery taken for each. Empty on a clean
+    /// run; every listed output is still rectified, just less thoroughly
+    /// searched.
+    pub degradations: Vec<Degradation>,
 }
 
 /// Emits a trace line when `SYSECO_TRACE` is set in the environment.
@@ -73,14 +80,24 @@ macro_rules! trace {
 }
 
 enum Attempt {
-    /// Committed a rewire; these output indices are now equivalent.
-    Committed(Vec<u32>),
+    /// Committed a rewire; `fixed` output indices are now equivalent. `cut`
+    /// carries the budget reason when the search stopped early but could
+    /// still commit its best validated option.
+    Committed {
+        fixed: Vec<u32>,
+        cut: Option<DegradeReason>,
+    },
     /// The domain produced a false positive; refine with this assignment.
     Refine(Vec<bool>),
     /// BDD budget exceeded; retry with fewer candidate pins.
     NodeLimit,
+    /// SAT validation ran out of budget on every remaining choice.
+    SatExhausted,
     /// No valid choice found in this domain.
     Exhausted,
+    /// The run budget (deadline/cancellation) expired mid-attempt with
+    /// nothing validated yet.
+    BudgetOut(DegradeReason),
 }
 
 /// Runs the full rectification flow, mutating `implementation` in place.
@@ -88,6 +105,10 @@ enum Attempt {
 /// Returns the accumulated [`Patch`] and run statistics. The caller (the
 /// [`Syseco`](crate::Syseco) engine) is responsible for pre-normalizing
 /// ports and for the post-processing patch sweep.
+///
+/// Builds a [`Budget`] from `options.timeout` (unlimited when unset); use
+/// [`rewire_rectification_governed`] to share an externally owned budget —
+/// e.g. one carrying a cancellation token.
 ///
 /// # Errors
 ///
@@ -97,6 +118,43 @@ pub fn rewire_rectification(
     implementation: &mut Circuit,
     spec: &Circuit,
     options: &EcoOptions,
+) -> Result<(Patch, RectifyStats), EcoError> {
+    let budget = match options.timeout {
+        Some(t) => Budget::with_deadline(t),
+        None => Budget::unlimited(),
+    };
+    rewire_rectification_governed(implementation, spec, options, &budget)
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`rewire_rectification`] under an explicit resource [`Budget`].
+///
+/// Per-output searches are isolated: a budget expiry, an error, or a panic
+/// inside one output's search rolls the circuit back to its pre-search
+/// state, applies the always-applicable output-rewire fallback, and records
+/// a [`Degradation`] — the run as a whole still succeeds with every output
+/// rectified.
+///
+/// # Errors
+///
+/// [`EcoError`] on malformed inputs, and
+/// [`EcoError::RectificationFailed`] only when even the fallback rewire
+/// cannot be applied.
+pub fn rewire_rectification_governed(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    options: &EcoOptions,
+    budget: &Budget,
 ) -> Result<(Patch, RectifyStats), EcoError> {
     let corr = Correspondence::build(implementation, spec)?;
     let mut rng = SmallRng::seed_from_u64(options.seed);
@@ -123,6 +181,7 @@ pub fn rewire_rectification(
         spec,
         &corr,
         Some(options.validation_budget.saturating_mul(10)),
+        Some(budget),
     )?;
     for (pair, verdict) in corr.outputs.iter().zip(verdicts) {
         match verdict {
@@ -166,12 +225,38 @@ pub fn rewire_rectification(
         if !failing.contains(&pair.impl_index) {
             continue; // fixed as a side effect of an earlier rewire
         }
+        // Budget gate: once exhausted, remaining outputs skip the search and
+        // go straight to the guaranteed fallback.
+        if let Some(reason) = budget.degrade_reason() {
+            trace!(
+                "output {}: budget exhausted ({reason}), fallback",
+                pair.name
+            );
+            let fixed = fallback_rectify(
+                implementation,
+                spec,
+                pair,
+                &mut shared_clones,
+                &mut patch,
+                &mut stats,
+            )?;
+            stats.degradations.push(Degradation {
+                output: pair.name.clone(),
+                reason,
+                action: DegradeAction::OutputRewireFallback,
+            });
+            for f in fixed {
+                failing.remove(&f);
+            }
+            continue;
+        }
         // Re-confirm: the circuit has changed since detection.
         let seed = match check_output_pair(
             implementation,
             spec,
             pair,
             Some(options.validation_budget.saturating_mul(10)),
+            Some(budget),
         )? {
             Equivalence::Equivalent => {
                 failing.remove(&pair.impl_index);
@@ -186,45 +271,125 @@ pub fn rewire_rectification(
             failing.len()
         );
         let t_out = std::time::Instant::now();
-        // Refresh arrival times: earlier commits added patch logic.
-        let timing = match timing_period {
-            Some(period) => Some(TimingReport::analyze(
+        // Snapshot everything the per-output search mutates structurally, so
+        // a mid-search error or panic cannot leave a half-applied rewire.
+        let snapshot = (implementation.clone(), patch.clone(), shared_clones.clone());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            budget.inject_search_panic();
+            // Refresh arrival times: earlier commits added patch logic.
+            let timing = match timing_period {
+                Some(period) => Some(TimingReport::analyze(
+                    implementation,
+                    &timing_model,
+                    period,
+                )?),
+                None => None,
+            };
+            rectify_one_output(
                 implementation,
-                &timing_model,
-                period,
-            )?),
-            None => None,
+                spec,
+                &corr,
+                pair,
+                seed.as_deref(),
+                &failing,
+                &mut sample_bank,
+                &mut shared_clones,
+                options,
+                timing.as_ref(),
+                &mut patch,
+                &mut stats,
+                &mut rng,
+                budget,
+            )
+        }));
+        let recovery = match outcome {
+            Ok(Ok((fixed, degradation))) => {
+                trace!(
+                    "output {}: done in {:?} (stats {:?})",
+                    pair.name,
+                    t_out.elapsed(),
+                    stats
+                );
+                if let Some((reason, action)) = degradation {
+                    stats.degradations.push(Degradation {
+                        output: pair.name.clone(),
+                        reason,
+                        action,
+                    });
+                }
+                for f in fixed {
+                    failing.remove(&f);
+                }
+                None
+            }
+            Ok(Err(e)) => Some(DegradeReason::SearchError(e.to_string())),
+            Err(payload) => Some(DegradeReason::SearchPanicked(panic_message(payload))),
         };
-        let fixed = rectify_one_output(
-            implementation,
-            spec,
-            &corr,
-            pair,
-            seed.as_deref(),
-            &failing,
-            &mut sample_bank,
-            &mut shared_clones,
-            options,
-            timing.as_ref(),
-            &mut patch,
-            &mut stats,
-            &mut rng,
-        )?;
-        trace!(
-            "output {}: done in {:?} (stats {:?})",
-            pair.name,
-            t_out.elapsed(),
-            stats
-        );
-        for f in fixed {
-            failing.remove(&f);
+        if let Some(reason) = recovery {
+            trace!("output {}: search failed ({reason}), fallback", pair.name);
+            (*implementation, patch, shared_clones) = snapshot;
+            let fixed = fallback_rectify(
+                implementation,
+                spec,
+                pair,
+                &mut shared_clones,
+                &mut patch,
+                &mut stats,
+            )?;
+            stats.degradations.push(Degradation {
+                output: pair.name.clone(),
+                reason,
+                action: DegradeAction::OutputRewireFallback,
+            });
+            for f in fixed {
+                failing.remove(&f);
+            }
         }
     }
     implementation.sweep();
     Ok((patch, stats))
 }
 
-/// Rectifies one output pair; returns the output indices made equivalent.
+/// Applies the §3.3 output-rewire fallback for `pair`: rewire the output pin
+/// to a clone of the corresponding specification cone. Always applicable on
+/// a well-formed design.
+fn fallback_rectify(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    pair: &OutputPair,
+    shared_clones: &mut HashMap<eco_netlist::NetId, eco_netlist::NetId>,
+    patch: &mut Patch,
+    stats: &mut RectifyStats,
+) -> Result<Vec<u32>, EcoError> {
+    let spec_root = spec.outputs()[pair.spec_index as usize].net();
+    let fallback = vec![CandidateRewire {
+        pin: Pin::output(pair.impl_index),
+        candidate: RewireCandidate {
+            net: spec_root,
+            from_spec: true,
+            utility: 1.0,
+            arrival: 0.0,
+        },
+    }];
+    let (ops, cloned) =
+        apply_rewires(implementation, spec, &fallback, shared_clones).map_err(|_| {
+            EcoError::RectificationFailed {
+                output: pair.name.clone(),
+            }
+        })?;
+    patch.record_cloned(cloned);
+    for op in ops {
+        patch.record_rewire(op);
+    }
+    stats.fallbacks += 1;
+    Ok(vec![pair.impl_index])
+}
+
+/// Output indices made equivalent, plus the degradation (if any) that cut
+/// the search short.
+type SearchOutcome = (Vec<u32>, Option<(DegradeReason, DegradeAction)>);
+
+/// Rectifies one output pair.
 #[allow(clippy::too_many_arguments)]
 fn rectify_one_output(
     implementation: &mut Circuit,
@@ -240,7 +405,8 @@ fn rectify_one_output(
     patch: &mut Patch,
     stats: &mut RectifyStats,
     rng: &mut SmallRng,
-) -> Result<Vec<u32>, EcoError> {
+    budget: &Budget,
+) -> Result<SearchOutcome, EcoError> {
     let mut samples = collect_samples(
         implementation,
         spec,
@@ -250,10 +416,17 @@ fn rectify_one_output(
         options.sample_policy,
         seed,
         rng,
+        Some(budget),
     )?;
     if samples.is_empty() {
+        if let Some(reason) = budget.degrade_reason() {
+            // The sampler gave up before finding a distinguishing input, so
+            // we cannot claim equivalence: take the guaranteed fallback.
+            let fixed = fallback_rectify(implementation, spec, pair, shared_clones, patch, stats)?;
+            return Ok((fixed, Some((reason, DegradeAction::OutputRewireFallback))));
+        }
         // No error exists: the pair is equivalent after all.
-        return Ok(vec![pair.impl_index]);
+        return Ok((vec![pair.impl_index], None));
     }
     for s in &samples {
         if !sample_bank.contains(s) {
@@ -263,7 +436,12 @@ fn rectify_one_output(
 
     let mut pin_cap = options.max_candidate_pins.max(2);
     let mut refinements_left = options.max_refinements;
+    let mut ended: Option<DegradeReason> = None;
     loop {
+        if let Some(reason) = budget.degrade_reason() {
+            ended = Some(reason);
+            break;
+        }
         match attempt_with_domain(
             implementation,
             spec,
@@ -278,10 +456,11 @@ fn rectify_one_output(
             timing,
             patch,
             stats,
+            budget,
         )? {
-            Attempt::Committed(fixed) => {
+            Attempt::Committed { fixed, cut } => {
                 stats.rewire_rectified += 1;
-                return Ok(fixed);
+                return Ok((fixed, cut.map(|r| (r, DegradeAction::CommittedBest))));
             }
             Attempt::Refine(x) => {
                 if refinements_left == 0 {
@@ -296,9 +475,18 @@ fn rectify_one_output(
             }
             Attempt::NodeLimit => {
                 if pin_cap <= 4 {
+                    ended = Some(DegradeReason::BddNodeLimit);
                     break;
                 }
                 pin_cap /= 2;
+            }
+            Attempt::SatExhausted => {
+                ended = Some(DegradeReason::SatBudgetExhausted);
+                break;
+            }
+            Attempt::BudgetOut(reason) => {
+                ended = Some(reason);
+                break;
             }
             Attempt::Exhausted => break,
         }
@@ -307,23 +495,23 @@ fn rectify_one_output(
     // Fallback: the output pin is a rectification point whose rectification
     // function is f' itself, realized by the corresponding output of C'
     // (§3.3 completeness argument).
-    let spec_root = spec.outputs()[pair.spec_index as usize].net();
-    let fallback = vec![CandidateRewire {
-        pin: Pin::output(pair.impl_index),
-        candidate: RewireCandidate {
-            net: spec_root,
-            from_spec: true,
-            utility: 1.0,
-            arrival: 0.0,
-        },
-    }];
-    let (ops, cloned) = apply_rewires(implementation, spec, &fallback, shared_clones)?;
-    patch.record_cloned(cloned);
-    for op in ops {
-        patch.record_rewire(op);
+    let fixed = fallback_rectify(implementation, spec, pair, shared_clones, patch, stats)?;
+    Ok((
+        fixed,
+        ended.map(|r| (r, DegradeAction::OutputRewireFallback)),
+    ))
+}
+
+/// Maps a BDD failure inside an attempt to the matching [`Attempt`] outcome:
+/// node-limit hits shrink the domain, budget cuts bubble up as degradations,
+/// anything else is a hard error.
+fn bdd_cut(e: BddError) -> Result<Attempt, EcoError> {
+    match e {
+        BddError::NodeLimit { .. } => Ok(Attempt::NodeLimit),
+        BddError::DeadlineExceeded => Ok(Attempt::BudgetOut(DegradeReason::DeadlineExceeded)),
+        BddError::Cancelled => Ok(Attempt::BudgetOut(DegradeReason::Cancelled)),
+        other => Err(EcoError::from(other)),
     }
-    stats.fallbacks += 1;
-    Ok(vec![pair.impl_index])
 }
 
 /// One search attempt over a fixed sampling domain.
@@ -342,21 +530,23 @@ fn attempt_with_domain(
     timing: Option<&TimingReport>,
     patch: &mut Patch,
     stats: &mut RectifyStats,
+    budget: &Budget,
 ) -> Result<Attempt, EcoError> {
     let root = implementation.outputs()[pair.impl_index as usize].net();
     let spec_root = spec.outputs()[pair.spec_index as usize].net();
 
-    let mut m = BddManager::with_node_limit(options.bdd_node_limit);
-    let domain = SamplingDomain::new(samples.to_vec(), Z_BASE);
-    let budget = |r: Result<_, BddError>| match r {
-        Ok(v) => Ok(Some(v)),
-        Err(BddError::NodeLimit { .. }) => Ok(None),
-        Err(e) => Err(EcoError::from(e)),
+    let node_limit = if budget.inject_bdd_node_limit() {
+        1 // fault injection: force an immediate NodeLimit on the first op
+    } else {
+        options.bdd_node_limit
     };
+    let mut m = BddManager::with_node_limit(node_limit);
+    budget.arm_bdd(&mut m);
+    let domain = SamplingDomain::new(samples.to_vec(), Z_BASE);
 
-    let Some(g_impl) = budget(domain.input_functions(&mut m, implementation.num_inputs()))?
-    else {
-        return Ok(Attempt::NodeLimit);
+    let g_impl = match domain.input_functions(&mut m, implementation.num_inputs()) {
+        Ok(v) => v,
+        Err(e) => return bdd_cut(e),
     };
     let mut g_spec = vec![m.zero(); spec.num_inputs()];
     for (pos, sp) in corr.spec_input_pos.iter().enumerate() {
@@ -364,11 +554,13 @@ fn attempt_with_domain(
             g_spec[*sp] = g_impl[pos];
         }
     }
-    let Some(impl_vals) = budget(eval_all_bdd(implementation, &mut m, &g_impl))? else {
-        return Ok(Attempt::NodeLimit);
+    let impl_vals = match eval_all_bdd(implementation, &mut m, &g_impl) {
+        Ok(v) => v,
+        Err(e) => return bdd_cut(e),
     };
-    let Some(spec_vals) = budget(eval_all_bdd(spec, &mut m, &g_spec))? else {
-        return Ok(Attempt::NodeLimit);
+    let spec_vals = match eval_all_bdd(spec, &mut m, &g_spec) {
+        Ok(v) => v,
+        Err(e) => return bdd_cut(e),
     };
     let fprime = spec_vals[spec_root.index()];
 
@@ -405,13 +597,19 @@ fn attempt_with_domain(
     };
     let mut valid: Vec<ValidOption> = Vec::new();
     let mut validations_left = options.max_validations_per_output;
+    let mut unknowns = 0usize;
+    let mut cut: Option<DegradeReason> = None;
     'outer: for m_points in 1..=options.max_points.clamp(1, 8) {
+        if let Some(reason) = budget.degrade_reason() {
+            if valid.is_empty() {
+                return Ok(Attempt::BudgetOut(reason));
+            }
+            cut = Some(reason);
+            break;
+        }
         // Escalating m is for finding *cheaper* multi-point rewirings; once
         // a good-enough option exists, stop growing the search.
-        if valid
-            .iter()
-            .any(|v| v.cost <= options.good_enough_cost)
-        {
+        if valid.iter().any(|v| v.cost <= options.good_enough_cost) {
             break;
         }
         let selection = Selection::new(T_BASE, m_points, pins.len());
@@ -433,11 +631,10 @@ fn attempt_with_domain(
             options.max_decodes_per_prime,
         ) {
             Ok(s) => s,
-            Err(BddError::NodeLimit { .. }) => {
-                trace!("  m={m_points} H(t) node limit after {:?}", t_sets.elapsed());
-                return Ok(Attempt::NodeLimit);
+            Err(e) => {
+                trace!("  m={m_points} H(t) cut ({e}) after {:?}", t_sets.elapsed());
+                return bdd_cut(e);
             }
-            Err(e) => return Err(e.into()),
         };
         trace!(
             "  m={m_points} H(t): {} point-sets in {:?}",
@@ -445,13 +642,19 @@ fn attempt_with_domain(
             t_sets.elapsed()
         );
         for point_set in sets {
+            if let Some(reason) = budget.degrade_reason() {
+                if valid.is_empty() {
+                    return Ok(Attempt::BudgetOut(reason));
+                }
+                cut = Some(reason);
+                break 'outer;
+            }
             stats.point_sets_tried += 1;
             trace!(
                 "  m={m_points} point-set: {:?}",
                 point_set.iter().map(|p| p.to_string()).collect::<Vec<_>>()
             );
-            let mut cand_lists: Vec<Vec<RewireCandidate>> =
-                Vec::with_capacity(point_set.len());
+            let mut cand_lists: Vec<Vec<RewireCandidate>> = Vec::with_capacity(point_set.len());
             for &p in &point_set {
                 cand_lists.push(candidates_for_pin(
                     implementation,
@@ -478,8 +681,7 @@ fn attempt_with_domain(
                 options.max_choices,
             ) {
                 Ok(c) => c,
-                Err(BddError::NodeLimit { .. }) => return Ok(Attempt::NodeLimit),
-                Err(e) => return Err(e.into()),
+                Err(e) => return bdd_cut(e),
             };
 
             // Rank choices: fewer non-trivial rewires first, then higher
@@ -533,6 +735,13 @@ fn attempt_with_domain(
                 if validations_left == 0 {
                     break 'outer;
                 }
+                if let Some(reason) = budget.degrade_reason() {
+                    if valid.is_empty() {
+                        return Ok(Attempt::BudgetOut(reason));
+                    }
+                    cut = Some(reason);
+                    break 'outer;
+                }
                 validations_left -= 1;
                 stats.validations += 1;
                 let t_val = std::time::Instant::now();
@@ -546,6 +755,7 @@ fn attempt_with_domain(
                     sample_bank,
                     shared_clones,
                     options.validation_budget,
+                    Some(budget),
                 )? {
                     Validation::Valid { fixed } => {
                         trace!(
@@ -583,8 +793,13 @@ fn attempt_with_domain(
                             break 'outer;
                         }
                     }
-                    Validation::Damaged | Validation::Unknown => {
+                    Validation::Damaged | Validation::Infeasible => {
                         trace!("  m={m_points} pruned in {:?}", t_val.elapsed());
+                    }
+                    Validation::Unknown => {
+                        // SAT ran out of resources before reaching a verdict.
+                        unknowns += 1;
+                        trace!("  m={m_points} sat-unknown in {:?}", t_val.elapsed());
                     }
                 }
             }
@@ -606,25 +821,33 @@ fn attempt_with_domain(
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
         });
-        let best = valid.into_iter().next().expect("nonempty");
-        trace!(
-            "  commit: cost {} with {} rewires at {:?}",
-            best.cost,
-            best.rewires.len(),
-            best.rewires.iter().map(|r| r.pin.to_string()).collect::<Vec<_>>()
-        );
-        let (ops, cloned) = apply_rewires(implementation, spec, &best.rewires, shared_clones)
-            .map_err(EcoError::from)?;
-        patch.record_cloned(cloned);
-        for op in ops {
-            patch.record_rewire(op);
+        if let Some(best) = valid.into_iter().next() {
+            trace!(
+                "  commit: cost {} with {} rewires at {:?}",
+                best.cost,
+                best.rewires.len(),
+                best.rewires
+                    .iter()
+                    .map(|r| r.pin.to_string())
+                    .collect::<Vec<_>>()
+            );
+            let (ops, cloned) = apply_rewires(implementation, spec, &best.rewires, shared_clones)
+                .map_err(EcoError::from)?;
+            patch.record_cloned(cloned);
+            for op in ops {
+                patch.record_rewire(op);
+            }
+            let mut all_fixed = vec![pair.impl_index];
+            all_fixed.extend(best.fixed);
+            return Ok(Attempt::Committed {
+                fixed: all_fixed,
+                cut,
+            });
         }
-        let mut all_fixed = vec![pair.impl_index];
-        all_fixed.extend(best.fixed);
-        return Ok(Attempt::Committed(all_fixed));
     }
     Ok(match first_counterexample {
         Some(x) => Attempt::Refine(x),
+        None if unknowns > 0 => Attempt::SatExhausted,
         None => Attempt::Exhausted,
     })
 }
@@ -659,7 +882,7 @@ mod tests {
         let corr = Correspondence::build(c, s).unwrap();
         for pair in &corr.outputs {
             assert_eq!(
-                check_output_pair(c, s, pair, None).unwrap(),
+                check_output_pair(c, s, pair, None, None).unwrap(),
                 Equivalence::Equivalent,
                 "output {} must be rectified",
                 pair.name
@@ -762,5 +985,109 @@ mod tests {
         check_equiv(&c, &s);
         assert_eq!(stats.outputs_failing, 2);
         c.check_well_formed().unwrap();
+    }
+
+    // --- resource-governance and fault-injection paths ---
+
+    use crate::budget::FaultPolicy;
+
+    fn rectify_with_faults(faults: FaultPolicy) -> (Circuit, Circuit, RectifyStats) {
+        let (mut c, s) = and_or_case();
+        let budget = Budget::unlimited().with_faults(faults);
+        let options = EcoOptions::with_seed(3);
+        let (_patch, stats) = rewire_rectification_governed(&mut c, &s, &options, &budget).unwrap();
+        (c, s, stats)
+    }
+
+    #[test]
+    fn injected_bdd_node_limit_falls_back_to_output_rewire() {
+        let (c, s, stats) = rectify_with_faults(FaultPolicy {
+            bdd_node_limit_from: Some(1),
+            ..FaultPolicy::default()
+        });
+        // Every BDD attempt hits the forced node limit, the pin cap shrinks
+        // to its floor, and the output takes the guaranteed fallback.
+        assert_eq!(stats.degradations.len(), 1);
+        let d = &stats.degradations[0];
+        assert_eq!(d.output, "y");
+        assert_eq!(d.reason, DegradeReason::BddNodeLimit);
+        assert!(matches!(d.action, DegradeAction::OutputRewireFallback));
+        assert!(stats.fallbacks >= 1);
+        check_equiv(&c, &s);
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn injected_sat_exhaustion_falls_back_to_output_rewire() {
+        let (c, s, stats) = rectify_with_faults(FaultPolicy {
+            sat_exhaust_from: Some(1),
+            ..FaultPolicy::default()
+        });
+        // Every candidate validation comes back Unknown, so the search ends
+        // with nothing provable and degrades to the fallback.
+        assert_eq!(stats.degradations.len(), 1);
+        let d = &stats.degradations[0];
+        assert_eq!(d.output, "y");
+        assert_eq!(d.reason, DegradeReason::SatBudgetExhausted);
+        assert!(matches!(d.action, DegradeAction::OutputRewireFallback));
+        check_equiv(&c, &s);
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_falls_back() {
+        let (c, s, stats) = rectify_with_faults(FaultPolicy {
+            panic_at: Some(1),
+            ..FaultPolicy::default()
+        });
+        assert_eq!(stats.degradations.len(), 1);
+        let d = &stats.degradations[0];
+        assert_eq!(d.output, "y");
+        let DegradeReason::SearchPanicked(msg) = &d.reason else {
+            panic!("expected SearchPanicked, got {:?}", d.reason);
+        };
+        assert!(msg.contains("synthetic fault"), "got {msg:?}");
+        assert!(matches!(d.action, DegradeAction::OutputRewireFallback));
+        // The snapshot restore must leave a consistent, rectified circuit.
+        check_equiv(&c, &s);
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_degrades_every_failing_output() {
+        let (mut c, s) = and_or_case();
+        let budget = Budget::with_deadline(std::time::Duration::ZERO);
+        let options = EcoOptions::with_seed(3);
+        let (_patch, stats) = rewire_rectification_governed(&mut c, &s, &options, &budget).unwrap();
+        assert_eq!(stats.degradations.len(), stats.outputs_failing);
+        for d in &stats.degradations {
+            assert_eq!(d.reason, DegradeReason::DeadlineExceeded);
+            assert!(matches!(d.action, DegradeAction::OutputRewireFallback));
+        }
+        check_equiv(&c, &s);
+        c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn cancelled_token_degrades_instead_of_aborting() {
+        let (mut c, s) = and_or_case();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(&token);
+        let options = EcoOptions::with_seed(3);
+        let (_patch, stats) = rewire_rectification_governed(&mut c, &s, &options, &budget).unwrap();
+        assert!(!stats.degradations.is_empty());
+        for d in &stats.degradations {
+            assert_eq!(d.reason, DegradeReason::Cancelled);
+        }
+        check_equiv(&c, &s);
+    }
+
+    #[test]
+    fn clean_run_reports_no_degradations() {
+        let (mut c, s) = and_or_case();
+        let options = EcoOptions::with_seed(3);
+        let (_patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        assert!(stats.degradations.is_empty());
     }
 }

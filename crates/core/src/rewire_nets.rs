@@ -136,8 +136,11 @@ impl RewireNetContext {
         let spec_blocks = sim::simulate_patterns(spec, &spec_samples)?;
 
         let impl_translation: Vec<usize> = (0..implementation.num_inputs()).collect();
-        let impl_supports =
-            SupportTable::build(implementation, &impl_translation, implementation.num_inputs());
+        let impl_supports = SupportTable::build(
+            implementation,
+            &impl_translation,
+            implementation.num_inputs(),
+        );
         // Spec input position -> implementation position.
         let mut spec_translation = vec![0usize; spec.num_inputs()];
         for (impl_pos, sp) in corr.spec_input_pos.iter().enumerate() {
@@ -187,7 +190,11 @@ impl RewireNetContext {
         let mut remaining = self.num_samples;
         for (x, y) in a.iter().zip(b) {
             let take = remaining.min(64);
-            let mask = if take == 64 { !0u64 } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                !0u64
+            } else {
+                (1u64 << take) - 1
+            };
             diff += ((x ^ y) & mask).count_ones();
             remaining -= take;
         }
@@ -284,12 +291,14 @@ pub fn candidates_for_pin(
     // of Figure 1) often yields a far smaller patch than a high-utility
     // whole-cone clone, and the cost-based commit can only pick what the
     // candidate list offers.
-    let mut cheap_spec: Vec<RewireCandidate> = pool
-        .iter()
-        .filter(|c| c.from_spec)
-        .cloned()
-        .collect();
-    cheap_spec.sort_by_key(|c| ctx.spec_cone_sizes.get(&c.net).copied().unwrap_or(usize::MAX));
+    let mut cheap_spec: Vec<RewireCandidate> =
+        pool.iter().filter(|c| c.from_spec).cloned().collect();
+    cheap_spec.sort_by_key(|c| {
+        ctx.spec_cone_sizes
+            .get(&c.net)
+            .copied()
+            .unwrap_or(usize::MAX)
+    });
     pool.truncate(max_candidates.saturating_sub(1));
     for extra in cheap_spec.into_iter().take(2) {
         if !pool

@@ -144,8 +144,7 @@ pub fn eval_all_bdd(
                 input_fns[pos]
             }
             kind => {
-                let fanins: Vec<Bdd> =
-                    node.fanins().iter().map(|f| values[f.index()]).collect();
+                let fanins: Vec<Bdd> = node.fanins().iter().map(|f| values[f.index()]).collect();
                 apply_gate_bdd(m, kind, &fanins)?
             }
         };
@@ -216,11 +215,7 @@ pub fn eval_cone_bdd(
 /// # Errors
 ///
 /// [`BddError::NodeLimit`] when the manager budget is exhausted.
-pub fn apply_gate_bdd(
-    m: &mut BddManager,
-    kind: GateKind,
-    fanins: &[Bdd],
-) -> Result<Bdd, BddError> {
+pub fn apply_gate_bdd(m: &mut BddManager, kind: GateKind, fanins: &[Bdd]) -> Result<Bdd, BddError> {
     Ok(match kind {
         GateKind::Input => unreachable!("inputs handled by the evaluator"),
         GateKind::Const0 => m.zero(),
@@ -350,17 +345,13 @@ mod tests {
         let b = c.add_input("b");
         let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
         c.add_output("y", g);
-        let dom = SamplingDomain::new(
-            vec![vec![false, false], vec![true, false]],
-            0,
-        );
+        let dom = SamplingDomain::new(vec![vec![false, false], vec![true, false]], 0);
         let mut m = BddManager::new();
         let gfun = dom.input_functions(&mut m, 2).unwrap();
         let mut subst_map = HashMap::new();
         subst_map.insert(Pin::gate(g.source(), 1), 0usize);
         let one = m.one();
-        let h = eval_cone_bdd(&c, &mut m, &gfun, g, &subst_map, &mut |_, _, _| Ok(one))
-            .unwrap();
+        let h = eval_cone_bdd(&c, &mut m, &gfun, g, &subst_map, &mut |_, _, _| Ok(one)).unwrap();
         // h(z) = g_a(z): false at code 0, true at code 1.
         assert!(!m.eval(h, &[false]));
         assert!(m.eval(h, &[true]));

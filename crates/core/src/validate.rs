@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use eco_netlist::{sim, topo, Circuit, NetId, NetlistError, Pin};
 
+use crate::budget::Budget;
 use crate::correspond::{Correspondence, OutputPair};
 use crate::patch::RewireOp;
 use crate::rewire_nets::RewireCandidate;
@@ -41,7 +42,10 @@ pub enum Validation {
     CounterExample(Vec<bool>),
     /// A previously correct output was broken — prune the candidate.
     Damaged,
-    /// Resources exhausted or the rewire was structurally impossible.
+    /// The rewire was structurally impossible (it would create a cycle) —
+    /// prune the candidate.
+    Infeasible,
+    /// The SAT resource budget ran out before a verdict.
     Unknown,
 }
 
@@ -134,12 +138,18 @@ pub fn validate_rewires(
     sample_bank: &[Vec<bool>],
     shared_clones: &HashMap<NetId, NetId>,
     budget: u64,
+    governor: Option<&Budget>,
 ) -> Result<Validation, EcoError> {
+    if let Some(g) = governor {
+        if g.inject_sat_exhaust() {
+            return Ok(Validation::Unknown);
+        }
+    }
     let mut scratch = implementation.clone();
     let mut scratch_clones = shared_clones.clone();
     match apply_rewires(&mut scratch, spec, rewires, &mut scratch_clones) {
         Ok(_) => {}
-        Err(NetlistError::WouldCycle { .. }) => return Ok(Validation::Unknown),
+        Err(NetlistError::WouldCycle { .. }) => return Ok(Validation::Infeasible),
         Err(e) => return Err(e.into()),
     }
 
@@ -148,8 +158,10 @@ pub fn validate_rewires(
     // Simulation pre-filter over the sample bank.
     if !sample_bank.is_empty() {
         let impl_blocks = sim::simulate_patterns(&scratch, sample_bank).map_err(EcoError::from)?;
-        let spec_samples: Vec<Vec<bool>> =
-            sample_bank.iter().map(|s| corr.spec_assignment(s)).collect();
+        let spec_samples: Vec<Vec<bool>> = sample_bank
+            .iter()
+            .map(|s| corr.spec_assignment(s))
+            .collect();
         let spec_blocks = sim::simulate_patterns(spec, &spec_samples).map_err(EcoError::from)?;
         for &oi in &affected {
             let pair = &corr.outputs[oi as usize];
@@ -166,9 +178,7 @@ pub fn validate_rewires(
                     continue;
                 }
                 if oi == representative.impl_index {
-                    return Ok(Validation::CounterExample(
-                        sample_bank[sample_idx].clone(),
-                    ));
+                    return Ok(Validation::CounterExample(sample_bank[sample_idx].clone()));
                 }
                 if !failing.contains(&oi) {
                     return Ok(Validation::Damaged);
@@ -205,6 +215,9 @@ pub fn validate_rewires(
     )
     .map_err(EcoError::from)?;
     solver.set_conflict_budget(Some(budget));
+    if let Some(g) = governor {
+        g.arm_solver(&mut solver);
+    }
 
     // Representative output first.
     if let Some(rep_pos) = affected
@@ -302,6 +315,7 @@ mod tests {
             &[vec![true, false]],
             &HashMap::new(),
             100_000,
+            None,
         )
         .unwrap();
         assert_eq!(v, Validation::Valid { fixed: vec![] });
@@ -332,6 +346,7 @@ mod tests {
             &[],
             &HashMap::new(),
             100_000,
+            None,
         )
         .unwrap();
         match v {
@@ -375,13 +390,14 @@ mod tests {
             &[vec![true, false], vec![false, true]],
             &HashMap::new(),
             100_000,
+            None,
         )
         .unwrap();
         assert_eq!(v, Validation::Damaged);
     }
 
     #[test]
-    fn cyclic_rewire_is_unknown() {
+    fn cyclic_rewire_is_infeasible() {
         let (c, s, corr) = setup();
         let g = c.outputs()[0].net();
         // Feed the AND gate from its own output.
@@ -405,9 +421,10 @@ mod tests {
             &[],
             &HashMap::new(),
             100_000,
+            None,
         )
         .unwrap();
-        assert_eq!(v, Validation::Unknown);
+        assert_eq!(v, Validation::Infeasible);
     }
 
     #[test]
@@ -425,8 +442,7 @@ mod tests {
             },
         ];
         let before = c.num_nodes();
-        let (ops, cloned) =
-            apply_rewires(&mut c, &s, &rewires, &mut HashMap::new()).unwrap();
+        let (ops, cloned) = apply_rewires(&mut c, &s, &rewires, &mut HashMap::new()).unwrap();
         assert_eq!(ops.len(), 2);
         // OR over existing inputs: exactly one new node despite two uses.
         assert_eq!(cloned.len(), 1);

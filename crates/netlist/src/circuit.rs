@@ -138,6 +138,30 @@ impl Circuit {
         id.into()
     }
 
+    /// Renames the primary input at `position` (declaration order).
+    ///
+    /// Correspondence with a specification is label-based, so renaming is
+    /// only safe before an engine run — typically to give unnamed inputs
+    /// stable generated labels. Uniqueness is checked by
+    /// [`check_well_formed`](Circuit::check_well_formed), as for
+    /// [`add_input`](Circuit::add_input).
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNode`] when `position` is out of range.
+    pub fn set_input_name(
+        &mut self,
+        position: usize,
+        name: impl Into<String>,
+    ) -> Result<(), NetlistError> {
+        let &id = self
+            .inputs
+            .get(position)
+            .ok_or(NetlistError::UnknownNode(NodeId(position as u32)))?;
+        self.nodes[id.index()].name = Some(name.into());
+        Ok(())
+    }
+
     /// Adds a gate of `kind` over `fanins` and returns its output net.
     ///
     /// # Errors
@@ -168,13 +192,21 @@ impl Circuit {
     /// Returns the net of the constant `value`, creating the node on first
     /// use.
     pub fn constant(&mut self, value: bool) -> NetId {
-        let slot = if value { &mut self.const1 } else { &mut self.const0 };
+        let slot = if value {
+            &mut self.const1
+        } else {
+            &mut self.const0
+        };
         if let Some(id) = *slot {
             return id.into();
         }
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
-            kind: if value { GateKind::Const1 } else { GateKind::Const0 },
+            kind: if value {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            },
             fanins: Vec::new(),
             name: None,
             dead: false,
@@ -762,9 +794,7 @@ mod tests {
         let mut dst = Circuit::new("dst");
         dst.add_input("a"); // missing b, cin
         let root = src.outputs()[0].net();
-        let err = dst
-            .clone_cone(&src, &[root], &HashMap::new())
-            .unwrap_err();
+        let err = dst.clone_cone(&src, &[root], &HashMap::new()).unwrap_err();
         assert!(matches!(err, NetlistError::UnmappedCloneInput { .. }));
     }
 

@@ -244,11 +244,7 @@ mod tests {
         let d1 = 0b0110u64;
         let packed = GateKind::Mux.eval64(&[sel, d0, d1]);
         for i in 0..4 {
-            let bits = [
-                (sel >> i) & 1 == 1,
-                (d0 >> i) & 1 == 1,
-                (d1 >> i) & 1 == 1,
-            ];
+            let bits = [(sel >> i) & 1 == 1, (d0 >> i) & 1 == 1, (d1 >> i) & 1 == 1];
             assert_eq!((packed >> i) & 1 == 1, GateKind::Mux.eval(&bits));
         }
     }

@@ -296,21 +296,21 @@ pub fn read_blif(text: &str) -> Result<Circuit, ParseBlifError> {
                 if tokens.len() < 4 {
                     return Err(ParseBlifError::MissingTokens { line });
                 }
-                let kind = kind_from_name(tokens[1]).ok_or_else(|| {
-                    ParseBlifError::UnknownGateKind {
+                let kind =
+                    kind_from_name(tokens[1]).ok_or_else(|| ParseBlifError::UnknownGateKind {
                         line,
                         kind: tokens[1].to_string(),
-                    }
-                })?;
+                    })?;
                 let out_name = tokens[2];
                 let mut fanins = Vec::with_capacity(tokens.len() - 3);
                 for &t in &tokens[3..] {
-                    let w = nets.get(t).copied().ok_or_else(|| {
-                        ParseBlifError::UndefinedNet {
+                    let w = nets
+                        .get(t)
+                        .copied()
+                        .ok_or_else(|| ParseBlifError::UndefinedNet {
                             line,
                             name: t.to_string(),
-                        }
-                    })?;
+                        })?;
                     fanins.push(w);
                 }
                 let w = circuit.add_gate(kind, &fanins)?;
@@ -408,7 +408,10 @@ mod tests {
     #[test]
     fn parse_rejects_unknown_directive() {
         let err = read_blif(".model x\n.bogus a\n.end\n").unwrap_err();
-        assert!(matches!(err, ParseBlifError::UnknownDirective { line: 2, .. }));
+        assert!(matches!(
+            err,
+            ParseBlifError::UnknownDirective { line: 2, .. }
+        ));
     }
 
     #[test]
@@ -419,15 +422,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_redefinition() {
-        let err =
-            read_blif(".model x\n.inputs a b\n.gate and a a b\n.end\n").unwrap_err();
+        let err = read_blif(".model x\n.inputs a b\n.gate and a a b\n.end\n").unwrap_err();
         assert!(matches!(err, ParseBlifError::Redefined { .. }));
     }
 
     #[test]
     fn parse_rejects_bad_kind() {
-        let err =
-            read_blif(".model x\n.inputs a b\n.gate frob y a b\n.end\n").unwrap_err();
+        let err = read_blif(".model x\n.inputs a b\n.gate frob y a b\n.end\n").unwrap_err();
         assert!(matches!(err, ParseBlifError::UnknownGateKind { .. }));
     }
 

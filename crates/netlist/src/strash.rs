@@ -69,11 +69,7 @@ pub fn strash(circuit: &mut Circuit) -> Result<usize, NetlistError> {
             continue;
         }
         let net: NetId = id.into();
-        let mut fanins: Vec<NetId> = node
-            .fanins()
-            .iter()
-            .map(|&f| resolve(&rep, f))
-            .collect();
+        let mut fanins: Vec<NetId> = node.fanins().iter().map(|&f| resolve(&rep, f)).collect();
         if kind == GateKind::Buf {
             rep.insert(net, fanins[0]);
             continue;
@@ -209,15 +205,11 @@ mod tests {
         let y = c.add_gate(GateKind::And, &[g3, g4]).unwrap();
         c.add_output("y", y);
         let reference: Vec<bool> = (0..8)
-            .map(|j| {
-                c.eval(&[(j & 1) == 1, (j & 2) == 2, (j & 4) == 4]).unwrap()[0]
-            })
+            .map(|j| c.eval(&[(j & 1) == 1, (j & 2) == 2, (j & 4) == 4]).unwrap()[0])
             .collect();
         strash(&mut c).unwrap();
         for (j, &expect) in reference.iter().enumerate() {
-            let got = c
-                .eval(&[(j & 1) == 1, (j & 2) == 2, (j & 4) == 4])
-                .unwrap()[0];
+            let got = c.eval(&[(j & 1) == 1, (j & 2) == 2, (j & 4) == 4]).unwrap()[0];
             assert_eq!(got, expect, "pattern {j}");
         }
     }

@@ -56,11 +56,12 @@ fn build(recipe: &CircuitRecipe) -> Circuit {
 fn circuit_strategy(max_gates: usize) -> impl Strategy<Value = CircuitRecipe> {
     (2usize..6, 1usize..max_gates, 1usize..4).prop_flat_map(|(ni, ng, no)| {
         let gates = proptest::collection::vec(
-            (any::<u8>(), proptest::collection::vec(any::<u32>(), 3))
-                .prop_map(|(kind_sel, fanin_sels)| GateRecipe {
+            (any::<u8>(), proptest::collection::vec(any::<u32>(), 3)).prop_map(
+                |(kind_sel, fanin_sels)| GateRecipe {
                     kind_sel,
                     fanin_sels,
-                }),
+                },
+            ),
             ng,
         );
         let outs = proptest::collection::vec(any::<u32>(), no);

@@ -269,8 +269,7 @@ mod tests {
             ..Default::default()
         };
         let stats =
-            assist_equivalences(&mut solver, &a, &b, &miter.left, &miter.right, &opts)
-                .unwrap();
+            assist_equivalences(&mut solver, &a, &b, &miter.left, &miter.right, &opts).unwrap();
         // With no conflict budget, only propagation-trivial pairs can be
         // proven — whatever was added must keep the formula sound.
         let _ = stats;

@@ -1,6 +1,9 @@
 //! A CDCL SAT solver in the MiniSAT lineage.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A propositional variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,8 +102,9 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// The conflict budget was exhausted before a decision was reached —
-    /// the resource-constrained mode of paper §5.1.
+    /// A resource limit ended the search before a decision was reached —
+    /// the conflict budget of paper §5.1, a wall-clock deadline, or a
+    /// cooperative interrupt.
     Unknown,
 }
 
@@ -139,6 +143,10 @@ pub struct Solver {
     saved_phase: Vec<bool>,
     ok: bool,
     conflict_budget: Option<u64>,
+    deadline: Option<Instant>,
+    interrupt: Option<Arc<AtomicBool>>,
+    stopped: bool,
+    check_countdown: u32,
     conflicts: u64,
     decisions: u64,
     propagations: u64,
@@ -174,6 +182,10 @@ impl Solver {
             saved_phase: Vec::new(),
             ok: true,
             conflict_budget: None,
+            deadline: None,
+            interrupt: None,
+            stopped: false,
+            check_countdown: 0,
             conflicts: 0,
             decisions: 0,
             propagations: 0,
@@ -228,6 +240,51 @@ impl Solver {
     /// solver returns [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Sets an absolute wall-clock deadline for subsequent
+    /// [`solve`](Solver::solve) calls; `None` removes it. The search loop
+    /// polls the clock periodically and returns [`SolveResult::Unknown`]
+    /// once the deadline has passed.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a cooperative interrupt flag; `None` removes it. Setting
+    /// the flag (from any thread) makes an in-flight
+    /// [`solve`](Solver::solve) return [`SolveResult::Unknown`] at its next
+    /// periodic check.
+    pub fn set_interrupt(&mut self, interrupt: Option<Arc<AtomicBool>>) {
+        self.interrupt = interrupt;
+    }
+
+    /// Whether the most recent [`solve`](Solver::solve) call stopped early
+    /// because of the deadline or the interrupt flag (as opposed to the
+    /// conflict budget).
+    pub fn interrupted(&self) -> bool {
+        self.stopped
+    }
+
+    /// Periodic deadline/interrupt poll, amortized over ~1024 search-loop
+    /// iterations so the clock and atomic reads stay off the hot path.
+    #[inline]
+    fn should_stop(&mut self) -> bool {
+        if self.check_countdown > 0 {
+            self.check_countdown -= 1;
+            return false;
+        }
+        self.check_countdown = 1023;
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Adds a clause. Returns `false` when the formula became trivially
@@ -571,9 +628,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()]
-                    > self.levels[learnt[max_i].var().index()]
-                {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -607,6 +662,8 @@ impl Solver {
     /// after [`SolveResult::Sat`] is read with [`value`](Solver::value).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.reset_if_needed();
+        self.stopped = false;
+        self.check_countdown = 0; // poll the deadline on entry
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -616,6 +673,10 @@ impl Solver {
         let mut conflicts_in_run = 0u64;
 
         let result = 'outer: loop {
+            if (self.deadline.is_some() || self.interrupt.is_some()) && self.should_stop() {
+                self.stopped = true;
+                break 'outer SolveResult::Unknown;
+            }
             // Propagate pending facts.
             if let Some(confl) = self.propagate() {
                 self.conflicts += 1;
@@ -838,6 +899,60 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    fn pigeonhole(s: &mut Solver, n: usize, m: usize) {
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for pi in p.iter() {
+            s.add_clause(&pi.clone());
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[!p[i1][j], !p[i2][j]]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_unknown() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        s.set_deadline(Some(Instant::now()));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        assert!(s.interrupted());
+        // Removing the deadline restores normal operation.
+        s.set_deadline(None);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(!s.interrupted());
+    }
+
+    #[test]
+    fn interrupt_flag_stops_search() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Some(Arc::clone(&flag)));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        assert!(s.interrupted());
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(!s.interrupted());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[v[0], v[1]]);
+        s.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        s.set_interrupt(Some(Arc::new(AtomicBool::new(false))));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(!s.interrupted());
     }
 
     #[test]

@@ -70,11 +70,7 @@ pub fn encode_circuit(
         };
         map.map.insert(net, v);
         let out = Lit::pos(v);
-        let fanins: Vec<Lit> = node
-            .fanins()
-            .iter()
-            .map(|f| Lit::pos(map.map[f]))
-            .collect();
+        let fanins: Vec<Lit> = node.fanins().iter().map(|f| Lit::pos(map.map[f])).collect();
         emit_gate_clauses(solver, node.kind(), out, &fanins);
     }
     Ok(map)

@@ -240,23 +240,11 @@ impl Aig {
                 GateKind::Buf => f[0],
                 GateKind::Not => f[0].not(),
                 GateKind::And => f.iter().skip(1).fold(f[0], |acc, &x| g.and(acc, x)),
-                GateKind::Nand => f
-                    .iter()
-                    .skip(1)
-                    .fold(f[0], |acc, &x| g.and(acc, x))
-                    .not(),
+                GateKind::Nand => f.iter().skip(1).fold(f[0], |acc, &x| g.and(acc, x)).not(),
                 GateKind::Or => f.iter().skip(1).fold(f[0], |acc, &x| g.or(acc, x)),
-                GateKind::Nor => f
-                    .iter()
-                    .skip(1)
-                    .fold(f[0], |acc, &x| g.or(acc, x))
-                    .not(),
+                GateKind::Nor => f.iter().skip(1).fold(f[0], |acc, &x| g.or(acc, x)).not(),
                 GateKind::Xor => f.iter().skip(1).fold(f[0], |acc, &x| g.xor(acc, x)),
-                GateKind::Xnor => f
-                    .iter()
-                    .skip(1)
-                    .fold(f[0], |acc, &x| g.xor(acc, x))
-                    .not(),
+                GateKind::Xnor => f.iter().skip(1).fold(f[0], |acc, &x| g.xor(acc, x)).not(),
                 GateKind::Mux => g.mux(f[0], f[1], f[2]),
             };
             lits.insert(net, lit);
@@ -465,7 +453,11 @@ mod tests {
         g.add_output("y", acc);
         assert_eq!(g.depth(), 15);
         let balanced = g.balance();
-        assert!(balanced.depth() <= 5, "depth {} after balance", balanced.depth());
+        assert!(
+            balanced.depth() <= 5,
+            "depth {} after balance",
+            balanced.depth()
+        );
         // Function preserved on a few patterns.
         for j in [0u32, 1, 0xFFFF, 0xAAAA, 0x7FFF] {
             let assign: Vec<bool> = (0..16).map(|i| (j >> i) & 1 == 1).collect();

@@ -179,9 +179,7 @@ impl<'a> Elaborator<'a> {
                 self.check_widths("mux", &d0, &d1)?;
                 d0.iter()
                     .zip(&d1)
-                    .map(|(&a, &b)| {
-                        Ok(self.circuit.add_gate(GateKind::Mux, &[sel, a, b])?)
-                    })
+                    .map(|(&a, &b)| Ok(self.circuit.add_gate(GateKind::Mux, &[sel, a, b])?))
                     .collect()
             }
             WordExpr::Gate(word, bit) => {
@@ -325,13 +323,14 @@ pub fn synthesize(module: &RtlModule) -> Result<Circuit, SynthesisError> {
 pub fn interpret(module: &RtlModule, inputs: &[u64]) -> Result<Vec<(String, u64)>, SynthesisError> {
     let mut env: HashMap<String, (u64, u32)> = HashMap::new();
     for ((name, width), &value) in module.inputs().iter().zip(inputs) {
-        let mask = if *width == 64 { !0 } else { (1u64 << width) - 1 };
+        let mask = if *width == 64 {
+            !0
+        } else {
+            (1u64 << width) - 1
+        };
         env.insert(name.clone(), (value & mask, *width));
     }
-    fn eval(
-        e: &WordExpr,
-        env: &HashMap<String, (u64, u32)>,
-    ) -> Result<(u64, u32), SynthesisError> {
+    fn eval(e: &WordExpr, env: &HashMap<String, (u64, u32)>) -> Result<(u64, u32), SynthesisError> {
         let mask = |w: u32| if w == 64 { !0u64 } else { (1u64 << w) - 1 };
         Ok(match e {
             WordExpr::Input(n) | WordExpr::Signal(n) => *env
@@ -515,10 +514,7 @@ mod tests {
         m.add_input("b", 4);
         m.add_input("s", 1);
         let eq = m.add_signal("eq", E::eq(E::input("a"), E::input("b")));
-        let mx = m.add_signal(
-            "mx",
-            E::mux(E::signal("eq"), E::input("a"), E::input("b")),
-        );
+        let mx = m.add_signal("mx", E::mux(E::signal("eq"), E::input("a"), E::input("b")));
         let sl = m.add_signal("sl", E::slice(E::signal("mx"), 1, 2));
         let cc = m.add_signal("cc", E::concat(E::signal("sl"), E::input("s")));
         let rd = m.add_signal("rd", E::reduce(ReduceOp::Xor, E::input("a")));
@@ -529,12 +525,7 @@ mod tests {
         m.add_output("rd", rd);
         check_against_interpreter(
             &m,
-            &[
-                vec![3, 3, 1],
-                vec![3, 5, 0],
-                vec![15, 0, 1],
-                vec![9, 9, 0],
-            ],
+            &[vec![3, 3, 1], vec![3, 5, 0], vec![15, 0, 1], vec![9, 9, 0]],
         );
     }
 
@@ -566,7 +557,10 @@ mod tests {
         let mut m = RtlModule::new("bad");
         m.add_input("a", 4);
         m.add_signal("s", E::slice(E::input("a"), 2, 7));
-        assert!(matches!(synthesize(&m), Err(SynthesisError::BadSlice { .. })));
+        assert!(matches!(
+            synthesize(&m),
+            Err(SynthesisError::BadSlice { .. })
+        ));
     }
 
     #[test]

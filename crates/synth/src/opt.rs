@@ -220,9 +220,7 @@ pub fn constant_fold(circuit: &mut Circuit) -> Result<usize, NetlistError> {
                             Some(kept[0])
                         }
                     }
-                    None if kept.len() < fanins.len() => {
-                        Some(circuit.add_gate(kind, &kept)?)
-                    }
+                    None if kept.len() < fanins.len() => Some(circuit.add_gate(kind, &kept)?),
                     None => None,
                 }
             }
@@ -253,7 +251,11 @@ pub fn constant_fold(circuit: &mut Circuit) -> Result<usize, NetlistError> {
                         }
                     }
                     n if n < fanins.len() || invert != (kind == GateKind::Xnor) => {
-                        let k = if invert { GateKind::Xnor } else { GateKind::Xor };
+                        let k = if invert {
+                            GateKind::Xnor
+                        } else {
+                            GateKind::Xor
+                        };
                         Some(circuit.add_gate(k, &kept)?)
                     }
                     _ => None,
@@ -267,9 +269,7 @@ pub fn constant_fold(circuit: &mut Circuit) -> Result<usize, NetlistError> {
                     None if d0 == d1 => Some(d0),
                     None => match (value_of(d0), value_of(d1)) {
                         (Some(false), Some(true)) => Some(s),
-                        (Some(true), Some(false)) => {
-                            Some(circuit.add_gate(GateKind::Not, &[s])?)
-                        }
+                        (Some(true), Some(false)) => Some(circuit.add_gate(GateKind::Not, &[s])?),
                         _ => None,
                     },
                 }

@@ -265,10 +265,7 @@ impl RtlModule {
 
     /// The declared width of input `name`, if any.
     pub fn input_width(&self, name: &str) -> Option<u32> {
-        self.inputs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, w)| w)
+        self.inputs.iter().find(|(n, _)| n == name).map(|&(_, w)| w)
     }
 }
 
@@ -294,7 +291,10 @@ mod tests {
         let mut m = RtlModule::new("m");
         m.add_input("a", 8);
         m.add_input("b", 8);
-        let s = m.add_signal("s", WordExpr::and(WordExpr::input("a"), WordExpr::input("b")));
+        let s = m.add_signal(
+            "s",
+            WordExpr::and(WordExpr::input("a"), WordExpr::input("b")),
+        );
         m.add_output("y", s);
         assert_eq!(m.inputs().len(), 2);
         assert_eq!(m.input_width("a"), Some(8));

@@ -26,15 +26,14 @@ struct ModuleRecipe {
 
 fn module_strategy() -> impl Strategy<Value = ModuleRecipe> {
     (2usize..4, 1usize..10).prop_flat_map(|(ni, ns)| {
-        let sig = (any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()).prop_map(
-            |(op, a, b, c, konst)| SignalRecipe {
-                op,
-                a,
-                b,
-                c,
-                konst,
-            },
-        );
+        let sig = (
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+        )
+            .prop_map(|(op, a, b, c, konst)| SignalRecipe { op, a, b, c, konst });
         (Just(ni), proptest::collection::vec(sig, ns)).prop_map(|(num_inputs, signals)| {
             ModuleRecipe {
                 num_inputs,
@@ -62,11 +61,7 @@ fn build(recipe: &ModuleRecipe) -> RtlModule {
             2 => E::xor(pick(s.a), pick(s.b)),
             3 => E::not(pick(s.a)),
             4 => E::add(pick(s.a), pick(s.b)),
-            5 => E::mux(
-                E::reduce(ReduceOp::Or, pick(s.c)),
-                pick(s.a),
-                pick(s.b),
-            ),
+            5 => E::mux(E::reduce(ReduceOp::Or, pick(s.c)), pick(s.a), pick(s.b)),
             6 => E::gate(pick(s.a), E::reduce(ReduceOp::Xor, pick(s.b))),
             _ => E::xor(pick(s.a), E::constant(s.konst & 0xF, WIDTH)),
         };

@@ -129,8 +129,7 @@ impl TimingReport {
                 match pin.node() {
                     Some(consumer) => {
                         let cn = circuit.node(consumer);
-                        let load =
-                            fanouts[consumer.index()].len() as f64 * model.wire_per_fanout;
+                        let load = fanouts[consumer.index()].len() as f64 * model.wire_per_fanout;
                         let d = model.gate_delay(cn.kind(), cn.fanins().len()) + load;
                         req = req.min(required[consumer.index()] - d);
                     }

@@ -168,8 +168,8 @@ pub fn table1_params() -> Vec<CaseParams> {
 /// deeper arithmetic chains where patch depth shows up in slack.
 pub fn timing_params() -> Vec<CaseParams> {
     use RevisionKind as R;
-    let base = |id: u32, name: &'static str, seed: u64, rev: Vec<(usize, RevisionKind)>| {
-        CaseParams {
+    let base =
+        |id: u32, name: &'static str, seed: u64, rev: Vec<(usize, RevisionKind)>| CaseParams {
             id,
             name,
             seed,
@@ -180,12 +180,21 @@ pub fn timing_params() -> Vec<CaseParams> {
             revisions: rev,
             heavy_optimization: true,
             aggressive_optimization: true,
-        }
-    };
+        };
     vec![
         base(12, "tmg12", 0x0C0C, vec![(0, R::GateTermAdded)]),
-        base(13, "tmg13", 0x0D0D, vec![(0, R::ConstantChange), (2, R::ConditionFlip)]),
-        base(14, "tmg14", 0x0E0E, vec![(0, R::SharedGating), (3, R::PolarityFlip)]),
+        base(
+            13,
+            "tmg13",
+            0x0D0D,
+            vec![(0, R::ConstantChange), (2, R::ConditionFlip)],
+        ),
+        base(
+            14,
+            "tmg14",
+            0x0E0E,
+            vec![(0, R::SharedGating), (3, R::PolarityFlip)],
+        ),
         base(15, "tmg15", 0x0F0F, vec![(1, R::MuxBranchSwap)]),
     ]
 }

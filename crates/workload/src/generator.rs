@@ -175,8 +175,7 @@ pub fn build_case(params: &CaseParams) -> EcoCase {
     }
 
     // Implementation: synthesize the original and optimize heavily.
-    let mut implementation =
-        synthesize(&original).expect("generated module must elaborate");
+    let mut implementation = synthesize(&original).expect("generated module must elaborate");
     let opt = if params.aggressive_optimization {
         OptOptions::aggressive(params.seed ^ 0xC0FFEE)
     } else if params.heavy_optimization {

@@ -61,20 +61,22 @@ impl RevisionKind {
     ) -> (WordExpr, usize) {
         let w = width as usize;
         match self {
-            RevisionKind::GateTermAdded => (
-                WordExpr::or(old, WordExpr::gate(helper, gate_bit)),
-                2 * w,
-            ),
+            RevisionKind::GateTermAdded => {
+                (WordExpr::or(old, WordExpr::gate(helper, gate_bit)), 2 * w)
+            }
             RevisionKind::MuxBranchSwap => (
                 WordExpr::mux(gate_bit, old.clone(), WordExpr::not(old)),
                 2 * w,
             ),
-            RevisionKind::ConditionFlip => (
-                WordExpr::mux(WordExpr::not(gate_bit), old, helper),
-                w + 1,
-            ),
+            RevisionKind::ConditionFlip => {
+                (WordExpr::mux(WordExpr::not(gate_bit), old, helper), w + 1)
+            }
             RevisionKind::ConstantChange => {
-                let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+                let mask = if width == 64 {
+                    !0u64
+                } else {
+                    (1u64 << width) - 1
+                };
                 let k = rng.gen::<u64>() & mask;
                 let k = if k == 0 { 1 } else { k };
                 (WordExpr::xor(old, WordExpr::constant(k, width)), w / 2 + 1)
@@ -95,11 +97,18 @@ impl RevisionKind {
                 3 * w,
             ),
             RevisionKind::SparseTrigger => {
-                let mask = if width == 64 { !0u64 } else { (1u64 << width) - 1 };
+                let mask = if width == 64 {
+                    !0u64
+                } else {
+                    (1u64 << width) - 1
+                };
                 let k = rng.gen::<u64>() & mask;
                 let trigger = WordExpr::eq(helper, WordExpr::constant(k, width));
                 (
-                    WordExpr::xor(old, WordExpr::gate(WordExpr::constant(mask, width), trigger)),
+                    WordExpr::xor(
+                        old,
+                        WordExpr::gate(WordExpr::constant(mask, width), trigger),
+                    ),
                     w + 2,
                 )
             }

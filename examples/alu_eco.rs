@@ -46,10 +46,7 @@ fn alu(revised: bool) -> RtlModule {
     // Flags. The revision fixes the zero flag: it must consider the result,
     // not only the low nibble, and the parity flag gains an enable.
     if revised {
-        m.add_signal(
-            "zero",
-            E::not(E::reduce(ReduceOp::Or, E::signal("result"))),
-        );
+        m.add_signal("zero", E::not(E::reduce(ReduceOp::Or, E::signal("result"))));
         m.add_signal(
             "parity",
             E::and(
@@ -60,10 +57,7 @@ fn alu(revised: bool) -> RtlModule {
     } else {
         m.add_signal(
             "zero",
-            E::not(E::reduce(
-                ReduceOp::Or,
-                E::slice(E::signal("result"), 0, 3),
-            )),
+            E::not(E::reduce(ReduceOp::Or, E::slice(E::signal("result"), 0, 3))),
         );
         m.add_signal("parity", E::reduce(ReduceOp::Xor, E::signal("result")));
     }

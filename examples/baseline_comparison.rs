@@ -20,8 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &i in &picks {
         let case = build_case(&params[i]);
         let results = [
-            ("commercial", cone::rectify(&case.implementation, &case.spec)?),
-            ("deltasyn", deltasyn::rectify(&case.implementation, &case.spec)?),
+            (
+                "commercial",
+                cone::rectify(&case.implementation, &case.spec)?,
+            ),
+            (
+                "deltasyn",
+                deltasyn::rectify(&case.implementation, &case.spec)?,
+            ),
             ("syseco", engine.rectify(&case.implementation, &case.spec)?),
         ];
         for (name, r) in &results {

@@ -82,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             op.pin,
             op.old_net,
             op.new_net,
-            if op.from_spec { "  [cloned c-logic]" } else { "" }
+            if op.from_spec {
+                "  [cloned c-logic]"
+            } else {
+                ""
+            }
         );
     }
 

@@ -67,6 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SamplePolicy::ErrorDomain,
         None,
         &mut rng,
+        None,
     )?;
     println!("error-domain samples (|E| members): {}", samples.len());
     for s in &samples {

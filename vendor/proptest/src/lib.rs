@@ -1,0 +1,129 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `proptest` to this crate. It implements the subset the test suites use:
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `prop_recursive`, ranges, tuples, `any`, `Just`,
+//! `collection::vec`, `prop_oneof!`, and the `proptest!` test macro.
+//!
+//! Compared to the real crate this engine only random-samples — there is no
+//! shrinking. Failures print the generated arguments and the deterministic
+//! seed; rerun with `PROPTEST_SEED=<seed>` to reproduce a specific run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let base_seed = $crate::test_runner::resolve_seed(stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        base_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    // The body may `return Ok(())` early, as with the real
+                    // crate, so it runs as a `Result`-valued closure.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), ::std::string::String> {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reason)) => {
+                            panic!(
+                                "proptest {}: case {}/{} rejected: {} (PROPTEST_SEED={} reruns this test)\n  inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                reason,
+                                base_seed,
+                                described,
+                            );
+                        }
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest {}: case {}/{} failed (PROPTEST_SEED={} reruns this test)\n  inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                config.cases,
+                                base_seed,
+                                described,
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform (or weighted, with `weight => strategy` arms) choice between
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

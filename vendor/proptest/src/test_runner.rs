@@ -1,0 +1,65 @@
+//! Test-run configuration and the deterministic generator behind it.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub(crate) SmallRng);
+
+impl TestRng {
+    /// A generator with a fixed seed.
+    pub fn deterministic(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Derives the base seed for a test: an FNV-1a hash of the test name,
+/// overridable through `PROPTEST_SEED` for reproduction.
+pub fn resolve_seed(test_name: &str) -> u64 {
+    if let Ok(text) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = text.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

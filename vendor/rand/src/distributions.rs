@@ -1,0 +1,254 @@
+//! Distributions, reproducing the rand 0.8 sampling algorithms.
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u8> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8 compares the most significant bit of a u32: the low
+        // bits of some generators have visible structure.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        let fraction = rng.next_u64() >> 11;
+        fraction as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let fraction = rng.next_u32() >> 8;
+        fraction as f32 * (1.0 / ((1u32 << 24) as f32))
+    }
+}
+
+/// Error returned by [`Bernoulli::new`] for probabilities outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliError;
+
+impl std::fmt::Display for BernoulliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("p is outside [0, 1]")
+    }
+}
+
+impl std::error::Error for BernoulliError {}
+
+/// The Bernoulli distribution, with rand 0.8's fixed-point comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution returning `true` with probability
+    /// `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BernoulliError`] when `p` is outside `[0, 1]`.
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError);
+        }
+        Ok(Bernoulli {
+            p_int: (p * SCALE) as u64,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        let v: u64 = rng.next_u64();
+        v < self.p_int
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling via widening multiply with rejection, the
+    //! `UniformInt` algorithm of rand 0.8.
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Marker trait: integer types [`Rng::gen_range`] accepts.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range types accepted by [`Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $sample:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = (high as $unsigned)
+                        .wrapping_sub(low as $unsigned)
+                        .wrapping_add(1);
+                    if range == 0 {
+                        // The full type range: every value accepted.
+                        return rng.$sample() as $ty;
+                    }
+                    // Reject samples landing past the largest multiple of
+                    // `range`, detected through the widening multiply low
+                    // half (Lemire's method as used by rand 0.8).
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v: $unsigned = rng.$sample() as $unsigned;
+                        let (hi, lo) = widening_mul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    fn widening_mul_u32(a: u32, b: u32) -> (u32, u32) {
+        let wide = a as u64 * b as u64;
+        ((wide >> 32) as u32, wide as u32)
+    }
+
+    fn widening_mul_u64(a: u64, b: u64) -> (u64, u64) {
+        let wide = a as u128 * b as u128;
+        ((wide >> 64) as u64, wide as u64)
+    }
+
+    trait WideningMul: Sized {
+        fn widening(self, other: Self) -> (Self, Self);
+    }
+
+    impl WideningMul for u32 {
+        fn widening(self, other: Self) -> (Self, Self) {
+            widening_mul_u32(self, other)
+        }
+    }
+
+    impl WideningMul for u64 {
+        fn widening(self, other: Self) -> (Self, Self) {
+            widening_mul_u64(self, other)
+        }
+    }
+
+    impl WideningMul for usize {
+        fn widening(self, other: Self) -> (Self, Self) {
+            let (hi, lo) = widening_mul_u64(self as u64, other as u64);
+            (hi as usize, lo as usize)
+        }
+    }
+
+    fn widening_mul<T: WideningMul>(a: T, b: T) -> (T, T) {
+        a.widening(b)
+    }
+
+    uniform_int_impl! { i32, u32, next_u32 }
+    uniform_int_impl! { u32, u32, next_u32 }
+    uniform_int_impl! { i64, u64, next_u64 }
+    uniform_int_impl! { u64, u64, next_u64 }
+    uniform_int_impl! { usize, usize, next_u64 }
+    uniform_int_impl! { u8, u32, next_u32 }
+    uniform_int_impl! { u16, u32, next_u32 }
+}

@@ -671,6 +671,15 @@ impl BddManager {
     }
 }
 
+// The rectification scheduler moves a manager into each worker thread, so
+// `Send` is load-bearing: keep the store free of `Rc`/raw-pointer state.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<BddManager>();
+    assert_send_sync::<Bdd>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,10 +34,7 @@ fn bench_sampling_sizes(c: &mut Criterion) {
     group.sample_size(10);
     for n in [16usize, 64, 256] {
         group.bench_function(format!("N={n}"), |b| {
-            let options = EcoOptions {
-                num_samples: n,
-                ..EcoOptions::default()
-            };
+            let options = EcoOptions::builder().num_samples(n).build();
             let engine = Syseco::new(options);
             b.iter(|| {
                 std::hint::black_box(engine.rectify(&case.implementation, &case.spec).unwrap())

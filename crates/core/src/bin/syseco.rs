@@ -5,8 +5,13 @@
 //! syseco check   <impl.blif> <spec.blif>
 //! syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]
 //!                [--out patched.blif] [--seed N] [--samples N]
-//!                [--level-driven] [--timeout SECS]
+//!                [--level-driven] [--timeout SECS] [--jobs N] [--progress]
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for the per-output searches
+//! (`0` = available parallelism; the patch is identical for every value).
+//! `--progress` prints a live per-cone status line to stderr as searches
+//! start, finish, and merge.
 //!
 //! Designs are read and written in the BLIF-style format of
 //! [`eco_netlist::io`].
@@ -21,7 +26,7 @@ use eco_netlist::{read_blif, write_blif, Circuit, CircuitStats};
 use syseco::baseline::{cone, deltasyn};
 use syseco::correspond::Correspondence;
 use syseco::error_domain::{classify_outputs, Equivalence};
-use syseco::{Budget, EcoOptions, Syseco};
+use syseco::{Budget, EcoOptions, ProgressEvent, Session};
 
 fn load(path: &str) -> Result<Circuit, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -33,9 +38,58 @@ fn usage() -> ExitCode {
         "usage:\n  syseco stats   <design.blif>\n  syseco check   <impl.blif> <spec.blif>\n  \
          syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]\n                 \
          [--out patched.blif] [--seed N] [--samples N] [--level-driven]\n                 \
-         [--timeout SECS]"
+         [--timeout SECS] [--jobs N] [--progress]"
     );
     ExitCode::from(2)
+}
+
+/// Live per-cone status lines on stderr (`--progress`).
+fn print_progress(event: &ProgressEvent) {
+    match event {
+        ProgressEvent::RunStarted {
+            outputs_total,
+            outputs_failing,
+            jobs,
+        } => eprintln!(
+            "[syseco] {outputs_failing} of {outputs_total} outputs failing, {jobs} worker(s)"
+        ),
+        ProgressEvent::OutputStarted {
+            output,
+            position,
+            failing_total,
+        } => eprintln!(
+            "[syseco] [{}/{failing_total}] {output}: searching",
+            position + 1
+        ),
+        ProgressEvent::OutputSearched {
+            output,
+            position,
+            search,
+            proposal,
+        } => eprintln!(
+            "[syseco] [{}] {output}: search finished in {search:.1?} ({})",
+            position + 1,
+            if *proposal {
+                "proposal found"
+            } else {
+                "fallback needed"
+            }
+        ),
+        ProgressEvent::OutputRectified {
+            output,
+            action,
+            degraded,
+            ..
+        } => eprintln!(
+            "[syseco] {output}: {action}{}",
+            if *degraded { " (degraded)" } else { "" }
+        ),
+        ProgressEvent::RunFinished {
+            duration,
+            degradations,
+        } => eprintln!("[syseco] run finished in {duration:.1?}, {degradations} degradation(s)"),
+        _ => {}
+    }
 }
 
 fn main() -> ExitCode {
@@ -98,7 +152,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let spec = load(&args[2])?;
             let mut engine_name = "syseco".to_string();
             let mut out_path: Option<String> = None;
-            let mut options = EcoOptions::default();
+            let mut progress = false;
+            let mut builder = EcoOptions::builder();
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -111,23 +166,38 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         i += 2;
                     }
                     "--seed" => {
-                        options.seed = args
-                            .get(i + 1)
-                            .ok_or("--seed needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad seed: {e}"))?;
+                        builder = builder.seed(
+                            args.get(i + 1)
+                                .ok_or("--seed needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad seed: {e}"))?,
+                        );
                         i += 2;
                     }
                     "--samples" => {
-                        options.num_samples = args
-                            .get(i + 1)
-                            .ok_or("--samples needs a value")?
-                            .parse()
-                            .map_err(|e| format!("bad sample count: {e}"))?;
+                        builder = builder.num_samples(
+                            args.get(i + 1)
+                                .ok_or("--samples needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad sample count: {e}"))?,
+                        );
+                        i += 2;
+                    }
+                    "--jobs" => {
+                        builder = builder.jobs(
+                            args.get(i + 1)
+                                .ok_or("--jobs needs a value")?
+                                .parse()
+                                .map_err(|e| format!("bad job count: {e}"))?,
+                        );
                         i += 2;
                     }
                     "--level-driven" => {
-                        options.level_driven = true;
+                        builder = builder.level_driven(true);
+                        i += 1;
+                    }
+                    "--progress" => {
+                        progress = true;
                         i += 1;
                     }
                     "--timeout" => {
@@ -139,17 +209,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         if !secs.is_finite() || secs <= 0.0 {
                             return Err("timeout must be a positive number of seconds".into());
                         }
-                        options.timeout = Some(std::time::Duration::from_secs_f64(secs));
+                        builder = builder.timeout(std::time::Duration::from_secs_f64(secs));
                         i += 2;
                     }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
+            let options = builder.build();
             let timeout = options.timeout;
             let result = match engine_name.as_str() {
-                "syseco" => Syseco::new(options)
-                    .rectify(&implementation, &spec)
-                    .map_err(|e| e.to_string())?,
+                "syseco" => {
+                    let mut session = Session::new(options);
+                    if progress {
+                        session = session.on_progress(print_progress);
+                    }
+                    session
+                        .run(&implementation, &spec)
+                        .map_err(|e| e.to_string())?
+                }
                 "deltasyn" => {
                     deltasyn::rectify(&implementation, &spec).map_err(|e| e.to_string())?
                 }

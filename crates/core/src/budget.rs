@@ -13,7 +13,7 @@
 //! applicable output-rewire fallback) and records each cut corner as a
 //! [`Degradation`] in the run statistics.
 //!
-//! Under `cfg(test)` or the `fault-injection` feature, a [`FaultPolicy`]
+//! Under `cfg(test)` or the `fault-injection` feature, a `FaultPolicy`
 //! deterministically forces BDD node-limit hits, SAT budget exhaustion, and
 //! synthetic panics at chosen call counts so every degradation path is
 //! testable.
@@ -284,6 +284,11 @@ pub enum DegradeReason {
     SearchPanicked(String),
     /// The search returned an error; the payload is its display form.
     SearchError(String),
+    /// The per-output proposal validated in isolation but conflicted with a
+    /// rewire merged for an earlier output (parallel runs validate each cone
+    /// against the pre-patch circuit; see DESIGN.md "Parallel execution
+    /// model").
+    MergeConflict,
 }
 
 impl fmt::Display for DegradeReason {
@@ -295,6 +300,7 @@ impl fmt::Display for DegradeReason {
             DegradeReason::SatBudgetExhausted => write!(f, "sat budget exhausted"),
             DegradeReason::SearchPanicked(msg) => write!(f, "search panicked: {msg}"),
             DegradeReason::SearchError(msg) => write!(f, "search error: {msg}"),
+            DegradeReason::MergeConflict => write!(f, "merge conflict between per-output patches"),
         }
     }
 }

@@ -9,7 +9,10 @@ use crate::correspond::Correspondence;
 use crate::error_domain::{classify_outputs, Equivalence};
 use crate::options::EcoOptions;
 use crate::patch::{refine_patch_inputs_timed, Patch, PatchStats};
-use crate::rectify::{rewire_rectification_governed, RectifyStats};
+use crate::progress::ProgressCallback;
+use crate::rectify::{rewire_rectify_with, RectifyStats};
+use crate::schedule::WorkerPool;
+use crate::session::Session;
 use crate::EcoError;
 
 /// Result of a rectification run.
@@ -48,7 +51,7 @@ pub struct EcoResult {
 /// let g = s.add_gate(GateKind::Or, &[a, b])?;
 /// s.add_output("y", g);
 ///
-/// let engine = Syseco::new(EcoOptions::default());
+/// let engine = Syseco::new(EcoOptions::builder().num_samples(64).jobs(1).build());
 /// let result = engine.rectify(&c, &s)?;
 /// assert!(syseco::verify_rectification(&result.patched, &s)?);
 /// # Ok(())
@@ -83,11 +86,8 @@ impl Syseco {
     /// specification counterpart, and [`EcoError`] wrappers for malformed
     /// circuits.
     pub fn rectify(&self, implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, EcoError> {
-        let budget = match self.options.timeout {
-            Some(t) => Budget::with_deadline(t),
-            None => Budget::unlimited(),
-        };
-        self.rectify_governed(implementation, spec, &budget)
+        let budget = self.default_budget();
+        self.rectify_with_budget(implementation, spec, &budget)
     }
 
     /// Like [`Syseco::rectify`], but governed by an explicit [`Budget`]
@@ -99,11 +99,72 @@ impl Syseco {
     /// # Errors
     ///
     /// Same as [`Syseco::rectify`].
+    pub fn rectify_with_budget(
+        &self,
+        implementation: &Circuit,
+        spec: &Circuit,
+        budget: &Budget,
+    ) -> Result<EcoResult, EcoError> {
+        let pool = WorkerPool::new(self.options.effective_jobs());
+        self.rectify_with(implementation, spec, budget, None, &pool)
+    }
+
+    /// Deprecated pre-0.2 name of [`Syseco::rectify_with_budget`].
+    #[deprecated(since = "0.2.0", note = "renamed to `rectify_with_budget`")]
     pub fn rectify_governed(
         &self,
         implementation: &Circuit,
         spec: &Circuit,
         budget: &Budget,
+    ) -> Result<EcoResult, EcoError> {
+        self.rectify_with_budget(implementation, spec, budget)
+    }
+
+    /// Rectifies a batch of (implementation, specification) pairs with one
+    /// shared worker pool.
+    ///
+    /// Jobs run sequentially in input order (results line up with `jobs`);
+    /// parallelism is applied *within* each job, across its failing outputs.
+    /// Each job gets its own budget derived from
+    /// [`EcoOptions::timeout`] — use a [`Session`] with a
+    /// [`crate::CancelToken`] to cancel a whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job's [`EcoError`], abandoning the rest.
+    pub fn rectify_all(&self, jobs: &[(&Circuit, &Circuit)]) -> Result<Vec<EcoResult>, EcoError> {
+        let pool = WorkerPool::new(self.options.effective_jobs());
+        jobs.iter()
+            .map(|(implementation, spec)| {
+                let budget = self.default_budget();
+                self.rectify_with(implementation, spec, &budget, None, &pool)
+            })
+            .collect()
+    }
+
+    /// Starts a [`Session`] over this engine's options — the handle for
+    /// attaching a cancellation token and a progress observer.
+    pub fn session(&self) -> Session {
+        Session::new(self.options.clone())
+    }
+
+    /// A budget derived from the configured timeout.
+    pub(crate) fn default_budget(&self) -> Budget {
+        match self.options.timeout {
+            Some(t) => Budget::with_deadline(t),
+            None => Budget::unlimited(),
+        }
+    }
+
+    /// The full engine flow with an explicit observer and worker pool — the
+    /// internal entry shared by [`Session`] and the batch API.
+    pub(crate) fn rectify_with(
+        &self,
+        implementation: &Circuit,
+        spec: &Circuit,
+        budget: &Budget,
+        observer: Option<&ProgressCallback>,
+        pool: &WorkerPool,
     ) -> Result<EcoResult, EcoError> {
         let start = Instant::now();
         implementation.check_well_formed()?;
@@ -113,7 +174,7 @@ impl Syseco {
         let mut patched = implementation.clone();
         normalize_ports(&mut patched, spec)?;
         let (patch, rectify) =
-            rewire_rectification_governed(&mut patched, spec, &self.options, budget)?;
+            rewire_rectify_with(&mut patched, spec, &self.options, budget, observer, pool)?;
         // Patch-input refinement (§5.2 post-processing): reuse existing
         // implementation logic inside the cloned patch. Under level-driven
         // selection the merge is timing-aware. It is a pure optimisation,
@@ -319,6 +380,42 @@ mod tests {
         let engine = Syseco::new(EcoOptions::with_seed(2));
         let result = engine.rectify(&c, &s).unwrap();
         assert!(verify_rectification(&result.patched, &s).unwrap());
+    }
+
+    #[test]
+    fn batch_api_rectifies_every_pair_in_order() {
+        let mut c1 = Circuit::new("impl1");
+        let a = c1.add_input("a");
+        let b = c1.add_input("b");
+        let g = c1.add_gate(GateKind::And, &[a, b]).unwrap();
+        c1.add_output("y", g);
+        let mut s1 = Circuit::new("spec1");
+        let sa = s1.add_input("a");
+        let sb = s1.add_input("b");
+        let sg = s1.add_gate(GateKind::Or, &[sa, sb]).unwrap();
+        s1.add_output("y", sg);
+        // Second job is already equivalent.
+        let c2 = s1.clone();
+        let s2 = s1.clone();
+        let engine = Syseco::new(EcoOptions::with_seed(4));
+        let results = engine.rectify_all(&[(&c1, &s1), (&c2, &s2)]).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(verify_rectification(&results[0].patched, &s1).unwrap());
+        assert_eq!(results[0].rectify.outputs_failing, 1);
+        assert_eq!(results[1].rectify.outputs_failing, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_rectify_governed_still_works() {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        let s = c.clone();
+        let engine = Syseco::new(EcoOptions::with_seed(2));
+        let budget = Budget::unlimited();
+        let result = engine.rectify_governed(&c, &s, &budget).unwrap();
+        assert_eq!(result.rectify.outputs_failing, 0);
     }
 
     #[test]

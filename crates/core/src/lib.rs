@@ -34,12 +34,18 @@
 //! let g = s.add_gate(GateKind::Or, &[a, b])?;
 //! s.add_output("y", g);
 //!
-//! let result = Syseco::new(EcoOptions::default()).rectify(&c, &s)?;
+//! let options = EcoOptions::builder().num_samples(64).jobs(1).build();
+//! let result = Syseco::new(options).rectify(&c, &s)?;
 //! assert!(syseco::verify_rectification(&result.patched, &s)?);
 //! println!("patch: {:?} in {:?}", result.stats, result.runtime);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Per-output searches run on a worker pool sized by
+//! [`EcoOptions::jobs`] (default: available parallelism); patches are
+//! bit-identical for every worker count. Use a [`Session`] to attach a
+//! [`CancelToken`] or a live [`ProgressEvent`] observer.
 //!
 //! # Module map (paper section → module)
 //!
@@ -66,9 +72,12 @@ pub mod error_domain;
 mod options;
 pub mod patch;
 pub mod points;
+pub mod progress;
 pub mod rectify;
 pub mod rewire_nets;
 pub mod sampling;
+mod schedule;
+mod session;
 pub mod validate;
 
 #[cfg(any(test, feature = "fault-injection"))]
@@ -76,6 +85,10 @@ pub use budget::FaultPolicy;
 pub use budget::{Budget, BudgetStatus, CancelToken, Degradation, DegradeAction, DegradeReason};
 pub use engine::{verify_rectification, EcoResult, Syseco};
 pub use error::EcoError;
-pub use options::{EcoOptions, SamplePolicy};
+pub use options::{EcoOptions, EcoOptionsBuilder, SamplePolicy};
 pub use patch::{Patch, PatchStats, RewireOp};
-pub use rectify::{rewire_rectification, rewire_rectification_governed, RectifyStats};
+pub use progress::{OutputAction, ProgressCallback, ProgressEvent};
+#[allow(deprecated)]
+pub use rectify::{rewire_rectification, rewire_rectification_governed};
+pub use rectify::{rewire_rectify, OutputTiming, RectifyStats};
+pub use session::Session;

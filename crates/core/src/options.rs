@@ -2,6 +2,7 @@
 
 /// Where sampling-domain assignments come from (paper §5.1; ablation B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SamplePolicy {
     /// All samples drawn from the error domain `𝔼` (the paper's choice).
     ErrorDomain,
@@ -15,10 +16,25 @@ pub enum SamplePolicy {
 
 /// Options controlling the rewire-based rectification flow.
 ///
+/// Construct with [`EcoOptions::builder`] (the struct is `#[non_exhaustive]`,
+/// so literal construction is reserved to this crate):
+///
+/// ```
+/// use syseco::EcoOptions;
+///
+/// let options = EcoOptions::builder()
+///     .num_samples(64)
+///     .jobs(4)
+///     .seed(7)
+///     .build();
+/// assert_eq!(options.num_samples, 64);
+/// ```
+///
 /// The defaults correspond to the configuration used by the benchmark
 /// harness; individual studies (the ablation benches) override single
 /// fields.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EcoOptions {
     /// Target number of sampled assignments in the symbolic sampling domain
     /// (paper §5.1). Rounded up to a power of two internally; `⌈log2 N⌉`
@@ -55,7 +71,9 @@ pub struct EcoOptions {
     /// Use arrival times to prefer timing-friendly rewiring nets — the
     /// level-driven selection behind Table 3.
     pub level_driven: bool,
-    /// Seed for all randomized steps (simulation patterns, sampling).
+    /// Seed for all randomized steps (simulation patterns, sampling). Each
+    /// per-output search derives its own stream from this seed and the
+    /// output index, so results are independent of worker count.
     pub seed: u64,
     /// Node budget of the per-output BDD manager.
     pub bdd_node_limit: usize,
@@ -65,6 +83,12 @@ pub struct EcoOptions {
     ///
     /// [`RectifyStats::degradations`]: crate::RectifyStats::degradations
     pub timeout: Option<std::time::Duration>,
+    /// Worker threads for the per-output searches. `0` (the default) means
+    /// one worker per unit of [`std::thread::available_parallelism`]. With
+    /// `1`, searches run inline on the calling thread. Patches are
+    /// bit-identical for every value of `jobs` on un-deadlined runs; see
+    /// DESIGN.md "Parallel execution model".
+    pub jobs: usize,
 }
 
 impl Default for EcoOptions {
@@ -86,11 +110,17 @@ impl Default for EcoOptions {
             seed: 0xEC0,
             bdd_node_limit: 2_000_000,
             timeout: None,
+            jobs: 0,
         }
     }
 }
 
 impl EcoOptions {
+    /// Starts a builder over the default configuration.
+    pub fn builder() -> EcoOptionsBuilder {
+        EcoOptionsBuilder::default()
+    }
+
     /// Default options with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
         EcoOptions {
@@ -103,6 +133,96 @@ impl EcoOptions {
     pub fn num_z_vars(&self) -> u32 {
         let n = self.num_samples.max(2);
         usize::BITS - (n - 1).leading_zeros()
+    }
+
+    /// Resolves [`EcoOptions::jobs`] to a concrete worker count: `0` maps to
+    /// the host's available parallelism (at least 1).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// Builder for [`EcoOptions`].
+///
+/// Each setter overrides one field of the default configuration; `build`
+/// returns the finished options. The builder is `#[must_use]`: dropping it
+/// without calling [`EcoOptionsBuilder::build`] configures nothing.
+#[derive(Debug, Clone, Default)]
+#[must_use = "call `.build()` to obtain the configured EcoOptions"]
+pub struct EcoOptionsBuilder {
+    options: EcoOptions,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.options.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl EcoOptionsBuilder {
+    builder_setters! {
+        /// Sets [`EcoOptions::num_samples`].
+        num_samples: usize,
+        /// Sets [`EcoOptions::sample_policy`].
+        sample_policy: SamplePolicy,
+        /// Sets [`EcoOptions::max_points`].
+        max_points: usize,
+        /// Sets [`EcoOptions::max_candidate_pins`].
+        max_candidate_pins: usize,
+        /// Sets [`EcoOptions::max_point_sets`].
+        max_point_sets: usize,
+        /// Sets [`EcoOptions::max_decodes_per_prime`].
+        max_decodes_per_prime: usize,
+        /// Sets [`EcoOptions::max_rewire_candidates`].
+        max_rewire_candidates: usize,
+        /// Sets [`EcoOptions::max_choices`].
+        max_choices: usize,
+        /// Sets [`EcoOptions::validation_budget`].
+        validation_budget: u64,
+        /// Sets [`EcoOptions::max_refinements`].
+        max_refinements: usize,
+        /// Sets [`EcoOptions::max_validations_per_output`].
+        max_validations_per_output: usize,
+        /// Sets [`EcoOptions::good_enough_cost`].
+        good_enough_cost: usize,
+        /// Sets [`EcoOptions::level_driven`].
+        level_driven: bool,
+        /// Sets [`EcoOptions::seed`].
+        seed: u64,
+        /// Sets [`EcoOptions::bdd_node_limit`].
+        bdd_node_limit: usize,
+        /// Sets [`EcoOptions::jobs`] (`0` = available parallelism).
+        jobs: usize,
+    }
+
+    /// Sets [`EcoOptions::timeout`].
+    pub fn timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.options.timeout = Some(timeout);
+        self
+    }
+
+    /// Clears [`EcoOptions::timeout`] (the default).
+    pub fn no_timeout(mut self) -> Self {
+        self.options.timeout = None;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> EcoOptions {
+        self.options
     }
 }
 
@@ -130,5 +250,56 @@ mod tests {
         assert!(o.num_samples >= 16);
         assert!(o.max_points >= 1);
         assert!(o.max_rewire_candidates >= 2);
+        assert_eq!(o.jobs, 0);
+        assert!(o.effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let o = EcoOptions::builder()
+            .num_samples(32)
+            .sample_policy(SamplePolicy::Mixed)
+            .max_points(2)
+            .max_candidate_pins(16)
+            .max_point_sets(4)
+            .max_decodes_per_prime(2)
+            .max_rewire_candidates(5)
+            .max_choices(3)
+            .validation_budget(1_000)
+            .max_refinements(2)
+            .max_validations_per_output(9)
+            .good_enough_cost(1)
+            .level_driven(true)
+            .seed(99)
+            .bdd_node_limit(10_000)
+            .jobs(3)
+            .timeout(std::time::Duration::from_secs(5))
+            .build();
+        assert_eq!(o.num_samples, 32);
+        assert_eq!(o.sample_policy, SamplePolicy::Mixed);
+        assert_eq!(o.max_points, 2);
+        assert_eq!(o.max_candidate_pins, 16);
+        assert_eq!(o.max_point_sets, 4);
+        assert_eq!(o.max_decodes_per_prime, 2);
+        assert_eq!(o.max_rewire_candidates, 5);
+        assert_eq!(o.max_choices, 3);
+        assert_eq!(o.validation_budget, 1_000);
+        assert_eq!(o.max_refinements, 2);
+        assert_eq!(o.max_validations_per_output, 9);
+        assert_eq!(o.good_enough_cost, 1);
+        assert!(o.level_driven);
+        assert_eq!(o.seed, 99);
+        assert_eq!(o.bdd_node_limit, 10_000);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.effective_jobs(), 3);
+        assert_eq!(o.timeout, Some(std::time::Duration::from_secs(5)));
+        assert_eq!(
+            EcoOptions::builder()
+                .timeout(std::time::Duration::ZERO)
+                .no_timeout()
+                .build()
+                .timeout,
+            None
+        );
     }
 }

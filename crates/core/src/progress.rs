@@ -1,0 +1,151 @@
+//! Live progress reporting for rectification runs.
+//!
+//! A [`Session`](crate::Session) (or the engine internals) can carry a
+//! [`ProgressCallback`]; the scheduler invokes it with a [`ProgressEvent`]
+//! at every per-cone milestone. Events are emitted from worker threads, so
+//! the callback must be `Send + Sync`; the `syseco` CLI uses one to print a
+//! live per-cone status line.
+//!
+//! Event order within one output is always `OutputStarted` →
+//! `OutputSearched` → `OutputRectified`, but events of *different* outputs
+//! interleave freely under `jobs > 1`: the search phase runs on a worker
+//! pool while the merge phase (which emits `OutputRectified`) is
+//! deterministic and sequential.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How one output ended up rectified (also recorded per output in
+/// [`RectifyStats::per_output`](crate::RectifyStats::per_output)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OutputAction {
+    /// A validated rewiring (possibly with cloned spec logic) was merged.
+    Rewired,
+    /// The §3.3 output-rewire fallback was applied.
+    Fallback,
+    /// The output needed no patch when its merge turn came — either it was
+    /// equivalent all along (conservative detection) or an earlier merged
+    /// rewire fixed it as a side effect.
+    AlreadyEquivalent,
+}
+
+impl std::fmt::Display for OutputAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutputAction::Rewired => write!(f, "rewired"),
+            OutputAction::Fallback => write!(f, "fallback"),
+            OutputAction::AlreadyEquivalent => write!(f, "already equivalent"),
+        }
+    }
+}
+
+/// One milestone of a rectification run.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ProgressEvent {
+    /// Detection finished; the per-output searches are about to start.
+    RunStarted {
+        /// Matched output pairs.
+        outputs_total: usize,
+        /// Pairs initially non-equivalent (the work items).
+        outputs_failing: usize,
+        /// Worker threads the scheduler will use.
+        jobs: usize,
+    },
+    /// A worker picked up one failing output's search.
+    OutputStarted {
+        /// Output label.
+        output: String,
+        /// Position in the deterministic merge order (0-based).
+        position: usize,
+        /// Number of failing outputs in this run.
+        failing_total: usize,
+    },
+    /// A worker finished one failing output's search.
+    OutputSearched {
+        /// Output label.
+        output: String,
+        /// Position in the deterministic merge order (0-based).
+        position: usize,
+        /// Wall-clock time of the search.
+        search: Duration,
+        /// Whether the search produced a validated rewiring proposal (as
+        /// opposed to needing the output-rewire fallback).
+        proposal: bool,
+    },
+    /// The merge phase committed one output.
+    OutputRectified {
+        /// Output label.
+        output: String,
+        /// Position in the deterministic merge order (0-based).
+        position: usize,
+        /// How the output was rectified.
+        action: OutputAction,
+        /// Whether a [`Degradation`](crate::Degradation) was recorded.
+        degraded: bool,
+    },
+    /// The run finished (merge complete, circuit swept).
+    RunFinished {
+        /// Total wall-clock time of detection + search + merge.
+        duration: Duration,
+        /// Number of degradations recorded.
+        degradations: usize,
+    },
+}
+
+/// Shared observer invoked with every [`ProgressEvent`].
+///
+/// Events arrive from worker threads; the callback must therefore be
+/// `Send + Sync`, and should be cheap — it runs inline with the search.
+pub type ProgressCallback = Arc<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// Invokes `observer` with `event` when an observer is installed.
+pub(crate) fn emit(observer: Option<&ProgressCallback>, event: ProgressEvent) {
+    if let Some(cb) = observer {
+        cb(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn emit_reaches_observer_and_none_is_noop() {
+        let seen: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        let cb: ProgressCallback = Arc::new(move |e: &ProgressEvent| {
+            sink.lock().unwrap().push(format!("{e:?}"));
+        });
+        emit(
+            Some(&cb),
+            ProgressEvent::RunStarted {
+                outputs_total: 2,
+                outputs_failing: 1,
+                jobs: 4,
+            },
+        );
+        emit(
+            None,
+            ProgressEvent::RunFinished {
+                duration: Duration::ZERO,
+                degradations: 0,
+            },
+        );
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].contains("RunStarted"));
+    }
+
+    #[test]
+    fn output_action_displays() {
+        assert_eq!(OutputAction::Rewired.to_string(), "rewired");
+        assert_eq!(OutputAction::Fallback.to_string(), "fallback");
+        assert_eq!(
+            OutputAction::AlreadyEquivalent.to_string(),
+            "already equivalent"
+        );
+    }
+}

@@ -14,12 +14,27 @@
 //! The output pin is itself a rectification point, so rewiring the output
 //! to a cloned specification cone is an always-applicable fallback — the
 //! flow never fails, it only degrades to a bigger patch.
+//!
+//! # Execution model
+//!
+//! Per-output searches are independent and run on a worker pool
+//! ([`EcoOptions::jobs`]); each search is *pure* — it reads the
+//! post-normalization base circuit and returns a rewiring **proposal**
+//! without mutating anything. A sequential merge phase then applies the
+//! proposals in a deterministic order (increasing cone size), re-validating
+//! any proposal applied after the circuit changed; a proposal invalidated by
+//! an earlier merge degrades to the output-rewire fallback with
+//! [`DegradeReason::MergeConflict`]. Because every search derives its RNG
+//! stream from the run seed and the output index, and the merge order is
+//! independent of completion order, results are bit-identical for every
+//! worker count (see DESIGN.md "Parallel execution model").
 
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use eco_bdd::{BddError, BddManager};
-use eco_netlist::{topo, Circuit, Pin};
+use eco_netlist::{topo, Circuit, NetId, Pin};
 use eco_timing::{DelayModel, TimingReport};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -31,8 +46,10 @@ use crate::error_domain::{check_output_pair, classify_outputs, collect_samples, 
 use crate::options::EcoOptions;
 use crate::patch::Patch;
 use crate::points::{candidate_pins, feasible_point_sets, Selection};
+use crate::progress::{emit, OutputAction, ProgressCallback, ProgressEvent};
 use crate::rewire_nets::{candidates_for_pin, RewireCandidate, RewireNetContext};
 use crate::sampling::{eval_all_bdd, SamplingDomain};
+use crate::schedule::{per_output_seed, WorkerPool};
 use crate::validate::{apply_rewires, validate_rewires, CandidateRewire, Validation};
 use crate::EcoError;
 
@@ -42,6 +59,18 @@ const C_BASE: u32 = 0;
 const T_BASE: u32 = 64;
 const Y_BASE: u32 = 128;
 const Z_BASE: u32 = 140;
+
+/// How one output was handled, with its search wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputTiming {
+    /// Output label.
+    pub output: String,
+    /// Wall-clock time of the per-output search (zero for outputs only
+    /// touched by the post-merge verification pass).
+    pub search: Duration,
+    /// How the output ended up rectified.
+    pub action: OutputAction,
+}
 
 /// Counters describing a rectification run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -68,6 +97,21 @@ pub struct RectifyStats {
     /// run; every listed output is still rectified, just less thoroughly
     /// searched.
     pub degradations: Vec<Degradation>,
+    /// One entry per rectified output, in merge order: search wall-clock
+    /// and the action taken.
+    pub per_output: Vec<OutputTiming>,
+}
+
+impl RectifyStats {
+    /// A copy with every wall-clock field zeroed, so runs that differ only
+    /// in timing (e.g. different `jobs` values) compare equal.
+    pub fn normalized(&self) -> RectifyStats {
+        let mut s = self.clone();
+        for t in &mut s.per_output {
+            t.search = Duration::ZERO;
+        }
+        s
+    }
 }
 
 /// Emits a trace line when `SYSECO_TRACE` is set in the environment.
@@ -79,12 +123,45 @@ macro_rules! trace {
     };
 }
 
+/// Worker-local counters folded into [`RectifyStats`] in merge order.
+#[derive(Debug, Default)]
+struct SearchStats {
+    refinements: usize,
+    validations: usize,
+    point_sets_tried: usize,
+    choices_tried: usize,
+}
+
+/// What one per-output search concluded, without mutating anything.
+enum SearchVerdict {
+    /// No distinguishing assignment exists: the pair is equivalent after
+    /// all (detection was conservative).
+    Equivalent,
+    /// A SAT-validated rewiring against the base circuit.
+    Proposal {
+        rewires: Vec<CandidateRewire>,
+        /// Budget reason when the search stopped early but could still
+        /// return its best validated option.
+        cut: Option<DegradeReason>,
+    },
+    /// The search found nothing usable; take the guaranteed output-rewire
+    /// fallback. `reason` is set when the search was cut short rather than
+    /// exhausted cleanly.
+    Fallback { reason: Option<DegradeReason> },
+}
+
+/// One search outcome plus its local counters and wall-clock.
+struct SearchResult {
+    verdict: SearchVerdict,
+    stats: SearchStats,
+    search: Duration,
+}
+
 enum Attempt {
-    /// Committed a rewire; `fixed` output indices are now equivalent. `cut`
-    /// carries the budget reason when the search stopped early but could
-    /// still commit its best validated option.
-    Committed {
-        fixed: Vec<u32>,
+    /// Found a validated rewiring; `cut` carries the budget reason when the
+    /// search stopped early but could still return its best option.
+    Found {
+        rewires: Vec<CandidateRewire>,
         cut: Option<DegradeReason>,
     },
     /// The domain produced a false positive; refine with this assignment.
@@ -106,24 +183,60 @@ enum Attempt {
 /// [`Syseco`](crate::Syseco) engine) is responsible for pre-normalizing
 /// ports and for the post-processing patch sweep.
 ///
-/// Builds a [`Budget`] from `options.timeout` (unlimited when unset); use
-/// [`rewire_rectification_governed`] to share an externally owned budget —
-/// e.g. one carrying a cancellation token.
+/// With `budget: None`, a budget is built from `options.timeout` (unlimited
+/// when unset). Pass `Some(budget)` to share an externally owned
+/// [`Budget`] — e.g. one carrying a cancellation token.
 ///
 /// # Errors
 ///
 /// [`EcoError`] on malformed inputs; resource exhaustion inside the search
 /// degrades to the fallback instead of erroring.
+pub fn rewire_rectify(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    options: &EcoOptions,
+    budget: Option<&Budget>,
+) -> Result<(Patch, RectifyStats), EcoError> {
+    let pool = WorkerPool::new(options.effective_jobs());
+    let owned;
+    let budget = match budget {
+        Some(b) => b,
+        None => {
+            owned = match options.timeout {
+                Some(t) => Budget::with_deadline(t),
+                None => Budget::unlimited(),
+            };
+            &owned
+        }
+    };
+    rewire_rectify_with(implementation, spec, options, budget, None, &pool)
+}
+
+/// Deprecated pre-0.2 entry point.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rewire_rectify(implementation, spec, options, None)`"
+)]
 pub fn rewire_rectification(
     implementation: &mut Circuit,
     spec: &Circuit,
     options: &EcoOptions,
 ) -> Result<(Patch, RectifyStats), EcoError> {
-    let budget = match options.timeout {
-        Some(t) => Budget::with_deadline(t),
-        None => Budget::unlimited(),
-    };
-    rewire_rectification_governed(implementation, spec, options, &budget)
+    rewire_rectify(implementation, spec, options, None)
+}
+
+/// Deprecated pre-0.2 entry point.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rewire_rectify(implementation, spec, options, Some(budget))`"
+)]
+pub fn rewire_rectification_governed(
+    implementation: &mut Circuit,
+    spec: &Circuit,
+    options: &EcoOptions,
+    budget: &Budget,
+) -> Result<(Patch, RectifyStats), EcoError> {
+    rewire_rectify(implementation, spec, options, Some(budget))
 }
 
 /// Extracts a human-readable message from a caught panic payload.
@@ -137,36 +250,38 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// [`rewire_rectification`] under an explicit resource [`Budget`].
+/// [`rewire_rectify`] with an explicit observer and worker pool — the
+/// internal entry used by [`Session`](crate::Session) and the batch API.
 ///
 /// Per-output searches are isolated: a budget expiry, an error, or a panic
-/// inside one output's search rolls the circuit back to its pre-search
-/// state, applies the always-applicable output-rewire fallback, and records
-/// a [`Degradation`] — the run as a whole still succeeds with every output
-/// rectified.
-///
-/// # Errors
-///
-/// [`EcoError`] on malformed inputs, and
-/// [`EcoError::RectificationFailed`] only when even the fallback rewire
-/// cannot be applied.
-pub fn rewire_rectification_governed(
+/// inside one output's search degrades only that output to the
+/// always-applicable output-rewire fallback and records a [`Degradation`] —
+/// the run as a whole still succeeds with every output rectified.
+pub(crate) fn rewire_rectify_with(
     implementation: &mut Circuit,
     spec: &Circuit,
     options: &EcoOptions,
     budget: &Budget,
+    observer: Option<&ProgressCallback>,
+    pool: &WorkerPool,
 ) -> Result<(Patch, RectifyStats), EcoError> {
+    let t_run = Instant::now();
     let corr = Correspondence::build(implementation, spec)?;
-    let mut rng = SmallRng::seed_from_u64(options.seed);
     let mut patch = Patch::new(implementation.num_nodes());
     let mut stats = RectifyStats {
         outputs_total: corr.outputs.len(),
         ..Default::default()
     };
-    let timing_model = DelayModel::default();
-    let timing_period = if options.level_driven {
-        let probe = TimingReport::analyze(implementation, &timing_model, 0.0)?;
-        Some(probe.critical_delay() * 1.1)
+    // The base circuit is immutable during the search phase, so arrival
+    // times are computed once (level-driven selection only).
+    let timing = if options.level_driven {
+        let model = DelayModel::default();
+        let probe = TimingReport::analyze(implementation, &model, 0.0)?;
+        Some(TimingReport::analyze(
+            implementation,
+            &model,
+            probe.critical_delay() * 1.1,
+        )?)
     } else {
         None
     };
@@ -198,12 +313,16 @@ pub fn rewire_rectification_governed(
         }
     }
     stats.outputs_failing = failing.len();
-    let mut sample_bank: Vec<Vec<bool>> = seeds.values().cloned().collect();
-    // Spec logic already instantiated by earlier commits, shared so
-    // overlapping revisions are cloned once (one patch, many sinks).
-    let mut shared_clones: HashMap<eco_netlist::NetId, eco_netlist::NetId> = HashMap::new();
+    // Detection counterexamples seed every worker's local sample bank, in
+    // output order so the bank is identical across runs and worker counts.
+    let initial_bank: Vec<Vec<bool>> = corr
+        .outputs
+        .iter()
+        .filter_map(|p| seeds.get(&p.impl_index).cloned())
+        .collect();
 
-    // Order failing outputs by logical complexity (cone size).
+    // Merge order: increasing logical complexity (cone size), stable on
+    // ties — fixed before the fan-out, independent of completion order.
     let mut order: Vec<&OutputPair> = corr
         .outputs
         .iter()
@@ -218,117 +337,271 @@ pub fn rewire_rectification_governed(
     });
     let order: Vec<OutputPair> = order.into_iter().cloned().collect();
 
+    emit(
+        observer,
+        ProgressEvent::RunStarted {
+            outputs_total: corr.outputs.len(),
+            outputs_failing: order.len(),
+            jobs: pool.workers(),
+        },
+    );
+
     // ------------------------------------------------------------------
-    // Per-output rectification.
+    // Search phase: pure per-output searches on the worker pool.
     // ------------------------------------------------------------------
-    for pair in &order {
-        if !failing.contains(&pair.impl_index) {
-            continue; // fixed as a side effect of an earlier rewire
-        }
-        // Budget gate: once exhausted, remaining outputs skip the search and
-        // go straight to the guaranteed fallback.
-        if let Some(reason) = budget.degrade_reason() {
-            trace!(
-                "output {}: budget exhausted ({reason}), fallback",
-                pair.name
-            );
-            let fixed = fallback_rectify(
-                implementation,
-                spec,
-                pair,
-                &mut shared_clones,
-                &mut patch,
-                &mut stats,
-            )?;
-            stats.degradations.push(Degradation {
+    let base: &Circuit = implementation;
+    let results: Vec<SearchResult> = pool.run(order.len(), |i| {
+        let pair = &order[i];
+        emit(
+            observer,
+            ProgressEvent::OutputStarted {
                 output: pair.name.clone(),
-                reason,
-                action: DegradeAction::OutputRewireFallback,
-            });
-            for f in fixed {
-                failing.remove(&f);
-            }
-            continue;
-        }
-        // Re-confirm: the circuit has changed since detection.
-        let seed = match check_output_pair(
-            implementation,
-            spec,
-            pair,
-            Some(options.validation_budget.saturating_mul(10)),
-            Some(budget),
-        )? {
-            Equivalence::Equivalent => {
-                failing.remove(&pair.impl_index);
-                continue;
-            }
-            Equivalence::Counterexample(x) => Some(x),
-            Equivalence::Unknown => seeds.get(&pair.impl_index).cloned(),
-        };
-        trace!(
-            "output {} ({} remaining): starting rectification",
-            pair.name,
-            failing.len()
+                position: i,
+                failing_total: order.len(),
+            },
         );
-        let t_out = std::time::Instant::now();
-        // Snapshot everything the per-output search mutates structurally, so
-        // a mid-search error or panic cannot leave a half-applied rewire.
-        let snapshot = (implementation.clone(), patch.clone(), shared_clones.clone());
+        let t_search = Instant::now();
+        let mut local = SearchStats::default();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             budget.inject_search_panic();
-            // Refresh arrival times: earlier commits added patch logic.
-            let timing = match timing_period {
-                Some(period) => Some(TimingReport::analyze(
-                    implementation,
-                    &timing_model,
-                    period,
-                )?),
-                None => None,
-            };
-            rectify_one_output(
-                implementation,
+            search_one_output(
+                base,
                 spec,
                 &corr,
                 pair,
-                seed.as_deref(),
+                seeds.get(&pair.impl_index).map(Vec::as_slice),
                 &failing,
-                &mut sample_bank,
-                &mut shared_clones,
+                &initial_bank,
                 options,
                 timing.as_ref(),
-                &mut patch,
-                &mut stats,
-                &mut rng,
+                &mut local,
                 budget,
             )
         }));
-        let recovery = match outcome {
-            Ok(Ok((fixed, degradation))) => {
-                trace!(
-                    "output {}: done in {:?} (stats {:?})",
-                    pair.name,
-                    t_out.elapsed(),
-                    stats
-                );
-                if let Some((reason, action)) = degradation {
+        let verdict = match outcome {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => SearchVerdict::Fallback {
+                reason: Some(DegradeReason::SearchError(e.to_string())),
+            },
+            Err(payload) => SearchVerdict::Fallback {
+                reason: Some(DegradeReason::SearchPanicked(panic_message(payload))),
+            },
+        };
+        let search = t_search.elapsed();
+        trace!("output {}: search done in {search:?}", pair.name);
+        emit(
+            observer,
+            ProgressEvent::OutputSearched {
+                output: pair.name.clone(),
+                position: i,
+                search,
+                proposal: matches!(verdict, SearchVerdict::Proposal { .. }),
+            },
+        );
+        SearchResult {
+            verdict,
+            stats: local,
+            search,
+        }
+    });
+    for r in &results {
+        stats.refinements += r.stats.refinements;
+        stats.validations += r.stats.validations;
+        stats.point_sets_tried += r.stats.point_sets_tried;
+        stats.choices_tried += r.stats.choices_tried;
+    }
+
+    // ------------------------------------------------------------------
+    // Merge phase: apply proposals sequentially in the fixed order.
+    // ------------------------------------------------------------------
+    let recheck_budget = Some(options.validation_budget.saturating_mul(10));
+    // Spec logic already instantiated by earlier merges, shared so
+    // overlapping revisions are cloned once (one patch, many sinks).
+    let mut shared_clones: HashMap<NetId, NetId> = HashMap::new();
+    let mut proposals_applied = 0usize;
+    for (position, (pair, result)) in order.iter().zip(results).enumerate() {
+        let SearchResult {
+            verdict, search, ..
+        } = result;
+        let (action, degraded) = match verdict {
+            SearchVerdict::Equivalent => (OutputAction::AlreadyEquivalent, false),
+            SearchVerdict::Fallback { reason } => {
+                let reason = reason.or_else(|| budget.degrade_reason());
+                // An earlier merged proposal may have fixed this output as a
+                // side effect; only worth a query when the circuit actually
+                // changed and the budget still allows it.
+                let already_fixed = reason.is_none()
+                    && proposals_applied > 0
+                    && matches!(
+                        check_output_pair(
+                            implementation,
+                            spec,
+                            pair,
+                            recheck_budget,
+                            Some(budget)
+                        )?,
+                        Equivalence::Equivalent
+                    );
+                if already_fixed {
+                    (OutputAction::AlreadyEquivalent, false)
+                } else {
+                    fallback_rectify(
+                        implementation,
+                        spec,
+                        pair,
+                        &mut shared_clones,
+                        &mut patch,
+                        &mut stats,
+                    )?;
+                    match reason {
+                        Some(reason) => {
+                            trace!("output {}: fallback ({reason})", pair.name);
+                            stats.degradations.push(Degradation {
+                                output: pair.name.clone(),
+                                reason,
+                                action: DegradeAction::OutputRewireFallback,
+                            });
+                            (OutputAction::Fallback, true)
+                        }
+                        None => (OutputAction::Fallback, false),
+                    }
+                }
+            }
+            SearchVerdict::Proposal { rewires, cut } => {
+                if let Some(reason) = budget.degrade_reason() {
+                    // The proposal was validated against the pristine base
+                    // circuit; re-validating against the merged state is no
+                    // longer affordable, so take the guaranteed fallback
+                    // instead of trusting it blindly.
+                    fallback_rectify(
+                        implementation,
+                        spec,
+                        pair,
+                        &mut shared_clones,
+                        &mut patch,
+                        &mut stats,
+                    )?;
                     stats.degradations.push(Degradation {
                         output: pair.name.clone(),
                         reason,
-                        action,
+                        action: DegradeAction::OutputRewireFallback,
                     });
+                    (OutputAction::Fallback, true)
+                } else if proposals_applied > 0
+                    && matches!(
+                        check_output_pair(
+                            implementation,
+                            spec,
+                            pair,
+                            recheck_budget,
+                            Some(budget)
+                        )?,
+                        Equivalence::Equivalent
+                    )
+                {
+                    (OutputAction::AlreadyEquivalent, false)
+                } else {
+                    // Snapshot so a conflicting proposal cannot leave a
+                    // half-applied rewire behind.
+                    let snapshot = (implementation.clone(), patch.clone(), shared_clones.clone());
+                    let mut conflict: Option<DegradeReason> = None;
+                    match apply_rewires(implementation, spec, &rewires, &mut shared_clones) {
+                        Ok((ops, cloned)) => {
+                            patch.record_cloned(cloned);
+                            for op in ops {
+                                patch.record_rewire(op);
+                            }
+                            // Proposals after the first were validated
+                            // against a circuit that has since changed:
+                            // re-confirm before keeping them.
+                            if proposals_applied > 0
+                                && !matches!(
+                                    check_output_pair(
+                                        implementation,
+                                        spec,
+                                        pair,
+                                        recheck_budget,
+                                        Some(budget),
+                                    )?,
+                                    Equivalence::Equivalent
+                                )
+                            {
+                                conflict = Some(
+                                    budget
+                                        .degrade_reason()
+                                        .unwrap_or(DegradeReason::MergeConflict),
+                                );
+                            }
+                        }
+                        Err(_) => conflict = Some(DegradeReason::MergeConflict),
+                    }
+                    match conflict {
+                        None => {
+                            stats.rewire_rectified += 1;
+                            proposals_applied += 1;
+                            match cut {
+                                Some(reason) => {
+                                    stats.degradations.push(Degradation {
+                                        output: pair.name.clone(),
+                                        reason,
+                                        action: DegradeAction::CommittedBest,
+                                    });
+                                    (OutputAction::Rewired, true)
+                                }
+                                None => (OutputAction::Rewired, false),
+                            }
+                        }
+                        Some(reason) => {
+                            trace!("output {}: merge conflict, fallback", pair.name);
+                            (*implementation, patch, shared_clones) = snapshot;
+                            fallback_rectify(
+                                implementation,
+                                spec,
+                                pair,
+                                &mut shared_clones,
+                                &mut patch,
+                                &mut stats,
+                            )?;
+                            stats.degradations.push(Degradation {
+                                output: pair.name.clone(),
+                                reason,
+                                action: DegradeAction::OutputRewireFallback,
+                            });
+                            (OutputAction::Fallback, true)
+                        }
+                    }
                 }
-                for f in fixed {
-                    failing.remove(&f);
-                }
-                None
             }
-            Ok(Err(e)) => Some(DegradeReason::SearchError(e.to_string())),
-            Err(payload) => Some(DegradeReason::SearchPanicked(panic_message(payload))),
         };
-        if let Some(reason) = recovery {
-            trace!("output {}: search failed ({reason}), fallback", pair.name);
-            (*implementation, patch, shared_clones) = snapshot;
-            let fixed = fallback_rectify(
+        stats.per_output.push(OutputTiming {
+            output: pair.name.clone(),
+            search,
+            action,
+        });
+        emit(
+            observer,
+            ProgressEvent::OutputRectified {
+                output: pair.name.clone(),
+                position,
+                action,
+                degraded,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Verification pass: with two or more merged proposals, a later one can
+    // damage an earlier one's output (each was re-checked only for its own
+    // pair). Re-classify everything and repair damage with the fallback.
+    // ------------------------------------------------------------------
+    if proposals_applied >= 2 {
+        let verdicts = classify_outputs(implementation, spec, &corr, recheck_budget, Some(budget))?;
+        for (pair, verdict) in corr.outputs.iter().zip(verdicts) {
+            if matches!(verdict, Equivalence::Equivalent) {
+                continue;
+            }
+            trace!("output {}: damaged by a later merge, fallback", pair.name);
+            fallback_rectify(
                 implementation,
                 spec,
                 pair,
@@ -336,17 +609,44 @@ pub fn rewire_rectification_governed(
                 &mut patch,
                 &mut stats,
             )?;
-            stats.degradations.push(Degradation {
-                output: pair.name.clone(),
-                reason,
-                action: DegradeAction::OutputRewireFallback,
-            });
-            for f in fixed {
-                failing.remove(&f);
+            let reason = budget
+                .degrade_reason()
+                .unwrap_or(DegradeReason::MergeConflict);
+            // At most one degradation per output: replace any earlier entry.
+            match stats
+                .degradations
+                .iter_mut()
+                .find(|d| d.output == pair.name)
+            {
+                Some(d) => {
+                    d.reason = reason;
+                    d.action = DegradeAction::OutputRewireFallback;
+                }
+                None => stats.degradations.push(Degradation {
+                    output: pair.name.clone(),
+                    reason,
+                    action: DegradeAction::OutputRewireFallback,
+                }),
+            }
+            match stats.per_output.iter_mut().find(|t| t.output == pair.name) {
+                Some(t) => t.action = OutputAction::Fallback,
+                None => stats.per_output.push(OutputTiming {
+                    output: pair.name.clone(),
+                    search: Duration::ZERO,
+                    action: OutputAction::Fallback,
+                }),
             }
         }
     }
+
     implementation.sweep();
+    emit(
+        observer,
+        ProgressEvent::RunFinished {
+            duration: t_run.elapsed(),
+            degradations: stats.degradations.len(),
+        },
+    );
     Ok((patch, stats))
 }
 
@@ -357,10 +657,10 @@ fn fallback_rectify(
     implementation: &mut Circuit,
     spec: &Circuit,
     pair: &OutputPair,
-    shared_clones: &mut HashMap<eco_netlist::NetId, eco_netlist::NetId>,
+    shared_clones: &mut HashMap<NetId, NetId>,
     patch: &mut Patch,
     stats: &mut RectifyStats,
-) -> Result<Vec<u32>, EcoError> {
+) -> Result<(), EcoError> {
     let spec_root = spec.outputs()[pair.spec_index as usize].net();
     let fallback = vec![CandidateRewire {
         pin: Pin::output(pair.impl_index),
@@ -382,52 +682,53 @@ fn fallback_rectify(
         patch.record_rewire(op);
     }
     stats.fallbacks += 1;
-    Ok(vec![pair.impl_index])
+    Ok(())
 }
 
-/// Output indices made equivalent, plus the degradation (if any) that cut
-/// the search short.
-type SearchOutcome = (Vec<u32>, Option<(DegradeReason, DegradeAction)>);
-
-/// Rectifies one output pair.
+/// Searches one output pair against the immutable base circuit.
+///
+/// Pure: mutates nothing outside its local counters; the returned
+/// [`SearchVerdict`] is applied (or discarded) by the merge phase. The RNG
+/// stream is derived from the run seed and the output index so the verdict
+/// is independent of worker count and scheduling.
 #[allow(clippy::too_many_arguments)]
-fn rectify_one_output(
-    implementation: &mut Circuit,
+fn search_one_output(
+    base: &Circuit,
     spec: &Circuit,
     corr: &Correspondence,
     pair: &OutputPair,
     seed: Option<&[bool]>,
     failing: &HashSet<u32>,
-    sample_bank: &mut Vec<Vec<bool>>,
-    shared_clones: &mut HashMap<eco_netlist::NetId, eco_netlist::NetId>,
+    initial_bank: &[Vec<bool>],
     options: &EcoOptions,
     timing: Option<&TimingReport>,
-    patch: &mut Patch,
-    stats: &mut RectifyStats,
-    rng: &mut SmallRng,
+    stats: &mut SearchStats,
     budget: &Budget,
-) -> Result<SearchOutcome, EcoError> {
+) -> Result<SearchVerdict, EcoError> {
+    let mut rng = SmallRng::seed_from_u64(per_output_seed(options.seed, pair.impl_index));
     let mut samples = collect_samples(
-        implementation,
+        base,
         spec,
         corr,
         pair,
         options.num_samples,
         options.sample_policy,
         seed,
-        rng,
+        &mut rng,
         Some(budget),
     )?;
     if samples.is_empty() {
-        if let Some(reason) = budget.degrade_reason() {
+        return Ok(match budget.degrade_reason() {
             // The sampler gave up before finding a distinguishing input, so
             // we cannot claim equivalence: take the guaranteed fallback.
-            let fixed = fallback_rectify(implementation, spec, pair, shared_clones, patch, stats)?;
-            return Ok((fixed, Some((reason, DegradeAction::OutputRewireFallback))));
-        }
-        // No error exists: the pair is equivalent after all.
-        return Ok((vec![pair.impl_index], None));
+            Some(reason) => SearchVerdict::Fallback {
+                reason: Some(reason),
+            },
+            // No error exists: the pair is equivalent after all.
+            None => SearchVerdict::Equivalent,
+        });
     }
+    let mut sample_bank: Vec<Vec<bool>> = initial_bank.to_vec();
     for s in &samples {
         if !sample_bank.contains(s) {
             sample_bank.push(s.clone());
@@ -443,24 +744,21 @@ fn rectify_one_output(
             break;
         }
         match attempt_with_domain(
-            implementation,
+            base,
             spec,
             corr,
             pair,
             &samples,
             pin_cap,
             failing,
-            sample_bank,
-            shared_clones,
+            &sample_bank,
             options,
             timing,
-            patch,
             stats,
             budget,
         )? {
-            Attempt::Committed { fixed, cut } => {
-                stats.rewire_rectified += 1;
-                return Ok((fixed, cut.map(|r| (r, DegradeAction::CommittedBest))));
+            Attempt::Found { rewires, cut } => {
+                return Ok(SearchVerdict::Proposal { rewires, cut });
             }
             Attempt::Refine(x) => {
                 if refinements_left == 0 {
@@ -494,12 +792,8 @@ fn rectify_one_output(
 
     // Fallback: the output pin is a rectification point whose rectification
     // function is f' itself, realized by the corresponding output of C'
-    // (§3.3 completeness argument).
-    let fixed = fallback_rectify(implementation, spec, pair, shared_clones, patch, stats)?;
-    Ok((
-        fixed,
-        ended.map(|r| (r, DegradeAction::OutputRewireFallback)),
-    ))
+    // (§3.3 completeness argument). The merge phase applies it.
+    Ok(SearchVerdict::Fallback { reason: ended })
 }
 
 /// Maps a BDD failure inside an attempt to the matching [`Attempt`] outcome:
@@ -514,10 +808,12 @@ fn bdd_cut(e: BddError) -> Result<Attempt, EcoError> {
     }
 }
 
-/// One search attempt over a fixed sampling domain.
+/// One search attempt over a fixed sampling domain. Read-only with respect
+/// to the circuit: a validated choice is returned as [`Attempt::Found`], not
+/// applied.
 #[allow(clippy::too_many_arguments)]
 fn attempt_with_domain(
-    implementation: &mut Circuit,
+    base: &Circuit,
     spec: &Circuit,
     corr: &Correspondence,
     pair: &OutputPair,
@@ -525,14 +821,12 @@ fn attempt_with_domain(
     pin_cap: usize,
     failing: &HashSet<u32>,
     sample_bank: &[Vec<bool>],
-    shared_clones: &mut HashMap<eco_netlist::NetId, eco_netlist::NetId>,
     options: &EcoOptions,
     timing: Option<&TimingReport>,
-    patch: &mut Patch,
-    stats: &mut RectifyStats,
+    stats: &mut SearchStats,
     budget: &Budget,
 ) -> Result<Attempt, EcoError> {
-    let root = implementation.outputs()[pair.impl_index as usize].net();
+    let root = base.outputs()[pair.impl_index as usize].net();
     let spec_root = spec.outputs()[pair.spec_index as usize].net();
 
     let node_limit = if budget.inject_bdd_node_limit() {
@@ -544,7 +838,7 @@ fn attempt_with_domain(
     budget.arm_bdd(&mut m);
     let domain = SamplingDomain::new(samples.to_vec(), Z_BASE);
 
-    let g_impl = match domain.input_functions(&mut m, implementation.num_inputs()) {
+    let g_impl = match domain.input_functions(&mut m, base.num_inputs()) {
         Ok(v) => v,
         Err(e) => return bdd_cut(e),
     };
@@ -554,7 +848,7 @@ fn attempt_with_domain(
             g_spec[*sp] = g_impl[pos];
         }
     }
-    let impl_vals = match eval_all_bdd(implementation, &mut m, &g_impl) {
+    let impl_vals = match eval_all_bdd(base, &mut m, &g_impl) {
         Ok(v) => v,
         Err(e) => return bdd_cut(e),
     };
@@ -564,8 +858,12 @@ fn attempt_with_domain(
     };
     let fprime = spec_vals[spec_root.index()];
 
-    let pins = candidate_pins(implementation, root, pair.impl_index, pin_cap);
-    let ctx = RewireNetContext::build(implementation, spec, corr, spec_root, samples)?;
+    let pins = candidate_pins(base, root, pair.impl_index, pin_cap);
+    let ctx = RewireNetContext::build(base, spec, corr, spec_root, samples)?;
+    // Searches run against the pristine base circuit, so candidate cost is
+    // estimated without cross-output clone sharing; the merge phase dedups
+    // actual clones via its shared map.
+    let no_clones: HashMap<NetId, NetId> = HashMap::new();
 
     let mut first_counterexample: Option<Vec<bool>> = None;
     // All validated candidates across every m, scored by patch cost: cloned
@@ -586,13 +884,7 @@ fn attempt_with_domain(
         rewires
             .iter()
             .filter(|r| r.candidate.from_spec)
-            .map(|r| {
-                if shared_clones.contains_key(&r.candidate.net) {
-                    0 // already instantiated by an earlier commit
-                } else {
-                    topo::cone_size(spec, r.candidate.net).max(1)
-                }
-            })
+            .map(|r| topo::cone_size(spec, r.candidate.net).max(1))
             .sum()
     };
     let mut valid: Vec<ValidOption> = Vec::new();
@@ -616,9 +908,9 @@ fn attempt_with_domain(
         if selection.t_base + selection.num_t_vars() > Y_BASE {
             break; // encoding exceeds the reserved t block
         }
-        let t_sets = std::time::Instant::now();
+        let t_sets = Instant::now();
         let sets = match feasible_point_sets(
-            implementation,
+            base,
             &mut m,
             &g_impl,
             fprime,
@@ -657,7 +949,7 @@ fn attempt_with_domain(
             let mut cand_lists: Vec<Vec<RewireCandidate>> = Vec::with_capacity(point_set.len());
             for &p in &point_set {
                 cand_lists.push(candidates_for_pin(
-                    implementation,
+                    base,
                     &ctx,
                     p,
                     options.max_rewire_candidates,
@@ -665,7 +957,7 @@ fn attempt_with_domain(
                 )?);
             }
             let choices = match find_choices(
-                implementation,
+                base,
                 &mut m,
                 &g_impl,
                 &impl_vals,
@@ -744,16 +1036,16 @@ fn attempt_with_domain(
                 }
                 validations_left -= 1;
                 stats.validations += 1;
-                let t_val = std::time::Instant::now();
+                let t_val = Instant::now();
                 match validate_rewires(
-                    implementation,
+                    base,
                     spec,
                     corr,
                     &rewires,
                     pair,
                     failing,
                     sample_bank,
-                    shared_clones,
+                    &no_clones,
                     options.validation_budget,
                     Some(budget),
                 )? {
@@ -805,7 +1097,7 @@ fn attempt_with_domain(
             }
         }
     }
-    // Commit the best validated option: smallest clone cost, then fewest
+    // Return the best validated option: smallest clone cost, then fewest
     // rewires, then most outputs fixed (§5.2's favoring).
     if !valid.is_empty() {
         valid.sort_by(|a, b| {
@@ -823,7 +1115,7 @@ fn attempt_with_domain(
         });
         if let Some(best) = valid.into_iter().next() {
             trace!(
-                "  commit: cost {} with {} rewires at {:?}",
+                "  found: cost {} with {} rewires at {:?}",
                 best.cost,
                 best.rewires.len(),
                 best.rewires
@@ -831,16 +1123,8 @@ fn attempt_with_domain(
                     .map(|r| r.pin.to_string())
                     .collect::<Vec<_>>()
             );
-            let (ops, cloned) = apply_rewires(implementation, spec, &best.rewires, shared_clones)
-                .map_err(EcoError::from)?;
-            patch.record_cloned(cloned);
-            for op in ops {
-                patch.record_rewire(op);
-            }
-            let mut all_fixed = vec![pair.impl_index];
-            all_fixed.extend(best.fixed);
-            return Ok(Attempt::Committed {
-                fixed: all_fixed,
+            return Ok(Attempt::Found {
+                rewires: best.rewires,
                 cut,
             });
         }
@@ -856,6 +1140,7 @@ fn attempt_with_domain(
 mod tests {
     use super::*;
     use eco_netlist::GateKind;
+    use std::sync::{Arc, Mutex};
 
     /// impl: y = a & b (wrong), d = a & b reused elsewhere must survive;
     /// spec: y = a | b, d unchanged.
@@ -894,7 +1179,7 @@ mod tests {
     fn rectifies_and_to_or_preserving_sibling() {
         let (mut c, s) = and_or_case();
         let options = EcoOptions::with_seed(3);
-        let (patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        let (patch, stats) = rewire_rectify(&mut c, &s, &options, None).unwrap();
         check_equiv(&c, &s);
         assert_eq!(stats.outputs_failing, 1, "only y fails");
         assert!(!patch.rewires().is_empty());
@@ -910,7 +1195,7 @@ mod tests {
         let mut c = c0.clone();
         let s = c0;
         let options = EcoOptions::with_seed(1);
-        let (patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        let (patch, stats) = rewire_rectify(&mut c, &s, &options, None).unwrap();
         assert_eq!(stats.outputs_failing, 0);
         assert!(patch.rewires().is_empty());
         assert_eq!(patch.stats(&c), crate::PatchStats::default());
@@ -946,7 +1231,7 @@ mod tests {
         s.add_output("aux", sns1);
 
         let options = EcoOptions::with_seed(11);
-        let (patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        let (patch, stats) = rewire_rectify(&mut c, &s, &options, None).unwrap();
         check_equiv(&c, &s);
         let pstats = patch.stats(&c);
         assert_eq!(
@@ -981,10 +1266,58 @@ mod tests {
         s.add_output("w", h3);
 
         let options = EcoOptions::with_seed(5);
-        let (_patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        let (_patch, stats) = rewire_rectify(&mut c, &s, &options, None).unwrap();
         check_equiv(&c, &s);
         assert_eq!(stats.outputs_failing, 2);
         c.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn per_output_stats_and_progress_events_are_reported() {
+        let (mut c, s) = and_or_case();
+        let options = EcoOptions::builder().seed(3).jobs(1).build();
+        let events: Arc<Mutex<Vec<String>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let observer: ProgressCallback = Arc::new(move |e: &ProgressEvent| {
+            let tag = match e {
+                ProgressEvent::RunStarted { .. } => "start",
+                ProgressEvent::OutputStarted { .. } => "out-start",
+                ProgressEvent::OutputSearched { .. } => "out-search",
+                ProgressEvent::OutputRectified { .. } => "out-done",
+                ProgressEvent::RunFinished { .. } => "finish",
+            };
+            sink.lock().unwrap().push(tag.to_string());
+        });
+        let budget = Budget::unlimited();
+        let pool = WorkerPool::new(1);
+        let (_patch, stats) =
+            rewire_rectify_with(&mut c, &s, &options, &budget, Some(&observer), &pool).unwrap();
+        assert_eq!(stats.per_output.len(), 1);
+        assert_eq!(stats.per_output[0].output, "y");
+        assert_ne!(stats.per_output[0].action, OutputAction::AlreadyEquivalent);
+        assert_eq!(stats.normalized().per_output[0].search, Duration::ZERO);
+        let events = events.lock().unwrap();
+        assert_eq!(events.first().map(String::as_str), Some("start"));
+        assert_eq!(events.last().map(String::as_str), Some("finish"));
+        assert_eq!(
+            events.iter().filter(|t| t.as_str() == "out-done").count(),
+            1
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_work() {
+        let (mut c, s) = and_or_case();
+        let options = EcoOptions::with_seed(3);
+        let (_patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        check_equiv(&c, &s);
+        assert_eq!(stats.outputs_failing, 1);
+        let (mut c2, s2) = and_or_case();
+        let budget = Budget::unlimited();
+        let (_patch, stats) =
+            rewire_rectification_governed(&mut c2, &s2, &options, &budget).unwrap();
+        assert_eq!(stats.outputs_failing, 1);
     }
 
     // --- resource-governance and fault-injection paths ---
@@ -995,7 +1328,7 @@ mod tests {
         let (mut c, s) = and_or_case();
         let budget = Budget::unlimited().with_faults(faults);
         let options = EcoOptions::with_seed(3);
-        let (_patch, stats) = rewire_rectification_governed(&mut c, &s, &options, &budget).unwrap();
+        let (_patch, stats) = rewire_rectify(&mut c, &s, &options, Some(&budget)).unwrap();
         (c, s, stats)
     }
 
@@ -1048,7 +1381,8 @@ mod tests {
         };
         assert!(msg.contains("synthetic fault"), "got {msg:?}");
         assert!(matches!(d.action, DegradeAction::OutputRewireFallback));
-        // The snapshot restore must leave a consistent, rectified circuit.
+        // The search is pure, so a panic inside it cannot corrupt the
+        // circuit; the merge phase applies the fallback.
         check_equiv(&c, &s);
         c.check_well_formed().unwrap();
     }
@@ -1058,7 +1392,7 @@ mod tests {
         let (mut c, s) = and_or_case();
         let budget = Budget::with_deadline(std::time::Duration::ZERO);
         let options = EcoOptions::with_seed(3);
-        let (_patch, stats) = rewire_rectification_governed(&mut c, &s, &options, &budget).unwrap();
+        let (_patch, stats) = rewire_rectify(&mut c, &s, &options, Some(&budget)).unwrap();
         assert_eq!(stats.degradations.len(), stats.outputs_failing);
         for d in &stats.degradations {
             assert_eq!(d.reason, DegradeReason::DeadlineExceeded);
@@ -1075,7 +1409,7 @@ mod tests {
         token.cancel();
         let budget = Budget::unlimited().with_cancel(&token);
         let options = EcoOptions::with_seed(3);
-        let (_patch, stats) = rewire_rectification_governed(&mut c, &s, &options, &budget).unwrap();
+        let (_patch, stats) = rewire_rectify(&mut c, &s, &options, Some(&budget)).unwrap();
         assert!(!stats.degradations.is_empty());
         for d in &stats.degradations {
             assert_eq!(d.reason, DegradeReason::Cancelled);
@@ -1087,7 +1421,38 @@ mod tests {
     fn clean_run_reports_no_degradations() {
         let (mut c, s) = and_or_case();
         let options = EcoOptions::with_seed(3);
-        let (_patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
+        let (_patch, stats) = rewire_rectify(&mut c, &s, &options, None).unwrap();
         assert!(stats.degradations.is_empty());
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_patch() {
+        // The multi-output case exercises search + merge; the patch and the
+        // normalized stats must be identical for every worker count.
+        let build = |jobs: usize| {
+            let mut c = Circuit::new("impl");
+            let a = c.add_input("a");
+            let b = c.add_input("b");
+            let d = c.add_input("d");
+            let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+            let g2 = c.add_gate(GateKind::Xor, &[g1, d]).unwrap();
+            c.add_output("u", g1);
+            c.add_output("v", g2);
+            let mut s = Circuit::new("spec");
+            let sa = s.add_input("a");
+            let sb = s.add_input("b");
+            let sd = s.add_input("d");
+            let h1 = s.add_gate(GateKind::Nand, &[sa, sb]).unwrap();
+            let h2 = s.add_gate(GateKind::Xor, &[h1, sd]).unwrap();
+            s.add_output("u", h1);
+            s.add_output("v", h2);
+            let options = EcoOptions::builder().seed(7).jobs(jobs).build();
+            let (patch, stats) = rewire_rectify(&mut c, &s, &options, None).unwrap();
+            (format!("{:?}", patch.rewires()), stats.normalized())
+        };
+        let (p1, s1) = build(1);
+        let (p4, s4) = build(4);
+        assert_eq!(p1, p4);
+        assert_eq!(s1, s4);
     }
 }

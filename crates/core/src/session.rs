@@ -1,0 +1,223 @@
+//! A configured rectification session: options plus the run-scoped state —
+//! cancellation token and progress observer — that a bare
+//! [`Syseco`](crate::Syseco) call cannot carry.
+//!
+//! ```
+//! use eco_netlist::{Circuit, GateKind};
+//! use syseco::{CancelToken, EcoOptions, Session};
+//!
+//! # fn main() -> Result<(), syseco::EcoError> {
+//! let mut c = Circuit::new("impl");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.add_gate(GateKind::And, &[a, b])?;
+//! c.add_output("y", g);
+//! let mut s = Circuit::new("spec");
+//! let a = s.add_input("a");
+//! let b = s.add_input("b");
+//! let g = s.add_gate(GateKind::Or, &[a, b])?;
+//! s.add_output("y", g);
+//!
+//! let token = CancelToken::new();
+//! let session = Session::new(EcoOptions::builder().jobs(1).build())
+//!     .with_cancel(&token)
+//!     .on_progress(|event| eprintln!("{event:?}"));
+//! let result = session.run(&c, &s)?;
+//! assert!(syseco::verify_rectification(&result.patched, &s)?);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use eco_netlist::Circuit;
+
+use crate::budget::{Budget, CancelToken};
+use crate::engine::{EcoResult, Syseco};
+use crate::options::EcoOptions;
+use crate::progress::{ProgressCallback, ProgressEvent};
+use crate::schedule::WorkerPool;
+use crate::EcoError;
+
+/// A rectification session handle.
+///
+/// Construct with [`Session::new`] or [`Syseco::session`], attach a
+/// [`CancelToken`] and/or a progress observer, then [`run`](Session::run)
+/// one pair or [`run_all`](Session::run_all) a batch. The session is
+/// reusable: every run derives a fresh [`Budget`] from the options'
+/// timeout, sharing the attached token.
+#[derive(Clone)]
+pub struct Session {
+    engine: Syseco,
+    cancel: Option<CancelToken>,
+    observer: Option<ProgressCallback>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("options", self.engine.options())
+            .field("cancel", &self.cancel)
+            .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
+}
+
+impl Session {
+    /// A session over `options`, with no cancellation or observer attached.
+    pub fn new(options: EcoOptions) -> Self {
+        Session {
+            engine: Syseco::new(options),
+            cancel: None,
+            observer: None,
+        }
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &EcoOptions {
+        self.engine.options()
+    }
+
+    /// Attaches a cancellation token: cancelling it degrades the run (every
+    /// unfinished output takes the fallback) instead of aborting it.
+    #[must_use]
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Attaches a progress observer invoked with every
+    /// [`ProgressEvent`]. Events arrive from worker threads, so the
+    /// callback must be `Send + Sync` and should be cheap.
+    #[must_use]
+    pub fn on_progress<F>(mut self, callback: F) -> Self
+    where
+        F: Fn(&ProgressEvent) + Send + Sync + 'static,
+    {
+        self.observer = Some(Arc::new(callback));
+        self
+    }
+
+    /// A fresh budget for one run: the options' timeout plus the attached
+    /// cancellation token.
+    fn budget(&self) -> Budget {
+        let mut budget = self.engine.default_budget();
+        if let Some(token) = &self.cancel {
+            budget = budget.with_cancel(token);
+        }
+        budget
+    }
+
+    /// Rectifies one pair under this session's budget and observer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Syseco::rectify`].
+    pub fn run(&self, implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, EcoError> {
+        let budget = self.budget();
+        self.run_with_budget(implementation, spec, &budget)
+    }
+
+    /// Like [`Session::run`] with an externally owned [`Budget`] (the
+    /// attached cancellation token is *not* merged into it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Syseco::rectify`].
+    pub fn run_with_budget(
+        &self,
+        implementation: &Circuit,
+        spec: &Circuit,
+        budget: &Budget,
+    ) -> Result<EcoResult, EcoError> {
+        let pool = WorkerPool::new(self.options().effective_jobs());
+        self.engine
+            .rectify_with(implementation, spec, budget, self.observer.as_ref(), &pool)
+    }
+
+    /// Rectifies a batch of pairs with one shared worker pool.
+    ///
+    /// Jobs run sequentially in input order; parallelism is applied within
+    /// each job, across its failing outputs. Every job gets a fresh
+    /// timeout-derived budget sharing the attached cancellation token, so
+    /// cancelling the token stops the whole batch (each remaining job
+    /// degrades promptly to fallbacks).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first job's [`EcoError`], abandoning the rest.
+    pub fn run_all(&self, jobs: &[(&Circuit, &Circuit)]) -> Result<Vec<EcoResult>, EcoError> {
+        let pool = WorkerPool::new(self.options().effective_jobs());
+        jobs.iter()
+            .map(|(implementation, spec)| {
+                let budget = self.budget();
+                self.engine.rectify_with(
+                    implementation,
+                    spec,
+                    &budget,
+                    self.observer.as_ref(),
+                    &pool,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::verify_rectification;
+    use eco_netlist::GateKind;
+    use std::sync::Mutex;
+
+    fn and_or_pair() -> (Circuit, Circuit) {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        let mut s = Circuit::new("spec");
+        let sa = s.add_input("a");
+        let sb = s.add_input("b");
+        let sg = s.add_gate(GateKind::Or, &[sa, sb]).unwrap();
+        s.add_output("y", sg);
+        (c, s)
+    }
+
+    #[test]
+    fn session_runs_and_reports_progress() {
+        let (c, s) = and_or_pair();
+        let events: Arc<Mutex<usize>> = Arc::default();
+        let sink = Arc::clone(&events);
+        let session =
+            Session::new(EcoOptions::with_seed(3)).on_progress(move |_| *sink.lock().unwrap() += 1);
+        let result = session.run(&c, &s).unwrap();
+        assert!(verify_rectification(&result.patched, &s).unwrap());
+        assert!(*events.lock().unwrap() >= 2, "RunStarted + RunFinished");
+        // Reusable: a second run works and reports again.
+        let before = *events.lock().unwrap();
+        session.run(&c, &s).unwrap();
+        assert!(*events.lock().unwrap() > before);
+    }
+
+    #[test]
+    fn cancelled_session_degrades_gracefully() {
+        let (c, s) = and_or_pair();
+        let token = CancelToken::new();
+        token.cancel();
+        let session = Session::new(EcoOptions::with_seed(3)).with_cancel(&token);
+        let result = session.run(&c, &s).unwrap();
+        assert!(!result.rectify.degradations.is_empty());
+        assert!(verify_rectification(&result.patched, &s).unwrap());
+    }
+
+    #[test]
+    fn run_all_lines_up_with_inputs() {
+        let (c, s) = and_or_pair();
+        let session = Session::new(EcoOptions::with_seed(3));
+        let results = session.run_all(&[(&c, &s), (&s, &s)]).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].rectify.outputs_failing, 1);
+        assert_eq!(results[1].rectify.outputs_failing, 0);
+    }
+}

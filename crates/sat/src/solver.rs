@@ -791,6 +791,16 @@ fn luby(mut x: u32) -> u64 {
     1u64 << seq
 }
 
+// Validation solvers are per-worker in the rectification scheduler, so
+// `Send` is load-bearing: keep the solver free of `Rc`/raw-pointer state.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<Solver>();
+    assert_send_sync::<Lit>();
+    assert_send_sync::<Var>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

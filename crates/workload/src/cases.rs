@@ -199,6 +199,35 @@ pub fn timing_params() -> Vec<CaseParams> {
     ]
 }
 
+/// Parameters of the thread-scaling case (id 16): many independently
+/// revised words so at least 8 bit-outputs fail, giving the per-output
+/// rectification scheduler enough independent cones to fan out across.
+pub fn scaling_params() -> CaseParams {
+    use RevisionKind as R;
+    CaseParams {
+        id: 16,
+        name: "par16",
+        seed: 0x1010,
+        input_words: 12,
+        width: 4,
+        logic_signals: 60,
+        output_words: 8,
+        revisions: vec![
+            (0, R::PolarityFlip),
+            (2, R::ConditionFlip),
+            (4, R::ConstantChange),
+            (6, R::MuxBranchSwap),
+        ],
+        heavy_optimization: true,
+        aggressive_optimization: false,
+    }
+}
+
+/// Builds the thread-scaling case of [`scaling_params`].
+pub fn scaling_case() -> EcoCase {
+    build_case(&scaling_params())
+}
+
 /// Builds the 11 ECO cases of Tables 1 and 2.
 pub fn table1_cases() -> Vec<EcoCase> {
     table1_params().iter().map(build_case).collect()
@@ -227,6 +256,18 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert_eq!(p[0].id, 12);
         assert_eq!(p[3].id, 15);
+    }
+
+    #[test]
+    fn scaling_case_has_enough_failing_outputs() {
+        let case = scaling_case();
+        case.implementation.check_well_formed().unwrap();
+        case.spec.check_well_formed().unwrap();
+        assert!(
+            case.revised_outputs >= 8,
+            "scaling case needs >= 8 failing bit-outputs, got {}",
+            case.revised_outputs
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ mod cases;
 mod generator;
 mod revision;
 
-pub use cases::{table1_cases, table1_params, timing_cases, timing_params};
+pub use cases::{
+    scaling_case, scaling_params, table1_cases, table1_params, timing_cases, timing_params,
+};
 pub use generator::{build_case, CaseParams, EcoCase};
 pub use revision::RevisionKind;

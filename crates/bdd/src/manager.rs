@@ -34,6 +34,59 @@ enum Op {
     Xor,
 }
 
+/// Operation-cache hit/miss counters of a [`BddManager`].
+///
+/// A *hit* is a memoized result returned without recursion; a *miss* is a
+/// cache lookup that fell through to the recursive computation (terminal
+/// short-circuits count as neither). Counters are cumulative since manager
+/// creation or the last [`BddManager::reset_counters`], and deterministic
+/// for a deterministic operation sequence — summing them across independent
+/// managers is therefore order-insensitive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BddCounters {
+    /// Apply-cache (AND/OR/XOR) hits.
+    pub apply_hits: u64,
+    /// Apply-cache misses.
+    pub apply_misses: u64,
+    /// ITE-cache hits.
+    pub ite_hits: u64,
+    /// ITE-cache misses.
+    pub ite_misses: u64,
+    /// NOT-cache hits.
+    pub not_hits: u64,
+    /// NOT-cache misses.
+    pub not_misses: u64,
+    /// Quantification-cache hits.
+    pub quant_hits: u64,
+    /// Quantification-cache misses.
+    pub quant_misses: u64,
+}
+
+impl BddCounters {
+    /// Total cache hits across every operation cache.
+    pub fn total_hits(&self) -> u64 {
+        self.apply_hits + self.ite_hits + self.not_hits + self.quant_hits
+    }
+
+    /// Total cache misses across every operation cache.
+    pub fn total_misses(&self) -> u64 {
+        self.apply_misses + self.ite_misses + self.not_misses + self.quant_misses
+    }
+}
+
+impl std::ops::AddAssign for BddCounters {
+    fn add_assign(&mut self, rhs: BddCounters) {
+        self.apply_hits += rhs.apply_hits;
+        self.apply_misses += rhs.apply_misses;
+        self.ite_hits += rhs.ite_hits;
+        self.ite_misses += rhs.ite_misses;
+        self.not_hits += rhs.not_hits;
+        self.not_misses += rhs.not_misses;
+        self.quant_hits += rhs.quant_hits;
+        self.quant_misses += rhs.quant_misses;
+    }
+}
+
 /// An ROBDD manager: unique table, operation caches, and a node budget.
 ///
 /// See the [crate-level documentation](crate) for an overview and example.
@@ -50,6 +103,8 @@ pub struct BddManager {
     deadline: Option<Instant>,
     interrupt: Option<Arc<AtomicBool>>,
     op_tick: u64,
+    counters: BddCounters,
+    peak_nodes: usize,
 }
 
 impl Default for BddManager {
@@ -82,6 +137,8 @@ impl BddManager {
             deadline: None,
             interrupt: None,
             op_tick: 0,
+            counters: BddCounters::default(),
+            peak_nodes: 0,
         };
         m.nodes.push(Node {
             var: TERMINAL_VAR,
@@ -93,6 +150,7 @@ impl BddManager {
             lo: 1,
             hi: 1,
         }); // true
+        m.peak_nodes = m.nodes.len();
         m
     }
 
@@ -149,6 +207,11 @@ impl BddManager {
         let id = self.nodes.len() as u32;
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);
+        // Nodes are never reclaimed today, but peak tracking must survive a
+        // future garbage-collection pass, so it is maintained explicitly.
+        if self.nodes.len() > self.peak_nodes {
+            self.peak_nodes = self.nodes.len();
+        }
         id
     }
 
@@ -256,8 +319,10 @@ impl BddManager {
             return Ok(0);
         }
         if let Some(&r) = self.not_cache.get(&f) {
+            self.counters.not_hits += 1;
             return Ok(r);
         }
+        self.counters.not_misses += 1;
         self.check_budget()?;
         let n = self.nodes[f as usize];
         let lo = self.not_rec(n.lo)?;
@@ -375,8 +440,10 @@ impl BddManager {
         // Commutative: canonicalize operand order.
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
         if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+            self.counters.apply_hits += 1;
             return Ok(r);
         }
+        self.counters.apply_misses += 1;
         self.check_budget()?;
         let v = self.level(f).min(self.level(g));
         let (f0, f1) = self.cofactors(f, v);
@@ -402,8 +469,10 @@ impl BddManager {
             return Ok(i);
         }
         if let Some(&r) = self.ite_cache.get(&(i, t, e)) {
+            self.counters.ite_hits += 1;
             return Ok(r);
         }
+        self.counters.ite_misses += 1;
         self.check_budget()?;
         let v = self.level(i).min(self.level(t)).min(self.level(e));
         let (i0, i1) = self.cofactors(i, v);
@@ -485,8 +554,10 @@ impl BddManager {
             return Ok(f);
         }
         if let Some(&r) = self.quant_cache.get(&(f, cube, existential)) {
+            self.counters.quant_hits += 1;
             return Ok(r);
         }
+        self.counters.quant_misses += 1;
         self.check_budget()?;
         let fv = self.level(f);
         let cv = self.level(cube);
@@ -594,11 +665,40 @@ impl BddManager {
     /// Clears operation caches (unique table and nodes are kept).
     ///
     /// Useful between large independent computations to bound memory.
+    /// Hit/miss [`counters`](BddManager::counters) are cumulative and are
+    /// *not* reset — use [`reset_counters`](BddManager::reset_counters).
     pub fn clear_caches(&mut self) {
         self.apply_cache.clear();
         self.ite_cache.clear();
         self.not_cache.clear();
         self.quant_cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Instrumentation
+    // ------------------------------------------------------------------
+
+    /// Cumulative operation-cache hit/miss counters.
+    #[inline]
+    pub fn counters(&self) -> BddCounters {
+        self.counters
+    }
+
+    /// Resets the hit/miss counters to zero (caches are untouched).
+    pub fn reset_counters(&mut self) {
+        self.counters = BddCounters::default();
+    }
+
+    /// High-water mark of the node store (terminals included).
+    #[inline]
+    pub fn peak_num_nodes(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Number of entries in the unique table (terminals excluded).
+    #[inline]
+    pub fn unique_table_len(&self) -> usize {
+        self.unique.len()
     }
 
     /// Functional composition `f[var := g]`.
@@ -686,6 +786,66 @@ mod tests {
 
     fn mgr() -> BddManager {
         BddManager::new()
+    }
+
+    #[test]
+    fn repeated_apply_hits_the_cache() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let first = m.and(a, b).unwrap();
+        let before = m.counters();
+        assert_eq!(before.apply_hits, 0);
+        assert!(before.apply_misses >= 1);
+        let second = m.and(a, b).unwrap();
+        assert_eq!(first, second);
+        let after = m.counters();
+        assert!(after.apply_hits > before.apply_hits);
+        assert_eq!(after.apply_misses, before.apply_misses);
+
+        let n = m.not(first).unwrap();
+        let miss = m.counters();
+        assert!(miss.not_misses >= 1);
+        assert_eq!(m.not(first).unwrap(), n);
+        assert!(m.counters().not_hits > miss.not_hits);
+
+        m.reset_counters();
+        assert_eq!(m.counters(), BddCounters::default());
+    }
+
+    #[test]
+    fn peak_nodes_and_unique_table_track_growth() {
+        let mut m = mgr();
+        assert_eq!(m.peak_num_nodes(), 2); // the two terminals
+        assert_eq!(m.unique_table_len(), 0);
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.xor(a, b).unwrap();
+        assert_eq!(m.peak_num_nodes(), m.num_nodes());
+        assert_eq!(m.unique_table_len(), m.num_nodes() - 2);
+        let peak = m.peak_num_nodes();
+        m.clear_caches();
+        assert_eq!(m.peak_num_nodes(), peak);
+    }
+
+    #[test]
+    fn counters_fold_with_add_assign() {
+        let mut total = BddCounters::default();
+        total += BddCounters {
+            apply_hits: 1,
+            apply_misses: 2,
+            ..BddCounters::default()
+        };
+        total += BddCounters {
+            apply_hits: 10,
+            quant_misses: 3,
+            ..BddCounters::default()
+        };
+        assert_eq!(total.apply_hits, 11);
+        assert_eq!(total.apply_misses, 2);
+        assert_eq!(total.quant_misses, 3);
+        assert_eq!(total.total_hits(), 11);
+        assert_eq!(total.total_misses(), 5);
     }
 
     #[test]

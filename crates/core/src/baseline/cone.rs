@@ -75,6 +75,7 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
         runtime: start.elapsed(),
         patched,
         patch,
+        trace: Vec::new(),
     })
 }
 

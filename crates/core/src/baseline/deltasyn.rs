@@ -147,6 +147,7 @@ pub fn rectify(implementation: &Circuit, spec: &Circuit) -> Result<EcoResult, Ec
         runtime: start.elapsed(),
         patched,
         patch,
+        trace: Vec::new(),
     })
 }
 

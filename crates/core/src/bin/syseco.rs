@@ -6,12 +6,22 @@
 //! syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]
 //!                [--out patched.blif] [--seed N] [--samples N]
 //!                [--level-driven] [--timeout SECS] [--jobs N] [--progress]
+//!                [--trace-out FILE] [--metrics-out FILE]
+//!                [--log-format human|json]
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the per-output searches
 //! (`0` = available parallelism; the patch is identical for every value).
 //! `--progress` prints a live per-cone status line to stderr as searches
-//! start, finish, and merge.
+//! start, finish, and merge; with `--log-format json` each line is one
+//! JSON object instead (see [`ProgressEvent::to_json`]).
+//!
+//! `--trace-out FILE` records structured spans and writes them on exit:
+//! Chrome trace-event JSON (load in `chrome://tracing` or Perfetto) by
+//! default, span-per-line JSONL when `FILE` ends in `.jsonl`.
+//! `--metrics-out FILE` writes the folded metrics registry (SAT conflict
+//! counts, BDD cache hit rates, search/validate timing histograms) as
+//! JSON. Both are `--engine syseco` only.
 //!
 //! Designs are read and written in the BLIF-style format of
 //! [`eco_netlist::io`].
@@ -26,7 +36,8 @@ use eco_netlist::{read_blif, write_blif, Circuit, CircuitStats};
 use syseco::baseline::{cone, deltasyn};
 use syseco::correspond::Correspondence;
 use syseco::error_domain::{classify_outputs, Equivalence};
-use syseco::{Budget, EcoOptions, ProgressEvent, Session};
+use syseco::telemetry::export::{chrome_trace, metrics_json, spans_jsonl};
+use syseco::{Budget, EcoOptions, ProgressEvent, Session, Telemetry};
 
 fn load(path: &str) -> Result<Circuit, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -38,9 +49,16 @@ fn usage() -> ExitCode {
         "usage:\n  syseco stats   <design.blif>\n  syseco check   <impl.blif> <spec.blif>\n  \
          syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]\n                 \
          [--out patched.blif] [--seed N] [--samples N] [--level-driven]\n                 \
-         [--timeout SECS] [--jobs N] [--progress]"
+         [--timeout SECS] [--jobs N] [--progress]\n                 \
+         [--trace-out FILE] [--metrics-out FILE] [--log-format human|json]"
     );
     ExitCode::from(2)
+}
+
+/// Machine-readable progress: one JSON object per line on stderr
+/// (`--progress --log-format json`).
+fn print_progress_json(event: &ProgressEvent) {
+    eprintln!("{}", event.to_json());
 }
 
 /// Live per-cone status lines on stderr (`--progress`).
@@ -152,6 +170,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let spec = load(&args[2])?;
             let mut engine_name = "syseco".to_string();
             let mut out_path: Option<String> = None;
+            let mut trace_out: Option<String> = None;
+            let mut metrics_out: Option<String> = None;
+            let mut json_log = false;
             let mut progress = false;
             let mut builder = EcoOptions::builder();
             let mut i = 3;
@@ -163,6 +184,38 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     }
                     "--out" => {
                         out_path = Some(args.get(i + 1).cloned().ok_or("--out needs a value")?);
+                        i += 2;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("--trace-out needs a value")?,
+                        );
+                        i += 2;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("--metrics-out needs a value")?,
+                        );
+                        i += 2;
+                    }
+                    "--log-format" => {
+                        match args
+                            .get(i + 1)
+                            .ok_or("--log-format needs a value")?
+                            .as_str()
+                        {
+                            "human" => json_log = false,
+                            "json" => json_log = true,
+                            other => {
+                                return Err(format!(
+                                    "unknown log format {other:?} (expected human or json)"
+                                ))
+                            }
+                        }
                         i += 2;
                     }
                     "--seed" => {
@@ -217,11 +270,25 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let options = builder.build();
             let timeout = options.timeout;
+            if (trace_out.is_some() || metrics_out.is_some()) && engine_name != "syseco" {
+                return Err(format!(
+                    "--trace-out/--metrics-out require --engine syseco, got {engine_name:?}"
+                ));
+            }
+            let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
             let result = match engine_name.as_str() {
                 "syseco" => {
-                    let mut session = Session::new(options);
+                    let mut session = Session::new(options).with_telemetry(&telemetry);
                     if progress {
-                        session = session.on_progress(print_progress);
+                        session = if json_log {
+                            session.on_progress(print_progress_json)
+                        } else {
+                            session.on_progress(print_progress)
+                        };
                     }
                     session
                         .run(&implementation, &spec)
@@ -233,6 +300,20 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 "cone" => cone::rectify(&implementation, &spec).map_err(|e| e.to_string())?,
                 other => return Err(format!("unknown engine {other:?}")),
             };
+            if let Some(path) = &trace_out {
+                let rendered = if path.ends_with(".jsonl") {
+                    spans_jsonl(&result.trace, false)
+                } else {
+                    chrome_trace(&result.trace)
+                };
+                std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("trace written to {path} ({} spans)", result.trace.len());
+            }
+            if let Some(path) = &metrics_out {
+                std::fs::write(path, metrics_json(&telemetry.snapshot()))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
             println!("engine {engine_name} finished in {:?}", result.runtime);
             print!(
                 "{}",

@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use eco_netlist::Circuit;
+use eco_telemetry::{ArgValue, SpanRecord, Telemetry};
 
 use crate::budget::Budget;
 use crate::correspond::Correspondence;
@@ -28,6 +29,10 @@ pub struct EcoResult {
     pub rectify: RectifyStats,
     /// Wall-clock time of the run.
     pub runtime: Duration,
+    /// Structured trace spans of the run, in deterministic merge-slot
+    /// order. Empty unless the run was given an enabled
+    /// [`Telemetry`] (see [`Session::with_telemetry`]).
+    pub trace: Vec<SpanRecord>,
 }
 
 /// The symbolic-sampling ECO engine of the paper.
@@ -106,7 +111,14 @@ impl Syseco {
         budget: &Budget,
     ) -> Result<EcoResult, EcoError> {
         let pool = WorkerPool::new(self.options.effective_jobs());
-        self.rectify_with(implementation, spec, budget, None, &pool)
+        self.rectify_with(
+            implementation,
+            spec,
+            budget,
+            None,
+            &pool,
+            &Telemetry::disabled(),
+        )
     }
 
     /// Deprecated pre-0.2 name of [`Syseco::rectify_with_budget`].
@@ -134,10 +146,11 @@ impl Syseco {
     /// Returns the first job's [`EcoError`], abandoning the rest.
     pub fn rectify_all(&self, jobs: &[(&Circuit, &Circuit)]) -> Result<Vec<EcoResult>, EcoError> {
         let pool = WorkerPool::new(self.options.effective_jobs());
+        let telemetry = Telemetry::disabled();
         jobs.iter()
             .map(|(implementation, spec)| {
                 let budget = self.default_budget();
-                self.rectify_with(implementation, spec, &budget, None, &pool)
+                self.rectify_with(implementation, spec, &budget, None, &pool, &telemetry)
             })
             .collect()
     }
@@ -156,8 +169,9 @@ impl Syseco {
         }
     }
 
-    /// The full engine flow with an explicit observer and worker pool — the
-    /// internal entry shared by [`Session`] and the batch API.
+    /// The full engine flow with an explicit observer, worker pool, and
+    /// telemetry sink — the internal entry shared by [`Session`] and the
+    /// batch API.
     pub(crate) fn rectify_with(
         &self,
         implementation: &Circuit,
@@ -165,6 +179,7 @@ impl Syseco {
         budget: &Budget,
         observer: Option<&ProgressCallback>,
         pool: &WorkerPool,
+        telemetry: &Telemetry,
     ) -> Result<EcoResult, EcoError> {
         let start = Instant::now();
         implementation.check_well_formed()?;
@@ -173,13 +188,22 @@ impl Syseco {
         let spec = named.as_ref().unwrap_or(spec);
         let mut patched = implementation.clone();
         normalize_ports(&mut patched, spec)?;
-        let (patch, rectify) =
-            rewire_rectify_with(&mut patched, spec, &self.options, budget, observer, pool)?;
+        let (patch, rectify, mut trace) = rewire_rectify_with(
+            &mut patched,
+            spec,
+            &self.options,
+            budget,
+            observer,
+            pool,
+            telemetry,
+        )?;
         // Patch-input refinement (§5.2 post-processing): reuse existing
         // implementation logic inside the cloned patch. Under level-driven
         // selection the merge is timing-aware. It is a pure optimisation,
         // so a spent budget skips it and the run returns promptly.
         if !budget.is_exhausted() {
+            let mut tb = telemetry.buffer(0);
+            let span = tb.start();
             let model = eco_timing::DelayModel::default();
             refine_patch_inputs_timed(
                 &mut patched,
@@ -188,6 +212,11 @@ impl Syseco {
                 self.options.seed ^ 0x9e3779b97f4a7c15,
                 self.options.level_driven.then_some(&model),
             )?;
+            let rewires = patch.rewires().len() as u64;
+            tb.end_with(span, "refine_patch", "rectify", || {
+                vec![("rewires", ArgValue::U64(rewires))]
+            });
+            trace.extend(tb.into_spans());
         }
         patched.sweep();
         let stats = patch.stats(&patched);
@@ -197,6 +226,7 @@ impl Syseco {
             runtime: start.elapsed(),
             patched,
             patch,
+            trace,
         })
     }
 }

@@ -10,7 +10,7 @@ use std::collections::HashSet;
 
 use eco_netlist::{sim, Circuit, NetlistError};
 use eco_sat::cec::{assist_equivalences, CecOptions};
-use eco_sat::{tseitin, Lit, SolveResult, Solver};
+use eco_sat::{tseitin, Lit, SolveResult, Solver, SolverStats};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -41,6 +41,21 @@ pub fn check_output_pair(
     budget: Option<u64>,
     governor: Option<&Budget>,
 ) -> Result<Equivalence, NetlistError> {
+    check_output_pair_with_stats(implementation, spec, pair, budget, governor).map(|(e, _)| e)
+}
+
+/// [`check_output_pair`] plus the SAT effort the query consumed.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from encoding.
+pub fn check_output_pair_with_stats(
+    implementation: &Circuit,
+    spec: &Circuit,
+    pair: &OutputPair,
+    budget: Option<u64>,
+    governor: Option<&Budget>,
+) -> Result<(Equivalence, SolverStats), NetlistError> {
     let mut solver = Solver::new();
     let lnet = implementation.outputs()[pair.impl_index as usize].net();
     let rnet = spec.outputs()[pair.spec_index as usize].net();
@@ -58,13 +73,14 @@ pub fn check_output_pair(
     if let Some(g) = governor {
         g.arm_solver(&mut solver);
     }
-    Ok(match solver.solve(&[]) {
+    let verdict = match solver.solve(&[]) {
         SolveResult::Unsat => Equivalence::Equivalent,
         SolveResult::Sat => {
             Equivalence::Counterexample(tseitin::model_inputs(&solver, &miter, implementation))
         }
         SolveResult::Unknown => Equivalence::Unknown,
-    })
+    };
+    Ok((verdict, solver.stats()))
 }
 
 /// Classifies every matched output pair with **one** miter encoding.
@@ -83,6 +99,21 @@ pub fn classify_outputs(
     budget: Option<u64>,
     governor: Option<&Budget>,
 ) -> Result<Vec<Equivalence>, NetlistError> {
+    classify_outputs_with_stats(implementation, spec, corr, budget, governor).map(|(v, _)| v)
+}
+
+/// [`classify_outputs`] plus the SAT effort the classification consumed.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from encoding.
+pub fn classify_outputs_with_stats(
+    implementation: &Circuit,
+    spec: &Circuit,
+    corr: &Correspondence,
+    budget: Option<u64>,
+    governor: Option<&Budget>,
+) -> Result<(Vec<Equivalence>, SolverStats), NetlistError> {
     let pairs: Vec<_> = corr
         .outputs
         .iter()
@@ -120,7 +151,8 @@ pub fn classify_outputs(
             SolveResult::Unknown => Equivalence::Unknown,
         });
     }
-    Ok(out)
+    let stats = solver.stats();
+    Ok((out, stats))
 }
 
 /// Collects up to `want` samples for the sampling domain of one output pair.
@@ -149,6 +181,41 @@ pub fn collect_samples(
     rng: &mut SmallRng,
     governor: Option<&Budget>,
 ) -> Result<Vec<Vec<bool>>, NetlistError> {
+    collect_samples_with_stats(
+        implementation,
+        spec,
+        corr,
+        pair,
+        want,
+        policy,
+        seed_sample,
+        rng,
+        governor,
+    )
+    .map(|(s, _)| s)
+}
+
+/// [`collect_samples`] plus the SAT effort of the enumeration stage.
+///
+/// The returned [`SolverStats`] is zero when random simulation alone filled
+/// the request (stage 2 never built a solver).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from simulation or encoding.
+#[allow(clippy::too_many_arguments)]
+pub fn collect_samples_with_stats(
+    implementation: &Circuit,
+    spec: &Circuit,
+    corr: &Correspondence,
+    pair: &OutputPair,
+    want: usize,
+    policy: SamplePolicy,
+    seed_sample: Option<&[bool]>,
+    rng: &mut SmallRng,
+    governor: Option<&Budget>,
+) -> Result<(Vec<Vec<bool>>, SolverStats), NetlistError> {
+    let mut sat_stats = SolverStats::default();
     let mut samples: Vec<Vec<bool>> = Vec::new();
     let mut seen: HashSet<Vec<bool>> = HashSet::new();
     let mut push = |s: Vec<bool>, samples: &mut Vec<Vec<bool>>| {
@@ -184,7 +251,7 @@ pub fn collect_samples(
 
     if policy == SamplePolicy::Random {
         fill_random(want, &mut samples, &mut seen, rng);
-        return Ok(samples);
+        return Ok((samples, sat_stats));
     }
     // Error-domain collection targets the full budget for ErrorDomain and
     // half of it for Mixed (the rest is random preservation samples).
@@ -285,13 +352,14 @@ pub fn collect_samples(
                 _ => break, // exhausted or budget hit
             }
         }
+        sat_stats = solver.stats();
     }
     if policy == SamplePolicy::Mixed {
         // Preservation samples: random assignments constrain the search to
         // keep already-correct behaviour, cutting false positives.
         fill_random(want_full, &mut samples, &mut seen, rng);
     }
-    Ok(samples)
+    Ok((samples, sat_stats))
 }
 
 #[cfg(test)]

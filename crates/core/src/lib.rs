@@ -92,3 +92,11 @@ pub use progress::{OutputAction, ProgressCallback, ProgressEvent};
 pub use rectify::{rewire_rectification, rewire_rectification_governed};
 pub use rectify::{rewire_rectify, OutputTiming, RectifyStats};
 pub use session::Session;
+
+/// Structured tracing and metrics (re-export of the `eco-telemetry`
+/// crate): build a [`Telemetry`] hub, attach it with
+/// [`Session::with_telemetry`], then export via
+/// [`telemetry::export::spans_jsonl`], [`telemetry::export::chrome_trace`],
+/// or [`telemetry::export::metrics_json`].
+pub use eco_telemetry as telemetry;
+pub use eco_telemetry::{MetricsSnapshot, SpanRecord, Telemetry};

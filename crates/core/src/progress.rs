@@ -94,6 +94,65 @@ pub enum ProgressEvent {
     },
 }
 
+impl ProgressEvent {
+    /// Renders this event as one JSON object on a single line (no trailing
+    /// newline) — the `--log-format json` form of the CLI's progress
+    /// stream. Every object carries an `event` tag naming the variant in
+    /// snake case; durations are emitted in microseconds as `*_us`.
+    pub fn to_json(&self) -> String {
+        use eco_telemetry::export::json_string;
+        match self {
+            ProgressEvent::RunStarted {
+                outputs_total,
+                outputs_failing,
+                jobs,
+            } => format!(
+                "{{\"event\":\"run_started\",\"outputs_total\":{outputs_total},\
+                 \"outputs_failing\":{outputs_failing},\"jobs\":{jobs}}}"
+            ),
+            ProgressEvent::OutputStarted {
+                output,
+                position,
+                failing_total,
+            } => format!(
+                "{{\"event\":\"output_started\",\"output\":{},\"position\":{position},\
+                 \"failing_total\":{failing_total}}}",
+                json_string(output)
+            ),
+            ProgressEvent::OutputSearched {
+                output,
+                position,
+                search,
+                proposal,
+            } => format!(
+                "{{\"event\":\"output_searched\",\"output\":{},\"position\":{position},\
+                 \"search_us\":{},\"proposal\":{proposal}}}",
+                json_string(output),
+                search.as_micros()
+            ),
+            ProgressEvent::OutputRectified {
+                output,
+                position,
+                action,
+                degraded,
+            } => format!(
+                "{{\"event\":\"output_rectified\",\"output\":{},\"position\":{position},\
+                 \"action\":{},\"degraded\":{degraded}}}",
+                json_string(output),
+                json_string(&action.to_string())
+            ),
+            ProgressEvent::RunFinished {
+                duration,
+                degradations,
+            } => format!(
+                "{{\"event\":\"run_finished\",\"duration_us\":{},\
+                 \"degradations\":{degradations}}}",
+                duration.as_micros()
+            ),
+        }
+    }
+}
+
 /// Shared observer invoked with every [`ProgressEvent`].
 ///
 /// Events arrive from worker threads; the callback must therefore be
@@ -137,6 +196,44 @@ mod tests {
         let seen = seen.lock().unwrap();
         assert_eq!(seen.len(), 1);
         assert!(seen[0].contains("RunStarted"));
+    }
+
+    #[test]
+    fn to_json_emits_one_tagged_object_per_variant() {
+        let started = ProgressEvent::OutputStarted {
+            output: "y\"0".into(),
+            position: 1,
+            failing_total: 3,
+        };
+        assert_eq!(
+            started.to_json(),
+            "{\"event\":\"output_started\",\"output\":\"y\\\"0\",\"position\":1,\
+             \"failing_total\":3}"
+        );
+        let searched = ProgressEvent::OutputSearched {
+            output: "y".into(),
+            position: 0,
+            search: Duration::from_micros(1500),
+            proposal: true,
+        };
+        assert!(searched.to_json().contains("\"search_us\":1500"));
+        assert!(searched.to_json().contains("\"proposal\":true"));
+        let rectified = ProgressEvent::OutputRectified {
+            output: "y".into(),
+            position: 0,
+            action: OutputAction::AlreadyEquivalent,
+            degraded: false,
+        };
+        assert!(rectified
+            .to_json()
+            .contains("\"action\":\"already equivalent\""));
+        let finished = ProgressEvent::RunFinished {
+            duration: Duration::from_micros(42),
+            degradations: 0,
+        };
+        assert!(finished
+            .to_json()
+            .starts_with("{\"event\":\"run_finished\""));
     }
 
     #[test]

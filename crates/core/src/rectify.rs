@@ -33,8 +33,12 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use eco_bdd::{BddError, BddManager};
+use eco_bdd::{BddCounters, BddError, BddManager};
 use eco_netlist::{topo, Circuit, NetId, Pin};
+use eco_sat::SolverStats;
+use eco_telemetry::{
+    ArgValue, Counter, Gauge, Histogram, MetricsShard, SpanRecord, Telemetry, TraceBuffer,
+};
 use eco_timing::{DelayModel, TimingReport};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -42,7 +46,10 @@ use rand::SeedableRng;
 use crate::budget::{Budget, Degradation, DegradeAction, DegradeReason};
 use crate::choices::find_choices;
 use crate::correspond::{Correspondence, OutputPair};
-use crate::error_domain::{check_output_pair, classify_outputs, collect_samples, Equivalence};
+use crate::error_domain::{
+    check_output_pair_with_stats, classify_outputs_with_stats, collect_samples_with_stats,
+    Equivalence,
+};
 use crate::options::EcoOptions;
 use crate::patch::Patch;
 use crate::points::{candidate_pins, feasible_point_sets, Selection};
@@ -50,7 +57,7 @@ use crate::progress::{emit, OutputAction, ProgressCallback, ProgressEvent};
 use crate::rewire_nets::{candidates_for_pin, RewireCandidate, RewireNetContext};
 use crate::sampling::{eval_all_bdd, SamplingDomain};
 use crate::schedule::{per_output_seed, WorkerPool};
-use crate::validate::{apply_rewires, validate_rewires, CandidateRewire, Validation};
+use crate::validate::{apply_rewires, validate_rewires_with_stats, CandidateRewire, Validation};
 use crate::EcoError;
 
 /// BDD variable layout: choice block, selection block, rectification
@@ -100,6 +107,20 @@ pub struct RectifyStats {
     /// One entry per rectified output, in merge order: search wall-clock
     /// and the action taken.
     pub per_output: Vec<OutputTiming>,
+    /// SAT conflicts across detection, search, validation, and rechecks.
+    ///
+    /// Like every counter here, deterministic for a given seed and input —
+    /// independent of `jobs` — because each solver instance sees a
+    /// deterministic query sequence and sums commute.
+    pub sat_conflicts: u64,
+    /// SAT decisions (same scope as [`sat_conflicts`](Self::sat_conflicts)).
+    pub sat_decisions: u64,
+    /// SAT propagations (same scope).
+    pub sat_propagations: u64,
+    /// BDD operation-cache hits/misses summed over every per-output manager.
+    pub bdd: BddCounters,
+    /// Largest node count any single BDD manager reached.
+    pub bdd_peak_nodes: usize,
 }
 
 impl RectifyStats {
@@ -130,6 +151,10 @@ struct SearchStats {
     validations: usize,
     point_sets_tried: usize,
     choices_tried: usize,
+    sat: SolverStats,
+    bdd: BddCounters,
+    bdd_peak_nodes: usize,
+    bdd_unique_entries: usize,
 }
 
 /// What one per-output search concluded, without mutating anything.
@@ -150,11 +175,12 @@ enum SearchVerdict {
     Fallback { reason: Option<DegradeReason> },
 }
 
-/// One search outcome plus its local counters and wall-clock.
+/// One search outcome plus its local counters, trace, and wall-clock.
 struct SearchResult {
     verdict: SearchVerdict,
     stats: SearchStats,
     search: Duration,
+    trace: TraceBuffer,
 }
 
 enum Attempt {
@@ -209,7 +235,16 @@ pub fn rewire_rectify(
             &owned
         }
     };
-    rewire_rectify_with(implementation, spec, options, budget, None, &pool)
+    rewire_rectify_with(
+        implementation,
+        spec,
+        options,
+        budget,
+        None,
+        &pool,
+        &Telemetry::disabled(),
+    )
+    .map(|(patch, stats, _trace)| (patch, stats))
 }
 
 /// Deprecated pre-0.2 entry point.
@@ -250,13 +285,58 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// [`rewire_rectify`] with an explicit observer and worker pool — the
-/// internal entry used by [`Session`](crate::Session) and the batch API.
+/// Folds one coordinator-side SAT effort reading into the run stats and the
+/// metrics shard.
+fn note_sat(stats: &mut RectifyStats, shard: &MetricsShard, s: SolverStats) {
+    stats.sat_conflicts += s.conflicts;
+    stats.sat_decisions += s.decisions;
+    stats.sat_propagations += s.propagations;
+    if shard.is_enabled() {
+        shard.add(Counter::SatConflicts, s.conflicts);
+        shard.add(Counter::SatDecisions, s.decisions);
+        shard.add(Counter::SatPropagations, s.propagations);
+    }
+}
+
+/// Flushes one finished search's local counters into a worker shard: a
+/// handful of relaxed atomic adds at search end, nothing on the hot path.
+fn flush_search_metrics(shard: &MetricsShard, s: &SearchStats, search: Duration) {
+    if !shard.is_enabled() {
+        return;
+    }
+    shard.add(Counter::SatConflicts, s.sat.conflicts);
+    shard.add(Counter::SatDecisions, s.sat.decisions);
+    shard.add(Counter::SatPropagations, s.sat.propagations);
+    shard.add(Counter::BddApplyHits, s.bdd.apply_hits);
+    shard.add(Counter::BddApplyMisses, s.bdd.apply_misses);
+    shard.add(Counter::BddIteHits, s.bdd.ite_hits);
+    shard.add(Counter::BddIteMisses, s.bdd.ite_misses);
+    shard.add(Counter::BddNotHits, s.bdd.not_hits);
+    shard.add(Counter::BddNotMisses, s.bdd.not_misses);
+    shard.add(Counter::BddQuantHits, s.bdd.quant_hits);
+    shard.add(Counter::BddQuantMisses, s.bdd.quant_misses);
+    shard.add(Counter::RectifyRefinements, s.refinements as u64);
+    shard.add(Counter::RectifyValidations, s.validations as u64);
+    shard.add(Counter::RectifyPointSets, s.point_sets_tried as u64);
+    shard.add(Counter::RectifyChoices, s.choices_tried as u64);
+    shard.gauge_max(Gauge::BddPeakNodes, s.bdd_peak_nodes as u64);
+    shard.gauge_max(Gauge::BddUniqueEntries, s.bdd_unique_entries as u64);
+    shard.observe(Histogram::SearchMicros, search.as_micros() as u64);
+}
+
+/// [`rewire_rectify`] with an explicit observer, worker pool, and telemetry
+/// handle — the internal entry used by [`Session`](crate::Session) and the
+/// batch API.
 ///
 /// Per-output searches are isolated: a budget expiry, an error, or a panic
 /// inside one output's search degrades only that output to the
 /// always-applicable output-rewire fallback and records a [`Degradation`] —
 /// the run as a whole still succeeds with every output rectified.
+///
+/// The third tuple element is the merged trace: coordinator spans (lane 0)
+/// first, then each search's spans in merge-slot order (lane `i + 1`) —
+/// independent of worker scheduling. Empty when `telemetry` is disabled.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn rewire_rectify_with(
     implementation: &mut Circuit,
     spec: &Circuit,
@@ -264,8 +344,12 @@ pub(crate) fn rewire_rectify_with(
     budget: &Budget,
     observer: Option<&ProgressCallback>,
     pool: &WorkerPool,
-) -> Result<(Patch, RectifyStats), EcoError> {
+    telemetry: &Telemetry,
+) -> Result<(Patch, RectifyStats, Vec<SpanRecord>), EcoError> {
     let t_run = Instant::now();
+    let mut tb = telemetry.buffer(0);
+    let shard = telemetry.shard();
+    let span_run = tb.start();
     let corr = Correspondence::build(implementation, spec)?;
     let mut patch = Patch::new(implementation.num_nodes());
     let mut stats = RectifyStats {
@@ -291,13 +375,15 @@ pub(crate) fn rewire_rectify_with(
     // ------------------------------------------------------------------
     let mut failing: HashSet<u32> = HashSet::new();
     let mut seeds: HashMap<u32, Vec<bool>> = HashMap::new();
-    let verdicts = classify_outputs(
+    let span_detect = tb.start();
+    let (verdicts, detect_sat) = classify_outputs_with_stats(
         implementation,
         spec,
         &corr,
         Some(options.validation_budget.saturating_mul(10)),
         Some(budget),
     )?;
+    note_sat(&mut stats, &shard, detect_sat);
     for (pair, verdict) in corr.outputs.iter().zip(verdicts) {
         match verdict {
             Equivalence::Equivalent => {}
@@ -313,6 +399,13 @@ pub(crate) fn rewire_rectify_with(
         }
     }
     stats.outputs_failing = failing.len();
+    tb.end_with(span_detect, "detect", "rectify", || {
+        vec![
+            ("outputs_total", ArgValue::U64(corr.outputs.len() as u64)),
+            ("outputs_failing", ArgValue::U64(failing.len() as u64)),
+            ("sat_conflicts", ArgValue::U64(detect_sat.conflicts)),
+        ]
+    });
     // Detection counterexamples seed every worker's local sample bank, in
     // output order so the bank is identical across runs and worker counts.
     let initial_bank: Vec<Vec<bool>> = corr
@@ -350,7 +443,11 @@ pub(crate) fn rewire_rectify_with(
     // Search phase: pure per-output searches on the worker pool.
     // ------------------------------------------------------------------
     let base: &Circuit = implementation;
-    let results: Vec<SearchResult> = pool.run(order.len(), |i| {
+    // One metrics shard per worker lane: counters are relaxed atomics, so
+    // the search hot path never takes a lock; the registry folds the shards
+    // at snapshot time.
+    let worker_shards: Vec<MetricsShard> = (0..pool.workers()).map(|_| telemetry.shard()).collect();
+    let results: Vec<SearchResult> = pool.run(order.len(), |w, i| {
         let pair = &order[i];
         emit(
             observer,
@@ -362,6 +459,10 @@ pub(crate) fn rewire_rectify_with(
         );
         let t_search = Instant::now();
         let mut local = SearchStats::default();
+        // Trace lane i+1 belongs to merge slot i regardless of which worker
+        // ran it, so the merged trace is independent of scheduling.
+        let mut trace = telemetry.buffer(i as u32 + 1);
+        let span_search = trace.start();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             budget.inject_search_panic();
             search_one_output(
@@ -376,6 +477,8 @@ pub(crate) fn rewire_rectify_with(
                 timing.as_ref(),
                 &mut local,
                 budget,
+                &mut trace,
+                &worker_shards[w],
             )
         }));
         let verdict = match outcome {
@@ -389,6 +492,21 @@ pub(crate) fn rewire_rectify_with(
         };
         let search = t_search.elapsed();
         trace!("output {}: search done in {search:?}", pair.name);
+        trace.end_with(span_search, "search", "rectify", || {
+            vec![
+                ("output", ArgValue::Str(pair.name.clone())),
+                ("refinements", ArgValue::U64(local.refinements as u64)),
+                ("validations", ArgValue::U64(local.validations as u64)),
+                ("point_sets", ArgValue::U64(local.point_sets_tried as u64)),
+                ("choices", ArgValue::U64(local.choices_tried as u64)),
+                ("sat_conflicts", ArgValue::U64(local.sat.conflicts)),
+                (
+                    "proposal",
+                    ArgValue::U64(u64::from(matches!(verdict, SearchVerdict::Proposal { .. }))),
+                ),
+            ]
+        });
+        flush_search_metrics(&worker_shards[w], &local, search);
         emit(
             observer,
             ProgressEvent::OutputSearched {
@@ -402,6 +520,7 @@ pub(crate) fn rewire_rectify_with(
             verdict,
             stats: local,
             search,
+            trace,
         }
     });
     for r in &results {
@@ -409,6 +528,11 @@ pub(crate) fn rewire_rectify_with(
         stats.validations += r.stats.validations;
         stats.point_sets_tried += r.stats.point_sets_tried;
         stats.choices_tried += r.stats.choices_tried;
+        stats.sat_conflicts += r.stats.sat.conflicts;
+        stats.sat_decisions += r.stats.sat.decisions;
+        stats.sat_propagations += r.stats.sat.propagations;
+        stats.bdd += r.stats.bdd;
+        stats.bdd_peak_nodes = stats.bdd_peak_nodes.max(r.stats.bdd_peak_nodes);
     }
 
     // ------------------------------------------------------------------
@@ -419,10 +543,26 @@ pub(crate) fn rewire_rectify_with(
     // overlapping revisions are cloned once (one patch, many sinks).
     let mut shared_clones: HashMap<NetId, NetId> = HashMap::new();
     let mut proposals_applied = 0usize;
+    let mut search_traces: Vec<TraceBuffer> = Vec::new();
+    let span_merge = tb.start();
+    let recheck = |implementation: &Circuit,
+                   pair: &OutputPair,
+                   stats: &mut RectifyStats|
+     -> Result<Equivalence, EcoError> {
+        let (verdict, s) =
+            check_output_pair_with_stats(implementation, spec, pair, recheck_budget, Some(budget))?;
+        note_sat(stats, &shard, s);
+        Ok(verdict)
+    };
     for (position, (pair, result)) in order.iter().zip(results).enumerate() {
         let SearchResult {
-            verdict, search, ..
+            verdict,
+            search,
+            trace,
+            ..
         } = result;
+        search_traces.push(trace);
+        let span_commit = tb.start();
         let (action, degraded) = match verdict {
             SearchVerdict::Equivalent => (OutputAction::AlreadyEquivalent, false),
             SearchVerdict::Fallback { reason } => {
@@ -433,13 +573,7 @@ pub(crate) fn rewire_rectify_with(
                 let already_fixed = reason.is_none()
                     && proposals_applied > 0
                     && matches!(
-                        check_output_pair(
-                            implementation,
-                            spec,
-                            pair,
-                            recheck_budget,
-                            Some(budget)
-                        )?,
+                        recheck(implementation, pair, &mut stats)?,
                         Equivalence::Equivalent
                     );
                 if already_fixed {
@@ -489,13 +623,7 @@ pub(crate) fn rewire_rectify_with(
                     (OutputAction::Fallback, true)
                 } else if proposals_applied > 0
                     && matches!(
-                        check_output_pair(
-                            implementation,
-                            spec,
-                            pair,
-                            recheck_budget,
-                            Some(budget)
-                        )?,
+                        recheck(implementation, pair, &mut stats)?,
                         Equivalence::Equivalent
                     )
                 {
@@ -516,13 +644,7 @@ pub(crate) fn rewire_rectify_with(
                             // re-confirm before keeping them.
                             if proposals_applied > 0
                                 && !matches!(
-                                    check_output_pair(
-                                        implementation,
-                                        spec,
-                                        pair,
-                                        recheck_budget,
-                                        Some(budget),
-                                    )?,
+                                    recheck(implementation, pair, &mut stats)?,
                                     Equivalence::Equivalent
                                 )
                             {
@@ -578,6 +700,13 @@ pub(crate) fn rewire_rectify_with(
             search,
             action,
         });
+        tb.end_with(span_commit, "commit", "rectify", || {
+            vec![
+                ("output", ArgValue::Str(pair.name.clone())),
+                ("action", ArgValue::Str(action.to_string())),
+                ("degraded", ArgValue::U64(u64::from(degraded))),
+            ]
+        });
         emit(
             observer,
             ProgressEvent::OutputRectified {
@@ -588,6 +717,12 @@ pub(crate) fn rewire_rectify_with(
             },
         );
     }
+    tb.end_with(span_merge, "merge", "rectify", || {
+        vec![
+            ("proposals_applied", ArgValue::U64(proposals_applied as u64)),
+            ("fallbacks", ArgValue::U64(stats.fallbacks as u64)),
+        ]
+    });
 
     // ------------------------------------------------------------------
     // Verification pass: with two or more merged proposals, a later one can
@@ -595,11 +730,16 @@ pub(crate) fn rewire_rectify_with(
     // pair). Re-classify everything and repair damage with the fallback.
     // ------------------------------------------------------------------
     if proposals_applied >= 2 {
-        let verdicts = classify_outputs(implementation, spec, &corr, recheck_budget, Some(budget))?;
+        let span_verify = tb.start();
+        let (verdicts, verify_sat) =
+            classify_outputs_with_stats(implementation, spec, &corr, recheck_budget, Some(budget))?;
+        note_sat(&mut stats, &shard, verify_sat);
+        let mut repaired = 0u64;
         for (pair, verdict) in corr.outputs.iter().zip(verdicts) {
             if matches!(verdict, Equivalence::Equivalent) {
                 continue;
             }
+            repaired += 1;
             trace!("output {}: damaged by a later merge, fallback", pair.name);
             fallback_rectify(
                 implementation,
@@ -637,9 +777,26 @@ pub(crate) fn rewire_rectify_with(
                 }),
             }
         }
+        tb.end_with(span_verify, "verify", "rectify", || {
+            vec![("repaired", ArgValue::U64(repaired))]
+        });
     }
 
     implementation.sweep();
+    if shard.is_enabled() {
+        shard.add(Counter::RectifyRewired, stats.rewire_rectified as u64);
+        shard.add(Counter::RectifyFallbacks, stats.fallbacks as u64);
+        shard.add(
+            Counter::RectifyDegradations,
+            stats.degradations.len() as u64,
+        );
+        let merge_conflicts = stats
+            .degradations
+            .iter()
+            .filter(|d| matches!(d.reason, DegradeReason::MergeConflict))
+            .count();
+        shard.add(Counter::RectifyMergeConflicts, merge_conflicts as u64);
+    }
     emit(
         observer,
         ProgressEvent::RunFinished {
@@ -647,7 +804,27 @@ pub(crate) fn rewire_rectify_with(
             degradations: stats.degradations.len(),
         },
     );
-    Ok((patch, stats))
+    tb.end_with(span_run, "run", "rectify", || {
+        vec![
+            ("outputs_total", ArgValue::U64(stats.outputs_total as u64)),
+            (
+                "outputs_failing",
+                ArgValue::U64(stats.outputs_failing as u64),
+            ),
+            ("rewired", ArgValue::U64(stats.rewire_rectified as u64)),
+            ("fallbacks", ArgValue::U64(stats.fallbacks as u64)),
+            (
+                "degradations",
+                ArgValue::U64(stats.degradations.len() as u64),
+            ),
+        ]
+    });
+    // Coordinator spans first, then each search's spans in merge-slot
+    // order: deterministic for any worker count.
+    for t in search_traces {
+        tb.append(t);
+    }
+    Ok((patch, stats, tb.into_spans()))
 }
 
 /// Applies the §3.3 output-rewire fallback for `pair`: rewire the output pin
@@ -704,9 +881,12 @@ fn search_one_output(
     timing: Option<&TimingReport>,
     stats: &mut SearchStats,
     budget: &Budget,
+    buf: &mut TraceBuffer,
+    shard: &MetricsShard,
 ) -> Result<SearchVerdict, EcoError> {
     let mut rng = SmallRng::seed_from_u64(per_output_seed(options.seed, pair.impl_index));
-    let mut samples = collect_samples(
+    let span_samples = buf.start();
+    let (mut samples, sample_sat) = collect_samples_with_stats(
         base,
         spec,
         corr,
@@ -717,6 +897,13 @@ fn search_one_output(
         &mut rng,
         Some(budget),
     )?;
+    stats.sat += sample_sat;
+    buf.end_with(span_samples, "samples", "rectify", || {
+        vec![
+            ("collected", ArgValue::U64(samples.len() as u64)),
+            ("sat_conflicts", ArgValue::U64(sample_sat.conflicts)),
+        ]
+    });
     if samples.is_empty() {
         return Ok(match budget.degrade_reason() {
             // The sampler gave up before finding a distinguishing input, so
@@ -756,6 +943,8 @@ fn search_one_output(
             timing,
             stats,
             budget,
+            buf,
+            shard,
         )? {
             Attempt::Found { rewires, cut } => {
                 return Ok(SearchVerdict::Proposal { rewires, cut });
@@ -766,6 +955,7 @@ fn search_one_output(
                 }
                 refinements_left -= 1;
                 stats.refinements += 1;
+                buf.instant("refine", "rectify");
                 if !sample_bank.contains(&x) {
                     sample_bank.push(x.clone());
                 }
@@ -811,6 +1001,10 @@ fn bdd_cut(e: BddError) -> Result<Attempt, EcoError> {
 /// One search attempt over a fixed sampling domain. Read-only with respect
 /// to the circuit: a validated choice is returned as [`Attempt::Found`], not
 /// applied.
+///
+/// Owns the attempt's [`BddManager`] so its cache counters and peak node
+/// count can be folded into `stats` on **every** exit path of the inner
+/// search, early cuts included.
 #[allow(clippy::too_many_arguments)]
 fn attempt_with_domain(
     base: &Circuit,
@@ -825,10 +1019,9 @@ fn attempt_with_domain(
     timing: Option<&TimingReport>,
     stats: &mut SearchStats,
     budget: &Budget,
+    buf: &mut TraceBuffer,
+    shard: &MetricsShard,
 ) -> Result<Attempt, EcoError> {
-    let root = base.outputs()[pair.impl_index as usize].net();
-    let spec_root = spec.outputs()[pair.spec_index as usize].net();
-
     let node_limit = if budget.inject_bdd_node_limit() {
         1 // fault injection: force an immediate NodeLimit on the first op
     } else {
@@ -836,9 +1029,53 @@ fn attempt_with_domain(
     };
     let mut m = BddManager::with_node_limit(node_limit);
     budget.arm_bdd(&mut m);
+    let result = attempt_in_manager(
+        &mut m,
+        base,
+        spec,
+        corr,
+        pair,
+        samples,
+        pin_cap,
+        failing,
+        sample_bank,
+        options,
+        timing,
+        stats,
+        budget,
+        buf,
+        shard,
+    );
+    stats.bdd += m.counters();
+    stats.bdd_peak_nodes = stats.bdd_peak_nodes.max(m.peak_num_nodes());
+    stats.bdd_unique_entries = stats.bdd_unique_entries.max(m.unique_table_len());
+    result
+}
+
+/// The body of [`attempt_with_domain`], running inside the supplied manager.
+#[allow(clippy::too_many_arguments)]
+fn attempt_in_manager(
+    m: &mut BddManager,
+    base: &Circuit,
+    spec: &Circuit,
+    corr: &Correspondence,
+    pair: &OutputPair,
+    samples: &[Vec<bool>],
+    pin_cap: usize,
+    failing: &HashSet<u32>,
+    sample_bank: &[Vec<bool>],
+    options: &EcoOptions,
+    timing: Option<&TimingReport>,
+    stats: &mut SearchStats,
+    budget: &Budget,
+    buf: &mut TraceBuffer,
+    shard: &MetricsShard,
+) -> Result<Attempt, EcoError> {
+    let root = base.outputs()[pair.impl_index as usize].net();
+    let spec_root = spec.outputs()[pair.spec_index as usize].net();
     let domain = SamplingDomain::new(samples.to_vec(), Z_BASE);
 
-    let g_impl = match domain.input_functions(&mut m, base.num_inputs()) {
+    let g_impl = match domain.input_functions(m, base.num_inputs()) {
         Ok(v) => v,
         Err(e) => return bdd_cut(e),
     };
@@ -848,11 +1085,11 @@ fn attempt_with_domain(
             g_spec[*sp] = g_impl[pos];
         }
     }
-    let impl_vals = match eval_all_bdd(base, &mut m, &g_impl) {
+    let impl_vals = match eval_all_bdd(base, m, &g_impl) {
         Ok(v) => v,
         Err(e) => return bdd_cut(e),
     };
-    let spec_vals = match eval_all_bdd(spec, &mut m, &g_spec) {
+    let spec_vals = match eval_all_bdd(spec, m, &g_spec) {
         Ok(v) => v,
         Err(e) => return bdd_cut(e),
     };
@@ -909,9 +1146,10 @@ fn attempt_with_domain(
             break; // encoding exceeds the reserved t block
         }
         let t_sets = Instant::now();
+        let span_sets = buf.start();
         let sets = match feasible_point_sets(
             base,
-            &mut m,
+            m,
             &g_impl,
             fprime,
             root,
@@ -928,6 +1166,12 @@ fn attempt_with_domain(
                 return bdd_cut(e);
             }
         };
+        buf.end_with(span_sets, "point_sets", "rectify", || {
+            vec![
+                ("m", ArgValue::U64(m_points as u64)),
+                ("sets", ArgValue::U64(sets.len() as u64)),
+            ]
+        });
         trace!(
             "  m={m_points} H(t): {} point-sets in {:?}",
             sets.len(),
@@ -956,9 +1200,10 @@ fn attempt_with_domain(
                     timing,
                 )?);
             }
+            let span_choices = buf.start();
             let choices = match find_choices(
                 base,
-                &mut m,
+                m,
                 &g_impl,
                 &impl_vals,
                 &spec_vals,
@@ -975,6 +1220,12 @@ fn attempt_with_domain(
                 Ok(c) => c,
                 Err(e) => return bdd_cut(e),
             };
+            buf.end_with(span_choices, "choices", "rectify", || {
+                vec![
+                    ("m", ArgValue::U64(m_points as u64)),
+                    ("choices", ArgValue::U64(choices.len() as u64)),
+                ]
+            });
 
             // Rank choices: fewer non-trivial rewires first, then higher
             // total utility; under level-driven selection, earlier arrival
@@ -1037,7 +1288,8 @@ fn attempt_with_domain(
                 validations_left -= 1;
                 stats.validations += 1;
                 let t_val = Instant::now();
-                match validate_rewires(
+                let span_val = buf.start();
+                let (validation, val_sat) = validate_rewires_with_stats(
                     base,
                     spec,
                     corr,
@@ -1048,7 +1300,22 @@ fn attempt_with_domain(
                     &no_clones,
                     options.validation_budget,
                     Some(budget),
-                )? {
+                )?;
+                stats.sat += val_sat;
+                buf.end_with(span_val, "validate", "rectify", || {
+                    vec![
+                        ("rewires", ArgValue::U64(rewires.len() as u64)),
+                        ("sat_conflicts", ArgValue::U64(val_sat.conflicts)),
+                    ]
+                });
+                if shard.is_enabled() {
+                    shard.observe(
+                        Histogram::ValidateMicros,
+                        t_val.elapsed().as_micros() as u64,
+                    );
+                    shard.observe(Histogram::SatConflictsPerCall, val_sat.conflicts);
+                }
+                match validation {
                     Validation::Valid { fixed } => {
                         trace!(
                             "  m={m_points} validation ok in {:?} ({} rewires, cost {})",
@@ -1139,6 +1406,7 @@ fn attempt_with_domain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error_domain::check_output_pair;
     use eco_netlist::GateKind;
     use std::sync::{Arc, Mutex};
 
@@ -1290,8 +1558,36 @@ mod tests {
         });
         let budget = Budget::unlimited();
         let pool = WorkerPool::new(1);
-        let (_patch, stats) =
-            rewire_rectify_with(&mut c, &s, &options, &budget, Some(&observer), &pool).unwrap();
+        let telemetry = Telemetry::enabled();
+        let (_patch, stats, trace) = rewire_rectify_with(
+            &mut c,
+            &s,
+            &options,
+            &budget,
+            Some(&observer),
+            &pool,
+            &telemetry,
+        )
+        .unwrap();
+        // The run span closes the coordinator lane; the per-output search
+        // span sits on lane 1. Counters made it into both the stats and the
+        // metrics registry.
+        assert!(trace.iter().any(|sp| sp.name == "run" && sp.lane == 0));
+        assert!(trace.iter().any(|sp| sp.name == "search" && sp.lane == 1));
+        assert!(stats.validations > 0);
+        assert!(stats.sat_propagations > 0, "{stats:?}");
+        assert!(stats.bdd.total_misses() > 0, "{stats:?}");
+        assert!(stats.bdd_peak_nodes >= 2);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(
+            snapshot.counter(Counter::RectifyValidations),
+            stats.validations as u64
+        );
+        assert_eq!(snapshot.counter(Counter::SatConflicts), stats.sat_conflicts);
+        assert_eq!(
+            snapshot.gauge(Gauge::BddPeakNodes),
+            stats.bdd_peak_nodes as u64
+        );
         assert_eq!(stats.per_output.len(), 1);
         assert_eq!(stats.per_output[0].output, "y");
         assert_ne!(stats.per_output[0].action, OutputAction::AlreadyEquivalent);

@@ -31,6 +31,7 @@
 use std::sync::Arc;
 
 use eco_netlist::Circuit;
+use eco_telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::budget::{Budget, CancelToken};
 use crate::engine::{EcoResult, Syseco};
@@ -51,6 +52,7 @@ pub struct Session {
     engine: Syseco,
     cancel: Option<CancelToken>,
     observer: Option<ProgressCallback>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Session {
@@ -59,6 +61,7 @@ impl std::fmt::Debug for Session {
             .field("options", self.engine.options())
             .field("cancel", &self.cancel)
             .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
+            .field("telemetry", &self.telemetry.is_enabled())
             .finish()
     }
 }
@@ -70,6 +73,7 @@ impl Session {
             engine: Syseco::new(options),
             cancel: None,
             observer: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -96,6 +100,24 @@ impl Session {
     {
         self.observer = Some(Arc::new(callback));
         self
+    }
+
+    /// Attaches a [`Telemetry`] hub: runs record structured trace spans
+    /// (returned in [`EcoResult::trace`]) and feed the sharded metrics
+    /// registry readable via [`Session::metrics_snapshot`]. The handle is
+    /// shared — clone-cheap — so the caller can keep one for export while
+    /// the session records into it. A disabled hub (the default) costs
+    /// nothing: no clock reads, no allocation.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// A point-in-time fold of every metrics shard the attached
+    /// [`Telemetry`] has handed out. Empty when telemetry is disabled.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot()
     }
 
     /// A fresh budget for one run: the options' timeout plus the attached
@@ -131,8 +153,14 @@ impl Session {
         budget: &Budget,
     ) -> Result<EcoResult, EcoError> {
         let pool = WorkerPool::new(self.options().effective_jobs());
-        self.engine
-            .rectify_with(implementation, spec, budget, self.observer.as_ref(), &pool)
+        self.engine.rectify_with(
+            implementation,
+            spec,
+            budget,
+            self.observer.as_ref(),
+            &pool,
+            &self.telemetry,
+        )
     }
 
     /// Rectifies a batch of pairs with one shared worker pool.
@@ -157,6 +185,7 @@ impl Session {
                     &budget,
                     self.observer.as_ref(),
                     &pool,
+                    &self.telemetry,
                 )
             })
             .collect()
@@ -209,6 +238,29 @@ mod tests {
         let result = session.run(&c, &s).unwrap();
         assert!(!result.rectify.degradations.is_empty());
         assert!(verify_rectification(&result.patched, &s).unwrap());
+    }
+
+    #[test]
+    fn session_telemetry_records_spans_and_metrics() {
+        let (c, s) = and_or_pair();
+        let telemetry = Telemetry::enabled();
+        let session = Session::new(EcoOptions::with_seed(3)).with_telemetry(&telemetry);
+        let result = session.run(&c, &s).unwrap();
+        assert!(verify_rectification(&result.patched, &s).unwrap());
+        assert!(result.trace.iter().any(|sp| sp.name == "run"));
+        assert!(result.trace.iter().any(|sp| sp.name == "search"));
+        let snap = session.metrics_snapshot();
+        assert!(!snap.is_empty());
+        assert_eq!(
+            snap.counter(eco_telemetry::Counter::RectifyValidations),
+            result.rectify.validations as u64
+        );
+        // Without telemetry the same run records nothing and costs nothing.
+        let bare = Session::new(EcoOptions::with_seed(3)).run(&c, &s).unwrap();
+        assert!(bare.trace.is_empty());
+        assert!(Session::new(EcoOptions::with_seed(3))
+            .metrics_snapshot()
+            .is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::{HashMap, HashSet};
 
 use eco_netlist::{sim, topo, Circuit, NetId, NetlistError, Pin};
+use eco_sat::SolverStats;
 
 use crate::budget::Budget;
 use crate::correspond::{Correspondence, OutputPair};
@@ -140,16 +141,55 @@ pub fn validate_rewires(
     budget: u64,
     governor: Option<&Budget>,
 ) -> Result<Validation, EcoError> {
+    validate_rewires_with_stats(
+        implementation,
+        spec,
+        corr,
+        rewires,
+        representative,
+        failing,
+        sample_bank,
+        shared_clones,
+        budget,
+        governor,
+    )
+    .map(|(v, _)| v)
+}
+
+/// [`validate_rewires`] plus the SAT effort the call consumed.
+///
+/// The returned [`SolverStats`] covers the validation solver only (zero when
+/// the verdict came from the simulation pre-filter or structural checks);
+/// the rectification driver folds it into the run-level telemetry.
+///
+/// # Errors
+///
+/// Same contract as [`validate_rewires`].
+#[allow(clippy::too_many_arguments)]
+pub fn validate_rewires_with_stats(
+    implementation: &Circuit,
+    spec: &Circuit,
+    corr: &Correspondence,
+    rewires: &[CandidateRewire],
+    representative: &OutputPair,
+    failing: &HashSet<u32>,
+    sample_bank: &[Vec<bool>],
+    shared_clones: &HashMap<NetId, NetId>,
+    budget: u64,
+    governor: Option<&Budget>,
+) -> Result<(Validation, SolverStats), EcoError> {
     if let Some(g) = governor {
         if g.inject_sat_exhaust() {
-            return Ok(Validation::Unknown);
+            return Ok((Validation::Unknown, SolverStats::default()));
         }
     }
     let mut scratch = implementation.clone();
     let mut scratch_clones = shared_clones.clone();
     match apply_rewires(&mut scratch, spec, rewires, &mut scratch_clones) {
         Ok(_) => {}
-        Err(NetlistError::WouldCycle { .. }) => return Ok(Validation::Infeasible),
+        Err(NetlistError::WouldCycle { .. }) => {
+            return Ok((Validation::Infeasible, SolverStats::default()))
+        }
         Err(e) => return Err(e.into()),
     }
 
@@ -178,10 +218,13 @@ pub fn validate_rewires(
                     continue;
                 }
                 if oi == representative.impl_index {
-                    return Ok(Validation::CounterExample(sample_bank[sample_idx].clone()));
+                    return Ok((
+                        Validation::CounterExample(sample_bank[sample_idx].clone()),
+                        SolverStats::default(),
+                    ));
                 }
                 if !failing.contains(&oi) {
-                    return Ok(Validation::Damaged);
+                    return Ok((Validation::Damaged, SolverStats::default()));
                 }
                 // A still-failing non-representative output mismatching is
                 // acceptable; it is simply not "fixed".
@@ -227,16 +270,15 @@ pub fn validate_rewires(
         match solver.solve(&[miter.diff_lits[rep_pos]]) {
             SolveResult::Unsat => {}
             SolveResult::Sat => {
-                return Ok(Validation::CounterExample(tseitin::model_inputs(
-                    &solver, &miter, &scratch,
-                )))
+                let model = tseitin::model_inputs(&solver, &miter, &scratch);
+                return Ok((Validation::CounterExample(model), solver.stats()));
             }
-            SolveResult::Unknown => return Ok(Validation::Unknown),
+            SolveResult::Unknown => return Ok((Validation::Unknown, solver.stats())),
         }
     } else {
         // The rewire does not even reach the representative output: it
         // cannot rectify it.
-        return Ok(Validation::Unknown);
+        return Ok((Validation::Unknown, solver.stats()));
     }
 
     // Previously correct affected outputs must stay correct; still-failing
@@ -257,12 +299,13 @@ pub fn validate_rewires(
         } else {
             match solver.solve(&[miter.diff_lits[pos]]) {
                 SolveResult::Unsat => {}
-                SolveResult::Sat => return Ok(Validation::Damaged),
-                SolveResult::Unknown => return Ok(Validation::Unknown),
+                SolveResult::Sat => return Ok((Validation::Damaged, solver.stats())),
+                SolveResult::Unknown => return Ok((Validation::Unknown, solver.stats())),
             }
         }
     }
-    Ok(Validation::Valid { fixed })
+    let stats = solver.stats();
+    Ok((Validation::Valid { fixed }, stats))
 }
 
 #[cfg(test)]

@@ -37,4 +37,4 @@ mod solver;
 pub mod tseitin;
 
 pub use dimacs::{read_dimacs, write_dimacs, Cnf, ParseDimacsError};
-pub use solver::{Lit, SolveResult, Solver, Var};
+pub use solver::{Lit, SolveResult, Solver, SolverStats, Var};

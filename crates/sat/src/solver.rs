@@ -122,6 +122,29 @@ struct Clause {
     lits: Vec<Lit>,
 }
 
+/// A snapshot of a [`Solver`]'s cumulative search counters.
+///
+/// Obtained from [`Solver::stats`]; the counters are deterministic for a
+/// deterministic clause/assumption sequence, and `+=` folds snapshots from
+/// independent solvers (sums are order-insensitive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts observed across all `solve` calls.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+}
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.conflicts += rhs.conflicts;
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+    }
+}
+
 /// A CDCL SAT solver.
 ///
 /// See the [crate-level documentation](crate) for the role it plays in the
@@ -233,6 +256,16 @@ impl Solver {
     /// Propagations performed so far.
     pub fn num_propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// All cumulative search counters in one copyable snapshot.
+    #[inline]
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts,
+            decisions: self.decisions,
+            propagations: self.propagations,
+        }
     }
 
     /// Limits the *next* [`solve`](Solver::solve) calls to `budget` conflicts

@@ -1,0 +1,346 @@
+//! The sharded metrics registry: counters, max-gauges, and log₂
+//! histograms, one shard per thread, folded into a snapshot at run end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: bucket `b` covers values `v` with
+/// `⌈log₂(v+1)⌉ = b`, i.e. bucket 0 is exactly 0, bucket `b ≥ 1` is
+/// `[2^(b-1), 2^b)`.
+pub(crate) const NUM_BUCKETS: usize = 64;
+
+macro_rules! metric_enum {
+    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $label:literal),* $(,)? }) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum $name {
+            $($(#[$vdoc])* $variant),*
+        }
+
+        impl $name {
+            /// Every variant, in declaration (and export) order.
+            pub const ALL: &'static [$name] = &[$($name::$variant),*];
+
+            /// The dotted export name of this metric.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $($name::$variant => $label),*
+                }
+            }
+        }
+    };
+}
+
+metric_enum! {
+    /// Monotonic counters folded by summation.
+    Counter {
+        /// SAT conflicts across every solver the run created.
+        SatConflicts => "sat.conflicts",
+        /// SAT decisions.
+        SatDecisions => "sat.decisions",
+        /// SAT unit propagations.
+        SatPropagations => "sat.propagations",
+        /// BDD apply-cache hits.
+        BddApplyHits => "bdd.apply.hits",
+        /// BDD apply-cache misses.
+        BddApplyMisses => "bdd.apply.misses",
+        /// BDD ITE-cache hits.
+        BddIteHits => "bdd.ite.hits",
+        /// BDD ITE-cache misses.
+        BddIteMisses => "bdd.ite.misses",
+        /// BDD NOT-cache hits.
+        BddNotHits => "bdd.not.hits",
+        /// BDD NOT-cache misses.
+        BddNotMisses => "bdd.not.misses",
+        /// BDD quantification-cache hits.
+        BddQuantHits => "bdd.quant.hits",
+        /// BDD quantification-cache misses.
+        BddQuantMisses => "bdd.quant.misses",
+        /// Sampling-domain refinements (false positives fed back).
+        RectifyRefinements => "rectify.refinements",
+        /// SAT validation calls.
+        RectifyValidations => "rectify.validations",
+        /// Feasible point-sets examined.
+        RectifyPointSets => "rectify.point_sets",
+        /// Rewiring choices examined.
+        RectifyChoices => "rectify.choices",
+        /// Outputs that took the output-rewire fallback.
+        RectifyFallbacks => "rectify.fallbacks",
+        /// Outputs rectified through non-trivial rewiring.
+        RectifyRewired => "rectify.rewired",
+        /// Proposals invalidated by an earlier merge.
+        RectifyMergeConflicts => "rectify.merge_conflicts",
+        /// Degradations recorded (any reason).
+        RectifyDegradations => "rectify.degradations",
+    }
+}
+
+metric_enum! {
+    /// High-water marks folded by maximum.
+    Gauge {
+        /// Peak node count over every BDD manager of the run.
+        BddPeakNodes => "bdd.peak_nodes",
+        /// Peak unique-table size over every BDD manager of the run.
+        BddUniqueEntries => "bdd.unique_entries",
+    }
+}
+
+metric_enum! {
+    /// Log₂-bucketed distributions folded by per-bucket summation.
+    Histogram {
+        /// Per-output search wall-clock, µs.
+        SearchMicros => "search.us",
+        /// Per-validation wall-clock, µs.
+        ValidateMicros => "validate.us",
+        /// SAT conflicts spent per validation call.
+        SatConflictsPerCall => "sat.conflicts_per_call",
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+const NUM_GAUGES: usize = Gauge::ALL.len();
+const NUM_HISTOGRAMS: usize = Histogram::ALL.len();
+
+/// One thread's slice of the registry. All operations are relaxed atomic
+/// read-modify-writes — lock-free, no allocation.
+struct ShardData {
+    counters: [AtomicU64; NUM_COUNTERS],
+    gauges: [AtomicU64; NUM_GAUGES],
+    histograms: [[AtomicU64; NUM_BUCKETS]; NUM_HISTOGRAMS],
+}
+
+impl Default for ShardData {
+    fn default() -> Self {
+        ShardData {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardData").finish_non_exhaustive()
+    }
+}
+
+/// Handle through which one thread records metrics.
+///
+/// Cheap to clone (an `Arc`); a no-op shard (from a disabled
+/// [`Telemetry`](crate::Telemetry)) skips even the atomic writes.
+#[derive(Debug, Clone)]
+pub struct MetricsShard(Option<Arc<ShardData>>);
+
+impl MetricsShard {
+    /// A shard that records nothing.
+    pub fn noop() -> Self {
+        MetricsShard(None)
+    }
+
+    /// Whether this shard records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(d) = &self.0 {
+            d.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to a counter.
+    #[inline]
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Raises a gauge to at least `value`.
+    #[inline]
+    pub fn gauge_max(&self, gauge: Gauge, value: u64) {
+        if let Some(d) = &self.0 {
+            d.gauges[gauge as usize].fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one observation into a histogram's log₂ bucket.
+    #[inline]
+    pub fn observe(&self, histogram: Histogram, value: u64) {
+        if let Some(d) = &self.0 {
+            d.histograms[histogram as usize][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The log₂ bucket of `value`: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub(crate) fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+    .min(NUM_BUCKETS - 1)
+}
+
+/// The shard store behind an enabled [`Telemetry`](crate::Telemetry)
+/// handle. The mutex guards only shard registration and snapshotting —
+/// never the recording hot path.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    shards: Mutex<Vec<Arc<ShardData>>>,
+}
+
+impl Registry {
+    pub(crate) fn shard(&self) -> MetricsShard {
+        let data = Arc::new(ShardData::default());
+        self.shards.lock().unwrap().push(Arc::clone(&data));
+        MetricsShard(Some(data))
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in self.shards.lock().unwrap().iter() {
+            for (i, c) in shard.counters.iter().enumerate() {
+                snap.counters[i] += c.load(Ordering::Relaxed);
+            }
+            for (i, g) in shard.gauges.iter().enumerate() {
+                snap.gauges[i] = snap.gauges[i].max(g.load(Ordering::Relaxed));
+            }
+            for (i, h) in shard.histograms.iter().enumerate() {
+                for (b, count) in h.iter().enumerate() {
+                    snap.histograms[i][b] += count.load(Ordering::Relaxed);
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A folded, point-in-time view of every shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; NUM_COUNTERS],
+    gauges: [u64; NUM_GAUGES],
+    histograms: [[u64; NUM_BUCKETS]; NUM_HISTOGRAMS],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; NUM_COUNTERS],
+            gauges: [0; NUM_GAUGES],
+            histograms: [[0; NUM_BUCKETS]; NUM_HISTOGRAMS],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// The folded value of one counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// The folded value of one gauge.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge as usize]
+    }
+
+    /// Per-bucket observation counts of one histogram; bucket 0 is exactly
+    /// 0, bucket `b ≥ 1` covers `[2^(b-1), 2^b)`.
+    pub fn histogram_buckets(&self, histogram: Histogram) -> &[u64; NUM_BUCKETS] {
+        &self.histograms[histogram as usize]
+    }
+
+    /// Total number of observations recorded into one histogram.
+    pub fn histogram_count(&self, histogram: Histogram) -> u64 {
+        self.histograms[histogram as usize].iter().sum()
+    }
+
+    /// Whether every metric is zero (nothing was recorded).
+    pub fn is_empty(&self) -> bool {
+        *self == MetricsSnapshot::default()
+    }
+
+    /// `(name, value)` over every counter, in export order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL.iter().map(|&c| (c.name(), self.counter(c)))
+    }
+
+    /// `(name, value)` over every gauge, in export order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Gauge::ALL.iter().map(|&g| (g.name(), self.gauge(g)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn shards_fold_by_sum_max_and_bucket() {
+        let reg = Registry::default();
+        let a = reg.shard();
+        let b = reg.shard();
+        a.add(Counter::SatConflicts, 3);
+        b.add(Counter::SatConflicts, 4);
+        a.gauge_max(Gauge::BddPeakNodes, 10);
+        b.gauge_max(Gauge::BddPeakNodes, 8);
+        a.observe(Histogram::ValidateMicros, 5);
+        b.observe(Histogram::ValidateMicros, 5);
+        b.observe(Histogram::ValidateMicros, 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(Counter::SatConflicts), 7);
+        assert_eq!(snap.gauge(Gauge::BddPeakNodes), 10);
+        assert_eq!(snap.histogram_buckets(Histogram::ValidateMicros)[3], 2);
+        assert_eq!(snap.histogram_buckets(Histogram::ValidateMicros)[0], 1);
+        assert_eq!(snap.histogram_count(Histogram::ValidateMicros), 3);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn concurrent_shards_lose_nothing() {
+        let reg = std::sync::Arc::new(Registry::default());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shard = reg.shard();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        shard.incr(Counter::RectifyChoices);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter(Counter::RectifyChoices), 4000);
+    }
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Counter::ALL
+            .iter()
+            .map(|c| c.name())
+            .chain(Gauge::ALL.iter().map(|g| g.name()))
+            .chain(Histogram::ALL.iter().map(|h| h.name()))
+            .collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+        assert!(names.iter().all(|n| n.contains('.')));
+    }
+}

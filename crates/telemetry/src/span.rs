@@ -1,0 +1,203 @@
+//! Span records and per-lane trace buffers.
+
+use std::time::Instant;
+
+/// One argument value attached to a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An unsigned counter-like value.
+    U64(u64),
+    /// A label (output name, degradation reason, …).
+    Str(String),
+}
+
+/// One completed span: a named, categorised interval on a lane.
+///
+/// Timestamps are microseconds relative to the owning
+/// [`Telemetry`](crate::Telemetry) handle's epoch. Everything except
+/// `start_us`/`dur_us` is deterministic for a deterministic run, which is
+/// what lets trace exports be compared across worker counts after
+/// timestamp normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"search"`, `"validate"`).
+    pub name: &'static str,
+    /// Category (e.g. `"rectify"`, `"sat"`); becomes the Chrome trace
+    /// `cat` field.
+    pub cat: &'static str,
+    /// Logical track: 0 = run coordinator, `i + 1` = merge-slot `i`.
+    pub lane: u32,
+    /// Start, µs since the telemetry epoch.
+    pub start_us: u64,
+    /// Duration in µs (0 for instant markers).
+    pub dur_us: u64,
+    /// Deterministic key/value annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Opaque start mark returned by [`TraceBuffer::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpanToken {
+    start_us: u64,
+}
+
+/// An append-only span recorder for one lane.
+///
+/// Buffers are single-threaded by design: each worker owns one and the
+/// coordinator concatenates them ([`TraceBuffer::append`]) in merge-slot
+/// order, making the merged trace independent of scheduling. The explicit
+/// [`start`](TraceBuffer::start)/[`end`](TraceBuffer::end) token API (no
+/// RAII guard) allows arbitrary nesting and overlap.
+///
+/// A buffer from a disabled handle is inert: `start` reads no clock, `end*`
+/// records nothing, and the span vector never allocates.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    epoch: Option<Instant>,
+    lane: u32,
+    spans: Vec<SpanRecord>,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new(epoch: Option<Instant>, lane: u32) -> Self {
+        TraceBuffer {
+            epoch,
+            lane,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Whether this buffer records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// The buffer's lane.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    fn now_us(&self) -> u64 {
+        match self.epoch {
+            Some(epoch) => Instant::now().duration_since(epoch).as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Marks the start of a span. On a disabled buffer this is free (no
+    /// clock read).
+    pub fn start(&self) -> SpanToken {
+        SpanToken {
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Completes a span opened with [`start`](TraceBuffer::start).
+    pub fn end(&mut self, token: SpanToken, name: &'static str, cat: &'static str) {
+        self.end_with(token, name, cat, Vec::new);
+    }
+
+    /// Completes a span with annotations. `args` is only invoked when the
+    /// buffer is enabled, so call sites pay nothing when telemetry is off.
+    pub fn end_with<F>(&mut self, token: SpanToken, name: &'static str, cat: &'static str, args: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, ArgValue)>,
+    {
+        if self.epoch.is_none() {
+            return;
+        }
+        let now = self.now_us();
+        self.spans.push(SpanRecord {
+            name,
+            cat,
+            lane: self.lane,
+            start_us: token.start_us,
+            dur_us: now.saturating_sub(token.start_us),
+            args: args(),
+        });
+    }
+
+    /// Records a zero-duration marker (e.g. a refinement event).
+    pub fn instant(&mut self, name: &'static str, cat: &'static str) {
+        if self.epoch.is_none() {
+            return;
+        }
+        let now = self.now_us();
+        self.spans.push(SpanRecord {
+            name,
+            cat,
+            lane: self.lane,
+            start_us: now,
+            dur_us: 0,
+            args: Vec::new(),
+        });
+    }
+
+    /// Appends another buffer's spans (used by the coordinator to merge
+    /// worker buffers in slot order).
+    pub fn append(&mut self, other: TraceBuffer) {
+        self.spans.extend(other.spans);
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether no span has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Consumes the buffer, yielding its spans in record order.
+    pub fn into_spans(self) -> Vec<SpanRecord> {
+        self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_keep_record_order() {
+        let mut buf = TraceBuffer::new(Some(Instant::now()), 2);
+        let outer = buf.start();
+        let inner = buf.start();
+        buf.end(inner, "inner", "t");
+        buf.instant("mark", "t");
+        buf.end_with(outer, "outer", "t", || vec![("k", ArgValue::U64(1))]);
+        let spans = buf.into_spans();
+        let names: Vec<_> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["inner", "mark", "outer"]);
+        assert!(spans.iter().all(|s| s.lane == 2));
+        assert!(spans[2].start_us <= spans[0].start_us);
+        assert_eq!(spans[1].dur_us, 0);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let epoch = Instant::now();
+        let mut a = TraceBuffer::new(Some(epoch), 0);
+        let t = a.start();
+        a.end(t, "a", "t");
+        let mut b = TraceBuffer::new(Some(epoch), 1);
+        let t = b.start();
+        b.end(t, "b", "t");
+        a.append(b);
+        assert_eq!(a.len(), 2);
+        let spans = a.into_spans();
+        assert_eq!(spans[0].lane, 0);
+        assert_eq!(spans[1].lane, 1);
+    }
+
+    #[test]
+    fn disabled_buffer_is_empty() {
+        let mut buf = TraceBuffer::new(None, 0);
+        let t = buf.start();
+        assert_eq!(t.start_us, 0);
+        buf.end(t, "x", "y");
+        assert!(buf.is_empty());
+        assert!(!buf.is_enabled());
+    }
+}

@@ -1,0 +1,54 @@
+//! Writes one workload case's implementation and specification as BLIF
+//! files, so shell-level tooling (the CI telemetry-schema job, manual CLI
+//! runs) can feed the generated workloads to the `syseco` binary.
+//!
+//! ```text
+//! emit_case <case> <impl-out.blif> <spec-out.blif>
+//! ```
+//!
+//! `<case>` is a Table-1 case id (1–11), a Table-3 timing case id
+//! (12–15), or `16`/`par16` for the parallel-scaling case.
+
+use std::process::ExitCode;
+
+use eco_netlist::write_blif;
+use eco_workload::{build_case, scaling_params, table1_params, timing_params, EcoCase};
+
+fn find_case(wanted: &str) -> Option<EcoCase> {
+    let scaling = scaling_params();
+    if wanted == scaling.name || wanted == scaling.id.to_string() {
+        return Some(build_case(&scaling));
+    }
+    table1_params()
+        .iter()
+        .chain(timing_params().iter())
+        .find(|p| wanted == p.name || wanted == p.id.to_string())
+        .map(build_case)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [case_name, impl_out, spec_out] = &args[..] else {
+        eprintln!("usage: emit_case <case-id-or-name> <impl-out.blif> <spec-out.blif>");
+        return ExitCode::from(2);
+    };
+    let Some(case) = find_case(case_name) else {
+        eprintln!("unknown case {case_name:?} (expected an id 1-16 or a case name)");
+        return ExitCode::from(2);
+    };
+    if let Err(e) = std::fs::write(impl_out, write_blif(&case.implementation)) {
+        eprintln!("cannot write {impl_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(spec_out, write_blif(&case.spec)) {
+        eprintln!("cannot write {spec_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "case {} ({}): {} -> {impl_out}, {spec_out}",
+        case.id,
+        case.name,
+        case.implementation_stats()
+    );
+    ExitCode::SUCCESS
+}

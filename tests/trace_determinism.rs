@@ -1,0 +1,106 @@
+//! Trace determinism across worker counts: spans are recorded into
+//! per-merge-slot lanes and concatenated in slot order, and every metric
+//! except the timing histograms is derived from deterministic search work,
+//! so the normalized JSONL trace and the counter/gauge snapshot of a
+//! `jobs = 1` run must be identical to a `jobs = 4` run on the same seed.
+
+use eco_workload::{build_case, CaseParams, RevisionKind};
+use syseco::telemetry::export::spans_jsonl;
+use syseco::telemetry::{Counter, Gauge};
+use syseco::{EcoOptions, Session, Telemetry};
+
+fn multi_output_params(seed: u64) -> CaseParams {
+    CaseParams {
+        id: 9200,
+        name: "trace-determinism",
+        seed,
+        input_words: 2,
+        width: 3,
+        logic_signals: 6,
+        output_words: 3,
+        revisions: vec![
+            (0, RevisionKind::GateTermAdded),
+            (1, RevisionKind::ConditionFlip),
+            (2, RevisionKind::PolarityFlip),
+        ],
+        heavy_optimization: false,
+        aggressive_optimization: false,
+    }
+}
+
+/// Runs one rectification with a fresh telemetry hub, returning the
+/// normalized span JSONL plus the counter/gauge snapshot.
+fn traced_run(case_seed: u64, jobs: usize) -> (String, Vec<(&'static str, u64)>) {
+    let case = build_case(&multi_output_params(case_seed));
+    let telemetry = Telemetry::enabled();
+    let session = Session::new(
+        EcoOptions::builder()
+            .seed(case_seed ^ 0x7E1E)
+            .jobs(jobs)
+            .build(),
+    )
+    .with_telemetry(&telemetry);
+    let result = session
+        .run(&case.implementation, &case.spec)
+        .expect("rectification succeeds");
+    let snap = session.metrics_snapshot();
+    let mut metrics: Vec<(&'static str, u64)> = Counter::ALL
+        .iter()
+        .map(|&c| (c.name(), snap.counter(c)))
+        .collect();
+    metrics.extend(Gauge::ALL.iter().map(|&g| (g.name(), snap.gauge(g))));
+    (spans_jsonl(&result.trace, true), metrics)
+}
+
+#[test]
+fn jobs_do_not_change_the_normalized_trace() {
+    for case_seed in [11u64, 5309] {
+        let (serial_trace, serial_metrics) = traced_run(case_seed, 1);
+        let (wide_trace, wide_metrics) = traced_run(case_seed, 4);
+        assert!(
+            serial_trace.lines().any(|l| l.contains("\"name\":\"run\"")),
+            "trace must contain the run span:\n{serial_trace}"
+        );
+        assert!(
+            serial_trace
+                .lines()
+                .any(|l| l.contains("\"name\":\"search\"")),
+            "trace must contain per-output search spans:\n{serial_trace}"
+        );
+        assert_eq!(
+            serial_trace, wide_trace,
+            "normalized span JSONL must be identical across worker counts (seed {case_seed})"
+        );
+        assert_eq!(
+            serial_metrics, wide_metrics,
+            "counters and gauges must be identical across worker counts (seed {case_seed})"
+        );
+    }
+}
+
+#[test]
+fn lanes_follow_merge_slots_not_workers() {
+    let case = build_case(&multi_output_params(77));
+    let telemetry = Telemetry::enabled();
+    let session =
+        Session::new(EcoOptions::builder().seed(77).jobs(4).build()).with_telemetry(&telemetry);
+    let result = session
+        .run(&case.implementation, &case.spec)
+        .expect("rectification succeeds");
+    let search_lanes: Vec<u32> = result
+        .trace
+        .iter()
+        .filter(|s| s.name == "search")
+        .map(|s| s.lane)
+        .collect();
+    // One search lane per failing output, numbered 1..=n in merge order.
+    let expect: Vec<u32> = (1..=search_lanes.len() as u32).collect();
+    assert_eq!(search_lanes, expect);
+    // The coordinator phases all live on lane 0.
+    for name in ["run", "detect", "merge"] {
+        assert!(
+            result.trace.iter().any(|s| s.name == name && s.lane == 0),
+            "missing lane-0 span {name:?}"
+        );
+    }
+}

@@ -37,7 +37,7 @@ fn bench_domain_eval(c: &mut Criterion) {
             let samples = random_samples(n, circuit.num_inputs(), 5);
             b.iter(|| {
                 let mut m = BddManager::new();
-                let dom = SamplingDomain::new(samples.clone(), 0);
+                let dom = SamplingDomain::new(samples.clone(), 0).unwrap();
                 let g = dom.input_functions(&mut m, circuit.num_inputs()).unwrap();
                 std::hint::black_box(eval_all_bdd(&circuit, &mut m, &g).unwrap())
             });
@@ -57,7 +57,7 @@ fn bench_point_set_enumeration(c: &mut Criterion) {
             let pins = candidate_pins(&circuit, root, 0, 24);
             let sel = Selection::new(0, 2, pins.len());
             let y_base = sel.num_t_vars();
-            let dom = SamplingDomain::new(samples.clone(), y_base + 4);
+            let dom = SamplingDomain::new(samples.clone(), y_base + 4).unwrap();
             let g = dom.input_functions(&mut m, circuit.num_inputs()).unwrap();
             // Target: a deliberately wrong f' (negated output) to make H(t)
             // non-trivial.

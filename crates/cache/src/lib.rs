@@ -1,0 +1,101 @@
+//! **eco-cache** — persistent, content-addressed caching for incremental
+//! ECO rectification (re-exported as `syseco::cache`).
+//!
+//! ECO is iterative by nature: real flows rectify long chains of
+//! near-identical revisions, yet a from-scratch run rediscovers the same
+//! sampling domains, candidate rankings, and patches every time. This crate
+//! provides the two zero-dependency layers the engine's reuse policies are
+//! built on:
+//!
+//! 1. [`sig`] — canonical structural **signatures**: input-permutation-
+//!    stable 128-bit hashes of logic cones and circuits ([`Sig128`]), plus
+//!    the deterministic cone walk ([`ConeWalk`]) whose positions serve as
+//!    stable cross-run net references.
+//! 2. [`store`] — the on-disk **record store** ([`Store`]): append-only
+//!    CRC-checked segments, atomic tempfile-rename commits, versioned
+//!    schema, and corruption-as-miss semantics.
+//!
+//! What to *do* with a hit — warm-starting sampling domains, replaying
+//! memoized patches, and the re-verification invariant that makes stale
+//! entries harmless — lives in the `syseco` core crate; this crate knows
+//! nothing about rectification, only about keys and bytes.
+
+pub mod sig;
+pub mod store;
+
+pub use sig::{circuit_sig, cone_sig, fingerprint_words, hash_str, node_hashes, ConeWalk, Sig128};
+pub use store::{crc32, Store};
+
+/// How a run uses its cache directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// No cache: nothing is read, nothing is written, no files are created.
+    Off,
+    /// Read-only: hits are reused, but nothing is written back (and a
+    /// missing cache directory is not created).
+    ReadOnly,
+    /// Read-write: hits are reused and new results are committed.
+    #[default]
+    ReadWrite,
+}
+
+impl CacheMode {
+    /// Whether this mode touches the store at all.
+    pub fn is_enabled(self) -> bool {
+        !matches!(self, CacheMode::Off)
+    }
+
+    /// Whether the store must be opened without write-back.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, CacheMode::ReadOnly)
+    }
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    /// Parses the CLI spelling: `off`, `ro`, or `rw`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(CacheMode::Off),
+            "ro" => Ok(CacheMode::ReadOnly),
+            "rw" => Ok(CacheMode::ReadWrite),
+            other => Err(format!(
+                "unknown cache mode {other:?} (expected off, ro, or rw)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheMode::Off => "off",
+            CacheMode::ReadOnly => "ro",
+            CacheMode::ReadWrite => "rw",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_mode_parses_and_displays() {
+        for (text, mode) in [
+            ("off", CacheMode::Off),
+            ("ro", CacheMode::ReadOnly),
+            ("rw", CacheMode::ReadWrite),
+        ] {
+            assert_eq!(text.parse::<CacheMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), text);
+        }
+        assert!("r/w".parse::<CacheMode>().is_err());
+        assert!(CacheMode::ReadOnly.is_enabled());
+        assert!(!CacheMode::Off.is_enabled());
+        assert!(CacheMode::ReadOnly.is_read_only());
+        assert!(!CacheMode::ReadWrite.is_read_only());
+        assert_eq!(CacheMode::default(), CacheMode::ReadWrite);
+    }
+}

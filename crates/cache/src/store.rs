@@ -1,0 +1,409 @@
+//! The on-disk record store: append-only CRC-checked segments with atomic
+//! tempfile-rename commits.
+//!
+//! # On-disk format
+//!
+//! A cache directory holds independent *segment* files named
+//! `seg-<counter:016x>-<pid>.ecc`. Each segment is:
+//!
+//! ```text
+//! magic   7 bytes  b"SYECOCA"
+//! version 1 byte   0x01
+//! record* ...      until end of file
+//! ```
+//!
+//! and each record is:
+//!
+//! ```text
+//! kind    1 byte            caller-defined record namespace
+//! key     16 bytes          Sig128 (hi, lo as little-endian u64)
+//! len     4 bytes LE        payload length
+//! payload len bytes
+//! crc     4 bytes LE        CRC-32 (IEEE) over kind + key + len + payload
+//! ```
+//!
+//! Segments are immutable once written: a commit writes every staged record
+//! to a fresh tempfile and renames it into place, so readers never observe
+//! a half-written segment and concurrent writers never clobber each other
+//! (distinct counters or distinct pids produce distinct names).
+//!
+//! # Corruption is a miss, never an error
+//!
+//! On open, every segment is scanned; a bad magic, a truncated record, or a
+//! CRC mismatch stops the scan of *that segment* (records before the damage
+//! survive — the file is append-only, so a valid prefix is still a valid
+//! record sequence) and bumps [`Store::corrupt_segments`]. No read path
+//! returns an error for bad cache bytes: a rectification must never fail
+//! because its cache is bad.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::sig::Sig128;
+
+const MAGIC: &[u8; 7] = b"SYECOCA";
+const VERSION: u8 = 1;
+const HEADER_LEN: usize = 8;
+/// kind + key + len
+const RECORD_HEAD: usize = 1 + 16 + 4;
+/// Refuse to stage or trust absurd payloads (a corrupt len would otherwise
+/// ask for gigabytes).
+const MAX_PAYLOAD: usize = 64 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// computed at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut b = 0;
+        while b < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            b += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// A content-addressed record store over one cache directory.
+///
+/// Records are keyed by `(Sig128, kind)` where `kind` namespaces record
+/// types (the engine uses one kind for full-run memos, another for
+/// per-output memos). Within a run, [`Store::put`] stages records in memory
+/// and makes them visible to [`Store::get`] immediately; [`Store::commit`]
+/// persists everything staged as one new segment.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    read_only: bool,
+    map: HashMap<([u8; 16], u8), Vec<u8>>,
+    staged: Vec<(Sig128, u8, Vec<u8>)>,
+    corrupt_segments: u64,
+    next_counter: u64,
+}
+
+impl Store {
+    /// Opens (and for writable stores, creates) the cache directory and
+    /// scans every segment in it.
+    ///
+    /// A read-only open of a missing directory yields an empty store.
+    /// Corrupt segments are counted, not reported as errors.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or listing the directory (callers typically
+    /// degrade to running uncached).
+    pub fn open(dir: &Path, read_only: bool) -> std::io::Result<Store> {
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            read_only,
+            map: HashMap::new(),
+            staged: Vec::new(),
+            corrupt_segments: 0,
+            next_counter: 0,
+        };
+        if !dir.exists() {
+            if read_only {
+                return Ok(store);
+            }
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut names: Vec<std::ffi::OsString> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".ecc"))
+            .collect();
+        // Later segments override earlier ones; zero-padded counters make
+        // the lexicographic order the commit order.
+        names.sort();
+        for name in names {
+            let text = name.to_string_lossy();
+            if let Some(counter) = parse_counter(&text) {
+                store.next_counter = store.next_counter.max(counter.saturating_add(1));
+            }
+            match std::fs::read(dir.join(&name)) {
+                Ok(bytes) => {
+                    if !store.scan_segment(&bytes) {
+                        store.corrupt_segments += 1;
+                    }
+                }
+                Err(_) => store.corrupt_segments += 1,
+            }
+        }
+        Ok(store)
+    }
+
+    /// Parses one segment, inserting every intact record. Returns `false`
+    /// when the segment is damaged (bad header, truncation, or CRC
+    /// mismatch); records preceding the damage are still inserted.
+    fn scan_segment(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() < HEADER_LEN || &bytes[..7] != MAGIC || bytes[7] != VERSION {
+            return false;
+        }
+        let mut at = HEADER_LEN;
+        while at < bytes.len() {
+            if bytes.len() - at < RECORD_HEAD + 4 {
+                return false; // truncated record head
+            }
+            let kind = bytes[at];
+            let mut key = [0u8; 16];
+            key.copy_from_slice(&bytes[at + 1..at + 17]);
+            let len = u32::from_le_bytes(bytes[at + 17..at + 21].try_into().unwrap()) as usize;
+            if len > MAX_PAYLOAD || bytes.len() - at - RECORD_HEAD < len + 4 {
+                return false; // truncated or absurd payload
+            }
+            let body_end = at + RECORD_HEAD + len;
+            let crc = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().unwrap());
+            if crc32(&bytes[at..body_end]) != crc {
+                return false; // bit flip
+            }
+            self.map
+                .insert((key, kind), bytes[at + RECORD_HEAD..body_end].to_vec());
+            at = body_end + 4;
+        }
+        true
+    }
+
+    /// Looks up the payload stored under `(key, kind)`.
+    pub fn get(&self, key: Sig128, kind: u8) -> Option<&[u8]> {
+        self.map.get(&(key.to_bytes(), kind)).map(Vec::as_slice)
+    }
+
+    /// Stages a record for the next [`Store::commit`] and makes it visible
+    /// to [`Store::get`] immediately. A no-op on read-only stores (the
+    /// in-memory view still updates, so a run sees its own work).
+    pub fn put(&mut self, key: Sig128, kind: u8, payload: Vec<u8>) {
+        if payload.len() > MAX_PAYLOAD {
+            return;
+        }
+        if !self.read_only {
+            self.staged.push((key, kind, payload.clone()));
+        }
+        self.map.insert((key.to_bytes(), kind), payload);
+    }
+
+    /// Number of records staged but not yet committed.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Whether the store was opened read-only.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Number of damaged segments encountered on open.
+    pub fn corrupt_segments(&self) -> u64 {
+        self.corrupt_segments
+    }
+
+    /// Total records visible (scanned + staged).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no records are visible.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The cache directory this store reads from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists every staged record as one new segment, atomically: the
+    /// segment is written to a tempfile and renamed into place. No-op when
+    /// nothing is staged or the store is read-only.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the segment; the staged records are kept so a
+    /// retry is possible.
+    pub fn commit(&mut self) -> std::io::Result<()> {
+        if self.read_only || self.staged.is_empty() {
+            return Ok(());
+        }
+        let pid = std::process::id();
+        let counter = self.next_counter;
+        let mut bytes = Vec::with_capacity(HEADER_LEN + self.staged.len() * 64);
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        for (key, kind, payload) in &self.staged {
+            let at = bytes.len();
+            bytes.push(*kind);
+            bytes.extend_from_slice(&key.to_bytes());
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(payload);
+            let crc = crc32(&bytes[at..]);
+            bytes.extend_from_slice(&crc.to_le_bytes());
+        }
+        let tmp = self.dir.join(format!(".tmp-{pid}-{counter:016x}"));
+        let fin = self.dir.join(format!("seg-{counter:016x}-{pid}.ecc"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &fin)?;
+        self.next_counter = counter + 1;
+        self.staged.clear();
+        Ok(())
+    }
+}
+
+fn parse_counter(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?;
+    let hex = rest.get(..16)?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::fingerprint_words;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eco-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_override() {
+        let dir = tmp_dir("rt");
+        let k1 = fingerprint_words(&[1]);
+        let k2 = fingerprint_words(&[2]);
+        {
+            let mut s = Store::open(&dir, false).unwrap();
+            s.put(k1, 1, vec![0xAA; 5]);
+            s.put(k2, 2, vec![]);
+            assert_eq!(s.get(k1, 1), Some(&[0xAA; 5][..])); // visible pre-commit
+            s.commit().unwrap();
+        }
+        {
+            let mut s = Store::open(&dir, false).unwrap();
+            assert_eq!(s.corrupt_segments(), 0);
+            assert_eq!(s.get(k1, 1), Some(&[0xAA; 5][..]));
+            assert_eq!(s.get(k2, 2), Some(&[][..]));
+            assert_eq!(s.get(k1, 2), None, "kind namespaces keys");
+            // A later segment overrides the earlier record.
+            s.put(k1, 1, vec![0xBB]);
+            s.commit().unwrap();
+        }
+        let s = Store::open(&dir, true).unwrap();
+        assert_eq!(s.get(k1, 1), Some(&[0xBB][..]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_only_missing_dir_is_empty() {
+        let dir = tmp_dir("ro");
+        let s = Store::open(&dir, true).unwrap();
+        assert!(s.is_empty());
+        assert!(!dir.exists(), "read-only open must not create the dir");
+    }
+
+    #[test]
+    fn read_only_put_does_not_write() {
+        let dir = tmp_dir("rop");
+        Store::open(&dir, false).unwrap(); // create dir
+        let mut s = Store::open(&dir, true).unwrap();
+        let k = fingerprint_words(&[3]);
+        s.put(k, 1, vec![1, 2, 3]);
+        assert_eq!(s.get(k, 1), Some(&[1, 2, 3][..]));
+        assert_eq!(s.staged_len(), 0);
+        s.commit().unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_counted_not_fatal() {
+        let dir = tmp_dir("bad");
+        let k1 = fingerprint_words(&[1]);
+        let k2 = fingerprint_words(&[2]);
+        {
+            let mut s = Store::open(&dir, false).unwrap();
+            s.put(k1, 1, vec![7; 32]);
+            s.commit().unwrap();
+            s.put(k2, 1, vec![9; 32]);
+            s.commit().unwrap();
+        }
+        let seg: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(seg.len(), 2);
+        // Bit-flip a payload byte of the first segment.
+        let mut names = seg.clone();
+        names.sort();
+        let mut bytes = std::fs::read(&names[0]).unwrap();
+        let at = bytes.len() - 10;
+        bytes[at] ^= 0x40;
+        std::fs::write(&names[0], &bytes).unwrap();
+        // Truncate the second.
+        let bytes = std::fs::read(&names[1]).unwrap();
+        std::fs::write(&names[1], &bytes[..bytes.len() - 3]).unwrap();
+        let s = Store::open(&dir, true).unwrap();
+        assert_eq!(s.corrupt_segments(), 2);
+        assert_eq!(s.get(k1, 1), None);
+        assert_eq!(s.get(k2, 1), None);
+        // Garbage header is also just a corrupt segment.
+        std::fs::write(dir.join("seg-ffffffffffffffff-0.ecc"), b"nonsense").unwrap();
+        let s = Store::open(&dir, true).unwrap();
+        assert_eq!(s.corrupt_segments(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn valid_prefix_survives_tail_damage() {
+        let dir = tmp_dir("prefix");
+        let k1 = fingerprint_words(&[1]);
+        let k2 = fingerprint_words(&[2]);
+        {
+            let mut s = Store::open(&dir, false).unwrap();
+            s.put(k1, 1, vec![1; 8]);
+            s.put(k2, 1, vec![2; 8]);
+            s.commit().unwrap();
+        }
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let bytes = std::fs::read(&seg).unwrap();
+        // Cut into the second record: first must survive.
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let s = Store::open(&dir, true).unwrap();
+        assert_eq!(s.corrupt_segments(), 1);
+        assert_eq!(s.get(k1, 1), Some(&[1; 8][..]));
+        assert_eq!(s.get(k2, 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") = 0xCBF43926, the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -6,12 +6,18 @@
 //! syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]
 //!                [--out patched.blif] [--seed N] [--samples N]
 //!                [--level-driven] [--timeout SECS] [--jobs N] [--progress]
+//!                [--cache-dir DIR] [--cache off|ro|rw]
 //!                [--trace-out FILE] [--metrics-out FILE]
 //!                [--log-format human|json]
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the per-output searches
 //! (`0` = available parallelism; the patch is identical for every value).
+//! `--cache-dir DIR` enables the persistent incremental-ECO cache
+//! (DESIGN.md §11): repeated and revision-chain runs warm-start from
+//! recorded results, with every reused record re-verified before use.
+//! `--cache off|ro|rw` sets how the directory is used (default `rw`;
+//! `--engine syseco` only).
 //! `--progress` prints a live per-cone status line to stderr as searches
 //! start, finish, and merge; with `--log-format json` each line is one
 //! JSON object instead (see [`ProgressEvent::to_json`]).
@@ -50,6 +56,7 @@ fn usage() -> ExitCode {
          syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]\n                 \
          [--out patched.blif] [--seed N] [--samples N] [--level-driven]\n                 \
          [--timeout SECS] [--jobs N] [--progress]\n                 \
+         [--cache-dir DIR] [--cache off|ro|rw]\n                 \
          [--trace-out FILE] [--metrics-out FILE] [--log-format human|json]"
     );
     ExitCode::from(2)
@@ -172,6 +179,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut out_path: Option<String> = None;
             let mut trace_out: Option<String> = None;
             let mut metrics_out: Option<String> = None;
+            let mut cache_dir: Option<String> = None;
             let mut json_log = false;
             let mut progress = false;
             let mut builder = EcoOptions::builder();
@@ -245,6 +253,24 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         );
                         i += 2;
                     }
+                    "--cache-dir" => {
+                        cache_dir = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("--cache-dir needs a value")?,
+                        );
+                        builder = builder.cache_dir(cache_dir.clone().unwrap());
+                        i += 2;
+                    }
+                    "--cache" => {
+                        let mode: syseco::CacheMode = args
+                            .get(i + 1)
+                            .ok_or("--cache needs a value")?
+                            .parse()
+                            .map_err(|e| format!("bad cache mode: {e}"))?;
+                        builder = builder.cache_mode(mode);
+                        i += 2;
+                    }
                     "--level-driven" => {
                         builder = builder.level_driven(true);
                         i += 1;
@@ -273,6 +299,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if (trace_out.is_some() || metrics_out.is_some()) && engine_name != "syseco" {
                 return Err(format!(
                     "--trace-out/--metrics-out require --engine syseco, got {engine_name:?}"
+                ));
+            }
+            if cache_dir.is_some() && engine_name != "syseco" {
+                return Err(format!(
+                    "--cache-dir requires --engine syseco, got {engine_name:?}"
                 ));
             }
             let telemetry = if trace_out.is_some() || metrics_out.is_some() {
@@ -315,6 +346,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!("metrics written to {path}");
             }
             println!("engine {engine_name} finished in {:?}", result.runtime);
+            if cache_dir.is_some() {
+                let r = &result.rectify;
+                println!(
+                    "cache: {} hit(s), {} miss(es), {} verify-reject(s), {} corrupt segment(s)",
+                    r.cache_hits, r.cache_misses, r.cache_verify_rejects, r.cache_corrupt_segments
+                );
+            }
             print!(
                 "{}",
                 syseco::patch::render_report(&result.patch, &result.patched)

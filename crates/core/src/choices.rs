@@ -273,7 +273,7 @@ mod tests {
         let mut m = BddManager::new();
         // Layout: c block (2 cands -> 1 bit) at 0, y at 4, z from 5.
         let samples = vec![vec![true, false], vec![false, true]];
-        let dom = SamplingDomain::new(samples, 5);
+        let dom = SamplingDomain::new(samples, 5).unwrap();
         let gfun = dom.input_functions(&mut m, 2).unwrap();
         let impl_vals = eval_all_bdd(&c, &mut m, &gfun).unwrap();
         let spec_vals = eval_all_bdd(&s, &mut m, &gfun).unwrap();
@@ -349,7 +349,7 @@ mod tests {
             vec![true, false, true, true],   // a=1, s0=1, s1=1: impl 1, spec 0
             vec![true, false, false, false], // a=1, s0=0, s1=0: impl 0, spec 1
         ];
-        let dom = SamplingDomain::new(samples, 16);
+        let dom = SamplingDomain::new(samples, 16).unwrap();
         let gfun = dom.input_functions(&mut m, 4).unwrap();
         let impl_vals = eval_all_bdd(&c, &mut m, &gfun).unwrap();
         let spec_vals = eval_all_bdd(&s, &mut m, &gfun).unwrap();

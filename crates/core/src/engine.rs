@@ -1,19 +1,22 @@
 //! The `Syseco` engine facade.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use eco_netlist::Circuit;
-use eco_telemetry::{ArgValue, SpanRecord, Telemetry};
+use eco_netlist::{Circuit, NetId};
+use eco_telemetry::{ArgValue, Counter, SpanRecord, Telemetry};
 
 use crate::budget::Budget;
 use crate::correspond::Correspondence;
 use crate::error_domain::{classify_outputs, Equivalence};
+use crate::memo::{CacheSession, RunRecord};
 use crate::options::EcoOptions;
 use crate::patch::{refine_patch_inputs_timed, Patch, PatchStats};
 use crate::progress::ProgressCallback;
 use crate::rectify::{rewire_rectify_with, RectifyStats};
 use crate::schedule::WorkerPool;
 use crate::session::Session;
+use crate::validate::apply_rewires;
 use crate::EcoError;
 
 /// Result of a rectification run.
@@ -121,17 +124,6 @@ impl Syseco {
         )
     }
 
-    /// Deprecated pre-0.2 name of [`Syseco::rectify_with_budget`].
-    #[deprecated(since = "0.2.0", note = "renamed to `rectify_with_budget`")]
-    pub fn rectify_governed(
-        &self,
-        implementation: &Circuit,
-        spec: &Circuit,
-        budget: &Budget,
-    ) -> Result<EcoResult, EcoError> {
-        self.rectify_with_budget(implementation, spec, budget)
-    }
-
     /// Rectifies a batch of (implementation, specification) pairs with one
     /// shared worker pool.
     ///
@@ -188,7 +180,21 @@ impl Syseco {
         let spec = named.as_ref().unwrap_or(spec);
         let mut patched = implementation.clone();
         normalize_ports(&mut patched, spec)?;
-        let (patch, rectify, mut trace) = rewire_rectify_with(
+        // Persistent cache (DESIGN.md §11). On a full-key hit the run is
+        // *replayed* — the recorded rewire groups are applied and the result
+        // re-verified end to end — so a stale or colliding record degrades
+        // to the cold path instead of corrupting the output.
+        let mut cache = CacheSession::open(&self.options, &patched, spec);
+        let mut replay_rejects = 0u64;
+        if let Some(session) = cache.as_mut() {
+            if let Some(record) = session.run_record() {
+                match self.replay_run(&patched, spec, &record, budget, telemetry, start, session) {
+                    Some(result) => return Ok(result),
+                    None => replay_rejects = 1,
+                }
+            }
+        }
+        let (patch, mut rectify, mut trace, committed) = rewire_rectify_with(
             &mut patched,
             spec,
             &self.options,
@@ -196,6 +202,7 @@ impl Syseco {
             observer,
             pool,
             telemetry,
+            cache.as_mut(),
         )?;
         // Patch-input refinement (§5.2 post-processing): reuse existing
         // implementation logic inside the cloned patch. Under level-driven
@@ -220,6 +227,21 @@ impl Syseco {
         }
         patched.sweep();
         let stats = patch.stats(&patched);
+        rectify.cache_verify_rejects += replay_rejects;
+        if let Some(session) = cache.as_mut() {
+            session.record_run(&committed, &rectify);
+            rectify.cache_misses = session.misses;
+            rectify.cache_corrupt_segments = session.corrupt_segments();
+            let shard = telemetry.shard();
+            if shard.is_enabled() {
+                shard.add(Counter::CacheMisses, session.misses);
+                shard.add(Counter::CacheCorruptSegments, session.corrupt_segments());
+                shard.add(Counter::CacheVerifyRejects, replay_rejects);
+            }
+            // A commit failure loses warm-start data for future runs, never
+            // this run's result.
+            let _ = session.commit();
+        }
         Ok(EcoResult {
             stats,
             rectify,
@@ -227,6 +249,91 @@ impl Syseco {
             patched,
             patch,
             trace,
+        })
+    }
+
+    /// Attempts to reproduce a finished run from its cache record: applies
+    /// the committed rewire groups in order, reruns the deterministic
+    /// post-processing, and accepts only when a full equivalence check
+    /// passes. By construction this replay is byte-identical to the cold
+    /// run that recorded it (`apply_rewires` is the merge phase's only
+    /// circuit mutation and the post-processing is seeded). Returns `None`
+    /// on any mismatch — apply error, damaged verification, budget-unknown
+    /// verdicts — and the caller falls back to the cold path.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_run(
+        &self,
+        base: &Circuit,
+        spec: &Circuit,
+        record: &RunRecord,
+        budget: &Budget,
+        telemetry: &Telemetry,
+        start: Instant,
+        session: &mut CacheSession,
+    ) -> Option<EcoResult> {
+        let mut patched = base.clone();
+        let mut patch = Patch::new(patched.num_nodes());
+        let mut shared_clones: HashMap<NetId, NetId> = HashMap::new();
+        for group in &record.groups {
+            let (ops, cloned) =
+                apply_rewires(&mut patched, spec, group, &mut shared_clones).ok()?;
+            patch.record_cloned(cloned);
+            for op in ops {
+                patch.record_rewire(op);
+            }
+        }
+        patched.sweep();
+        if !budget.is_exhausted() {
+            let model = eco_timing::DelayModel::default();
+            refine_patch_inputs_timed(
+                &mut patched,
+                &patch,
+                self.options.validation_budget,
+                self.options.seed ^ 0x9e3779b97f4a7c15,
+                self.options.level_driven.then_some(&model),
+            )
+            .ok()?;
+        }
+        patched.sweep();
+        let corr = Correspondence::build(&patched, spec).ok()?;
+        let verdicts = classify_outputs(
+            &patched,
+            spec,
+            &corr,
+            Some(self.options.validation_budget.saturating_mul(10)),
+            Some(budget),
+        )
+        .ok()?;
+        if !verdicts
+            .iter()
+            .all(|v| matches!(v, Equivalence::Equivalent))
+        {
+            return None;
+        }
+        let rectify = RectifyStats {
+            outputs_total: record.outputs_total,
+            outputs_failing: record.outputs_failing,
+            rewire_rectified: record.rewire_rectified,
+            fallbacks: record.fallbacks,
+            cache_hits: 1,
+            cache_misses: session.misses,
+            cache_corrupt_segments: session.corrupt_segments(),
+            ..Default::default()
+        };
+        let shard = telemetry.shard();
+        if shard.is_enabled() {
+            shard.add(Counter::CacheHits, 1);
+            shard.add(Counter::CacheMisses, session.misses);
+            shard.add(Counter::CacheCorruptSegments, session.corrupt_segments());
+        }
+        let stats = patch.stats(&patched);
+        Some(EcoResult {
+            stats,
+            rectify,
+            runtime: start.elapsed(),
+            patched,
+            patch,
+            trace: Vec::new(),
         })
     }
 }
@@ -433,19 +540,6 @@ mod tests {
         assert!(verify_rectification(&results[0].patched, &s1).unwrap());
         assert_eq!(results[0].rectify.outputs_failing, 1);
         assert_eq!(results[1].rectify.outputs_failing, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_rectify_governed_still_works() {
-        let mut c = Circuit::new("impl");
-        let a = c.add_input("a");
-        c.add_output("y", a);
-        let s = c.clone();
-        let engine = Syseco::new(EcoOptions::with_seed(2));
-        let budget = Budget::unlimited();
-        let result = engine.rectify_governed(&c, &s, &budget).unwrap();
-        assert_eq!(result.rectify.outputs_failing, 0);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum EcoError {
         /// Label of the output that resisted rectification.
         output: String,
     },
+    /// A sampling domain was constructed from zero samples. An empty domain
+    /// quantifies over nothing, which would make every rectification
+    /// vacuously feasible, so construction rejects it up front.
+    EmptySamplingDomain,
 }
 
 impl fmt::Display for EcoError {
@@ -34,6 +38,9 @@ impl fmt::Display for EcoError {
             EcoError::Bdd(e) => write!(f, "bdd error: {e}"),
             EcoError::RectificationFailed { output } => {
                 write!(f, "failed to rectify output {output:?}")
+            }
+            EcoError::EmptySamplingDomain => {
+                write!(f, "sampling domain must not be empty")
             }
         }
     }
@@ -74,6 +81,7 @@ mod tests {
             EcoError::Netlist(NetlistError::Cyclic),
             EcoError::Bdd(BddError::NodeLimit { limit: 1 }),
             EcoError::RectificationFailed { output: "y".into() },
+            EcoError::EmptySamplingDomain,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

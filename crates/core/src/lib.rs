@@ -69,6 +69,7 @@ pub mod correspond;
 mod engine;
 mod error;
 pub mod error_domain;
+mod memo;
 mod options;
 pub mod patch;
 pub mod points;
@@ -88,10 +89,14 @@ pub use error::EcoError;
 pub use options::{EcoOptions, EcoOptionsBuilder, SamplePolicy};
 pub use patch::{Patch, PatchStats, RewireOp};
 pub use progress::{OutputAction, ProgressCallback, ProgressEvent};
-#[allow(deprecated)]
-pub use rectify::{rewire_rectification, rewire_rectification_governed};
 pub use rectify::{rewire_rectify, OutputTiming, RectifyStats};
 pub use session::Session;
+
+/// Persistent incremental-ECO caching (re-export of the `eco-cache`
+/// crate): content-addressed structural signatures and the on-disk record
+/// store behind [`EcoOptions::cache_dir`]. See DESIGN.md §11.
+pub use eco_cache as cache;
+pub use eco_cache::CacheMode;
 
 /// Structured tracing and metrics (re-export of the `eco-telemetry`
 /// crate): build a [`Telemetry`] hub, attach it with

@@ -1,5 +1,7 @@
 //! Tuning knobs of the rectification engine.
 
+use eco_cache::CacheMode;
+
 /// Where sampling-domain assignments come from (paper §5.1; ablation B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -89,6 +91,17 @@ pub struct EcoOptions {
     /// bit-identical for every value of `jobs` on un-deadlined runs; see
     /// DESIGN.md "Parallel execution model".
     pub jobs: usize,
+    /// Directory of the persistent incremental-ECO cache. `None` (the
+    /// default) disables caching entirely: no files are read or created.
+    /// With a directory set, runs reuse memoized patches, warm-start
+    /// sampling domains from recorded counterexamples, and (in read-write
+    /// mode) record their own results — every reuse is re-verified by SAT
+    /// before it affects the patch, so a stale or corrupt cache can only
+    /// cost performance, never correctness (DESIGN.md §11).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// How the cache directory is used (ignored while `cache_dir` is
+    /// `None`): read-write (the default), read-only, or off.
+    pub cache_mode: CacheMode,
 }
 
 impl Default for EcoOptions {
@@ -111,6 +124,8 @@ impl Default for EcoOptions {
             bdd_node_limit: 2_000_000,
             timeout: None,
             jobs: 0,
+            cache_dir: None,
+            cache_mode: CacheMode::ReadWrite,
         }
     }
 }
@@ -205,6 +220,20 @@ impl EcoOptionsBuilder {
         bdd_node_limit: usize,
         /// Sets [`EcoOptions::jobs`] (`0` = available parallelism).
         jobs: usize,
+        /// Sets [`EcoOptions::cache_mode`].
+        cache_mode: CacheMode,
+    }
+
+    /// Sets [`EcoOptions::cache_dir`], enabling the persistent cache.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.options.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Clears [`EcoOptions::cache_dir`] (the default: no caching).
+    pub fn no_cache_dir(mut self) -> Self {
+        self.options.cache_dir = None;
+        self
     }
 
     /// Sets [`EcoOptions::timeout`].
@@ -252,6 +281,8 @@ mod tests {
         assert!(o.max_rewire_candidates >= 2);
         assert_eq!(o.jobs, 0);
         assert!(o.effective_jobs() >= 1);
+        assert_eq!(o.cache_dir, None, "caching is opt-in");
+        assert_eq!(o.cache_mode, CacheMode::ReadWrite);
     }
 
     #[test]
@@ -274,6 +305,8 @@ mod tests {
             .bdd_node_limit(10_000)
             .jobs(3)
             .timeout(std::time::Duration::from_secs(5))
+            .cache_dir("/tmp/eco-cache")
+            .cache_mode(CacheMode::ReadOnly)
             .build();
         assert_eq!(o.num_samples, 32);
         assert_eq!(o.sample_policy, SamplePolicy::Mixed);
@@ -293,6 +326,19 @@ mod tests {
         assert_eq!(o.jobs, 3);
         assert_eq!(o.effective_jobs(), 3);
         assert_eq!(o.timeout, Some(std::time::Duration::from_secs(5)));
+        assert_eq!(
+            o.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/eco-cache"))
+        );
+        assert_eq!(o.cache_mode, CacheMode::ReadOnly);
+        assert_eq!(
+            EcoOptions::builder()
+                .cache_dir("x")
+                .no_cache_dir()
+                .build()
+                .cache_dir,
+            None
+        );
         assert_eq!(
             EcoOptions::builder()
                 .timeout(std::time::Duration::ZERO)

@@ -442,7 +442,7 @@ mod tests {
         let sel = Selection::new(0, 1, pins.len());
         let y_base = sel.t_base + sel.num_t_vars();
         let z_base = y_base + 1;
-        let dom = SamplingDomain::new(samples, z_base);
+        let dom = SamplingDomain::new(samples, z_base).unwrap();
         let g = dom.input_functions(&mut m, 2).unwrap();
         // Spec shares input order here.
         let spec_vals = eval_all_bdd(&s, &mut m, &g).unwrap();
@@ -468,7 +468,7 @@ mod tests {
         let pins = candidate_pins(&c, root, 0, 8);
         let sel = Selection::new(0, 1, pins.len());
         let y_base = sel.t_base + sel.num_t_vars();
-        let dom = SamplingDomain::new(samples, y_base + 1);
+        let dom = SamplingDomain::new(samples, y_base + 1).unwrap();
         let g = dom.input_functions(&mut m, 2).unwrap();
         let spec_vals = eval_all_bdd(&s, &mut m, &g).unwrap();
         let fprime = spec_vals[s.outputs()[0].net().index()];

@@ -50,6 +50,7 @@ use crate::error_domain::{
     check_output_pair_with_stats, classify_outputs_with_stats, collect_samples_with_stats,
     Equivalence,
 };
+use crate::memo::{CacheSession, OutputEntry, WarmStart};
 use crate::options::EcoOptions;
 use crate::patch::Patch;
 use crate::points::{candidate_pins, feasible_point_sets, Selection};
@@ -121,6 +122,18 @@ pub struct RectifyStats {
     pub bdd: BddCounters,
     /// Largest node count any single BDD manager reached.
     pub bdd_peak_nodes: usize,
+    /// Persistent-cache records reused after passing re-verification: a
+    /// whole-run replay counts one, each reused per-output proposal counts
+    /// one (DESIGN.md §11). Zero when no cache directory is configured.
+    pub cache_hits: u64,
+    /// Persistent-cache lookups that found nothing usable.
+    pub cache_misses: u64,
+    /// Persistent-cache records found but discarded because re-verification
+    /// (SAT validation or the replay equivalence check) rejected them —
+    /// stale entries cost time, never correctness.
+    pub cache_verify_rejects: u64,
+    /// Damaged cache segments skipped when the store was opened.
+    pub cache_corrupt_segments: u64,
 }
 
 impl RectifyStats {
@@ -155,6 +168,10 @@ struct SearchStats {
     bdd: BddCounters,
     bdd_peak_nodes: usize,
     bdd_unique_entries: usize,
+    /// Memoized proposals that re-validated and were returned directly.
+    cache_hits: u64,
+    /// Memoized proposals that failed re-validation against this spec.
+    cache_verify_rejects: u64,
 }
 
 /// What one per-output search concluded, without mutating anything.
@@ -175,12 +192,25 @@ enum SearchVerdict {
     Fallback { reason: Option<DegradeReason> },
 }
 
+/// Result of [`rewire_rectify_with`]: the patch, run statistics, the merged
+/// trace, and the committed rewire groups in commit order (the raw material
+/// of a whole-run cache replay record).
+pub(crate) type CommittedRectification = (
+    Patch,
+    RectifyStats,
+    Vec<SpanRecord>,
+    Vec<Vec<CandidateRewire>>,
+);
+
 /// One search outcome plus its local counters, trace, and wall-clock.
 struct SearchResult {
     verdict: SearchVerdict,
     stats: SearchStats,
     search: Duration,
     trace: TraceBuffer,
+    /// Refinement counterexamples hit during the search, recorded so a
+    /// later run can warm-start its sampling domain past them.
+    refined: Vec<Vec<bool>>,
 }
 
 enum Attempt {
@@ -243,35 +273,9 @@ pub fn rewire_rectify(
         None,
         &pool,
         &Telemetry::disabled(),
+        None,
     )
-    .map(|(patch, stats, _trace)| (patch, stats))
-}
-
-/// Deprecated pre-0.2 entry point.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `rewire_rectify(implementation, spec, options, None)`"
-)]
-pub fn rewire_rectification(
-    implementation: &mut Circuit,
-    spec: &Circuit,
-    options: &EcoOptions,
-) -> Result<(Patch, RectifyStats), EcoError> {
-    rewire_rectify(implementation, spec, options, None)
-}
-
-/// Deprecated pre-0.2 entry point.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `rewire_rectify(implementation, spec, options, Some(budget))`"
-)]
-pub fn rewire_rectification_governed(
-    implementation: &mut Circuit,
-    spec: &Circuit,
-    options: &EcoOptions,
-    budget: &Budget,
-) -> Result<(Patch, RectifyStats), EcoError> {
-    rewire_rectify(implementation, spec, options, Some(budget))
+    .map(|(patch, stats, _trace, _committed)| (patch, stats))
 }
 
 /// Extracts a human-readable message from a caught panic payload.
@@ -319,6 +323,8 @@ fn flush_search_metrics(shard: &MetricsShard, s: &SearchStats, search: Duration)
     shard.add(Counter::RectifyValidations, s.validations as u64);
     shard.add(Counter::RectifyPointSets, s.point_sets_tried as u64);
     shard.add(Counter::RectifyChoices, s.choices_tried as u64);
+    shard.add(Counter::CacheHits, s.cache_hits);
+    shard.add(Counter::CacheVerifyRejects, s.cache_verify_rejects);
     shard.gauge_max(Gauge::BddPeakNodes, s.bdd_peak_nodes as u64);
     shard.gauge_max(Gauge::BddUniqueEntries, s.bdd_unique_entries as u64);
     shard.observe(Histogram::SearchMicros, search.as_micros() as u64);
@@ -336,6 +342,13 @@ fn flush_search_metrics(shard: &MetricsShard, s: &SearchStats, search: Duration)
 /// The third tuple element is the merged trace: coordinator spans (lane 0)
 /// first, then each search's spans in merge-slot order (lane `i + 1`) —
 /// independent of worker scheduling. Empty when `telemetry` is disabled.
+///
+/// With a [`CacheSession`], per-output records warm-start searches (stored
+/// sampling minterms plus the previously validated proposal, which is
+/// SAT-re-validated before reuse) and finished searches are recorded back.
+/// The fourth tuple element is the committed rewire groups in commit order
+/// — everything `apply_rewires` executed and kept — from which the caller
+/// can build a whole-run replay record (DESIGN.md §11).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn rewire_rectify_with(
     implementation: &mut Circuit,
@@ -345,7 +358,8 @@ pub(crate) fn rewire_rectify_with(
     observer: Option<&ProgressCallback>,
     pool: &WorkerPool,
     telemetry: &Telemetry,
-) -> Result<(Patch, RectifyStats, Vec<SpanRecord>), EcoError> {
+    mut cache: Option<&mut CacheSession>,
+) -> Result<CommittedRectification, EcoError> {
     let t_run = Instant::now();
     let mut tb = telemetry.buffer(0);
     let shard = telemetry.shard();
@@ -430,6 +444,16 @@ pub(crate) fn rewire_rectify_with(
     });
     let order: Vec<OutputPair> = order.into_iter().cloned().collect();
 
+    // Per-output cache slots are resolved by the coordinator *before* the
+    // fan-out: every merge slot sees fixed warm data, so cache lookups
+    // cannot perturb jobs-determinism. A failed walk (cannot happen on the
+    // well-formed circuits that reach this point) just runs the fan-out
+    // cold.
+    let output_entries: Vec<OutputEntry> = match cache.as_deref_mut() {
+        Some(session) => session.output_entries(spec, &order).unwrap_or_default(),
+        None => Vec::new(),
+    };
+
     emit(
         observer,
         ProgressEvent::RunStarted {
@@ -459,6 +483,7 @@ pub(crate) fn rewire_rectify_with(
         );
         let t_search = Instant::now();
         let mut local = SearchStats::default();
+        let mut refined: Vec<Vec<bool>> = Vec::new();
         // Trace lane i+1 belongs to merge slot i regardless of which worker
         // ran it, so the merged trace is independent of scheduling.
         let mut trace = telemetry.buffer(i as u32 + 1);
@@ -479,6 +504,8 @@ pub(crate) fn rewire_rectify_with(
                 budget,
                 &mut trace,
                 &worker_shards[w],
+                output_entries.get(i).and_then(|e| e.warm.as_ref()),
+                &mut refined,
             )
         }));
         let verdict = match outcome {
@@ -521,6 +548,7 @@ pub(crate) fn rewire_rectify_with(
             stats: local,
             search,
             trace,
+            refined,
         }
     });
     for r in &results {
@@ -533,6 +561,8 @@ pub(crate) fn rewire_rectify_with(
         stats.sat_propagations += r.stats.sat.propagations;
         stats.bdd += r.stats.bdd;
         stats.bdd_peak_nodes = stats.bdd_peak_nodes.max(r.stats.bdd_peak_nodes);
+        stats.cache_hits += r.stats.cache_hits;
+        stats.cache_verify_rejects += r.stats.cache_verify_rejects;
     }
 
     // ------------------------------------------------------------------
@@ -544,6 +574,17 @@ pub(crate) fn rewire_rectify_with(
     let mut shared_clones: HashMap<NetId, NetId> = HashMap::new();
     let mut proposals_applied = 0usize;
     let mut search_traces: Vec<TraceBuffer> = Vec::new();
+    // Rewire groups that were applied *and kept*, in commit order. Because
+    // `apply_rewires` is the only circuit mutation in the merge phase and a
+    // rolled-back group restores the pre-apply snapshot, replaying exactly
+    // these groups through a fresh clone map reproduces the final circuit
+    // and patch byte for byte — the whole-run cache record.
+    let mut committed: Vec<Vec<CandidateRewire>> = Vec::new();
+    // For each merge slot, the index into `committed` of the proposal that
+    // stuck (fallback groups are never memoized per output: recording them
+    // would let a warm run skip the search that might beat them).
+    let mut output_proposals: Vec<Option<usize>> = vec![None; order.len()];
+    let mut refined_per_output: Vec<Vec<Vec<bool>>> = Vec::with_capacity(order.len());
     let span_merge = tb.start();
     let recheck = |implementation: &Circuit,
                    pair: &OutputPair,
@@ -559,9 +600,11 @@ pub(crate) fn rewire_rectify_with(
             verdict,
             search,
             trace,
+            refined,
             ..
         } = result;
         search_traces.push(trace);
+        refined_per_output.push(refined);
         let span_commit = tb.start();
         let (action, degraded) = match verdict {
             SearchVerdict::Equivalent => (OutputAction::AlreadyEquivalent, false),
@@ -586,6 +629,7 @@ pub(crate) fn rewire_rectify_with(
                         &mut shared_clones,
                         &mut patch,
                         &mut stats,
+                        &mut committed,
                     )?;
                     match reason {
                         Some(reason) => {
@@ -614,6 +658,7 @@ pub(crate) fn rewire_rectify_with(
                         &mut shared_clones,
                         &mut patch,
                         &mut stats,
+                        &mut committed,
                     )?;
                     stats.degradations.push(Degradation {
                         output: pair.name.clone(),
@@ -661,6 +706,8 @@ pub(crate) fn rewire_rectify_with(
                         None => {
                             stats.rewire_rectified += 1;
                             proposals_applied += 1;
+                            output_proposals[position] = Some(committed.len());
+                            committed.push(rewires);
                             match cut {
                                 Some(reason) => {
                                     stats.degradations.push(Degradation {
@@ -683,6 +730,7 @@ pub(crate) fn rewire_rectify_with(
                                 &mut shared_clones,
                                 &mut patch,
                                 &mut stats,
+                                &mut committed,
                             )?;
                             stats.degradations.push(Degradation {
                                 output: pair.name.clone(),
@@ -748,6 +796,7 @@ pub(crate) fn rewire_rectify_with(
                 &mut shared_clones,
                 &mut patch,
                 &mut stats,
+                &mut committed,
             )?;
             let reason = budget
                 .degrade_reason()
@@ -780,6 +829,37 @@ pub(crate) fn rewire_rectify_with(
         tb.end_with(span_verify, "verify", "rectify", || {
             vec![("repaired", ArgValue::U64(repaired))]
         });
+    }
+
+    // Record per-output outcomes for future warm starts. A proposal is
+    // stored only when it survived both the merge rechecks and the
+    // verification pass (`per_output` actions are final by now);
+    // refinement counterexamples are stored for every searched output, with
+    // previously stored minterms carried forward so repeated runs do not
+    // erode the warm-start data.
+    if let Some(session) = cache {
+        let minterm_cap = options.num_samples.max(1);
+        for (i, (pair, entry)) in order.iter().zip(&output_entries).enumerate() {
+            let proposal = (stats.per_output[i].action == OutputAction::Rewired)
+                .then(|| output_proposals[i].map(|slot| committed[slot].as_slice()))
+                .flatten();
+            let mut minterms: Vec<Vec<bool>> = entry
+                .warm
+                .as_ref()
+                .map(|w| w.minterms.clone())
+                .unwrap_or_default();
+            for x in &refined_per_output[i] {
+                if minterms.len() >= minterm_cap {
+                    break;
+                }
+                if !minterms.contains(x) {
+                    minterms.push(x.clone());
+                }
+            }
+            minterms.truncate(minterm_cap);
+            let spec_root = spec.outputs()[pair.spec_index as usize].net();
+            session.record_output(entry, spec, spec_root, proposal, &minterms);
+        }
     }
 
     implementation.sweep();
@@ -824,7 +904,7 @@ pub(crate) fn rewire_rectify_with(
     for t in search_traces {
         tb.append(t);
     }
-    Ok((patch, stats, tb.into_spans()))
+    Ok((patch, stats, tb.into_spans(), committed))
 }
 
 /// Applies the §3.3 output-rewire fallback for `pair`: rewire the output pin
@@ -837,6 +917,7 @@ fn fallback_rectify(
     shared_clones: &mut HashMap<NetId, NetId>,
     patch: &mut Patch,
     stats: &mut RectifyStats,
+    committed: &mut Vec<Vec<CandidateRewire>>,
 ) -> Result<(), EcoError> {
     let spec_root = spec.outputs()[pair.spec_index as usize].net();
     let fallback = vec![CandidateRewire {
@@ -859,6 +940,7 @@ fn fallback_rectify(
         patch.record_rewire(op);
     }
     stats.fallbacks += 1;
+    committed.push(fallback);
     Ok(())
 }
 
@@ -883,6 +965,8 @@ fn search_one_output(
     budget: &Budget,
     buf: &mut TraceBuffer,
     shard: &MetricsShard,
+    warm: Option<&WarmStart>,
+    refined: &mut Vec<Vec<bool>>,
 ) -> Result<SearchVerdict, EcoError> {
     let mut rng = SmallRng::seed_from_u64(per_output_seed(options.seed, pair.impl_index));
     let span_samples = buf.start();
@@ -919,6 +1003,88 @@ fn search_one_output(
     for s in &samples {
         if !sample_bank.contains(s) {
             sample_bank.push(s.clone());
+        }
+    }
+
+    // Warm start (DESIGN.md §11). Previously recorded refinement
+    // counterexamples extend the sampling domain so it begins past the
+    // false-positive phase a cold run pays refinements for, and a
+    // previously validated proposal is SAT-re-validated up front — a hit
+    // skips the search entirely. Both sit *behind* the empty-sample early
+    // return above, so stale warm data can never mask true equivalence.
+    if let Some(warm) = warm {
+        let cap = options.num_samples.max(1).saturating_mul(2);
+        for x in &warm.minterms {
+            if samples.len() >= cap {
+                break;
+            }
+            if x.len() == base.num_inputs() && !samples.contains(x) {
+                samples.push(x.clone());
+                if !sample_bank.contains(x) {
+                    sample_bank.push(x.clone());
+                }
+            }
+        }
+        if let Some(proposal) = &warm.proposal {
+            let no_clones: HashMap<NetId, NetId> = HashMap::new();
+            stats.validations += 1;
+            let t_val = Instant::now();
+            let span_val = buf.start();
+            let result = validate_rewires_with_stats(
+                base,
+                spec,
+                corr,
+                proposal,
+                pair,
+                failing,
+                &sample_bank,
+                &no_clones,
+                options.validation_budget,
+                Some(budget),
+            );
+            let val_sat = result
+                .as_ref()
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|_| SolverStats::default());
+            stats.sat += val_sat;
+            buf.end_with(span_val, "validate", "rectify", || {
+                vec![
+                    ("rewires", ArgValue::U64(proposal.len() as u64)),
+                    ("sat_conflicts", ArgValue::U64(val_sat.conflicts)),
+                    ("memoized", ArgValue::U64(1)),
+                ]
+            });
+            if shard.is_enabled() {
+                shard.observe(
+                    Histogram::ValidateMicros,
+                    t_val.elapsed().as_micros() as u64,
+                );
+                shard.observe(Histogram::SatConflictsPerCall, val_sat.conflicts);
+            }
+            match result {
+                Ok((Validation::Valid { .. }, _)) => {
+                    stats.cache_hits += 1;
+                    return Ok(SearchVerdict::Proposal {
+                        rewires: proposal.clone(),
+                        cut: None,
+                    });
+                }
+                Ok((Validation::CounterExample(x), _)) => {
+                    // The rejection's counterexample is fresh signal: feed
+                    // it into the domain before starting the cold search.
+                    stats.cache_verify_rejects += 1;
+                    if x.len() == base.num_inputs() && !samples.contains(&x) {
+                        if !sample_bank.contains(&x) {
+                            sample_bank.push(x.clone());
+                        }
+                        refined.push(x.clone());
+                        samples.push(x);
+                    }
+                }
+                // Damaged, infeasible, SAT-unknown, or a record so stale
+                // it no longer applies cleanly: discard and search cold.
+                _ => stats.cache_verify_rejects += 1,
+            }
         }
     }
 
@@ -959,6 +1125,7 @@ fn search_one_output(
                 if !sample_bank.contains(&x) {
                     sample_bank.push(x.clone());
                 }
+                refined.push(x.clone());
                 samples.push(x);
             }
             Attempt::NodeLimit => {
@@ -1073,7 +1240,7 @@ fn attempt_in_manager(
 ) -> Result<Attempt, EcoError> {
     let root = base.outputs()[pair.impl_index as usize].net();
     let spec_root = spec.outputs()[pair.spec_index as usize].net();
-    let domain = SamplingDomain::new(samples.to_vec(), Z_BASE);
+    let domain = SamplingDomain::new(samples.to_vec(), Z_BASE)?;
 
     let g_impl = match domain.input_functions(m, base.num_inputs()) {
         Ok(v) => v,
@@ -1559,7 +1726,7 @@ mod tests {
         let budget = Budget::unlimited();
         let pool = WorkerPool::new(1);
         let telemetry = Telemetry::enabled();
-        let (_patch, stats, trace) = rewire_rectify_with(
+        let (_patch, stats, trace, _committed) = rewire_rectify_with(
             &mut c,
             &s,
             &options,
@@ -1567,6 +1734,7 @@ mod tests {
             Some(&observer),
             &pool,
             &telemetry,
+            None,
         )
         .unwrap();
         // The run span closes the coordinator lane; the per-output search
@@ -1599,21 +1767,6 @@ mod tests {
             events.iter().filter(|t| t.as_str() == "out-done").count(),
             1
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_still_work() {
-        let (mut c, s) = and_or_case();
-        let options = EcoOptions::with_seed(3);
-        let (_patch, stats) = rewire_rectification(&mut c, &s, &options).unwrap();
-        check_equiv(&c, &s);
-        assert_eq!(stats.outputs_failing, 1);
-        let (mut c2, s2) = and_or_case();
-        let budget = Budget::unlimited();
-        let (_patch, stats) =
-            rewire_rectification_governed(&mut c2, &s2, &options, &budget).unwrap();
-        assert_eq!(stats.outputs_failing, 1);
     }
 
     // --- resource-governance and fault-injection paths ---

@@ -51,10 +51,19 @@ impl SupportTable {
     /// specification, `input_translation` maps the circuit's own input
     /// positions to implementation positions (identity for the
     /// implementation itself).
-    pub fn build(circuit: &Circuit, input_translation: &[usize], num_impl_inputs: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Cyclic`] on cyclic circuits (earlier versions
+    /// panicked here, turning a malformed caller input into an abort).
+    pub fn build(
+        circuit: &Circuit,
+        input_translation: &[usize],
+        num_impl_inputs: usize,
+    ) -> Result<Self, NetlistError> {
         let words = num_impl_inputs.div_ceil(64).max(1);
         let mut sets = vec![vec![0u64; words]; circuit.num_nodes()];
-        let order = topo::topo_order(circuit).expect("engine guarantees acyclic circuits");
+        let order = topo::topo_order(circuit)?;
         for id in order {
             let node = circuit.node(id);
             if node.kind() == GateKind::Input {
@@ -72,7 +81,7 @@ impl SupportTable {
                 }
             }
         }
-        SupportTable { words, sets }
+        Ok(SupportTable { words, sets })
     }
 
     /// Whether the support of `a` is contained in the bitmap `within`.
@@ -140,7 +149,7 @@ impl RewireNetContext {
             implementation,
             &impl_translation,
             implementation.num_inputs(),
-        );
+        )?;
         // Spec input position -> implementation position.
         let mut spec_translation = vec![0usize; spec.num_inputs()];
         for (impl_pos, sp) in corr.spec_input_pos.iter().enumerate() {
@@ -149,7 +158,7 @@ impl RewireNetContext {
             }
         }
         let spec_supports =
-            SupportTable::build(spec, &spec_translation, implementation.num_inputs());
+            SupportTable::build(spec, &spec_translation, implementation.num_inputs())?;
         let fprime_support = spec_supports.support(spec_root).to_vec();
 
         let in_cone = topo::tfi(spec, &[spec_root.source()]);
@@ -446,7 +455,7 @@ mod tests {
         let g2 = c.add_gate(GateKind::Or, &[g1, d]).unwrap();
         c.add_output("y", g2);
         let tr: Vec<usize> = (0..3).collect();
-        let t = SupportTable::build(&c, &tr, 3);
+        let t = SupportTable::build(&c, &tr, 3).unwrap();
         assert!(t.contained(g1, t.support(g2)));
         assert!(!t.contained(g2, t.support(g1)));
         assert!(t.contained(a, t.support(g1)));

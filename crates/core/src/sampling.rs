@@ -11,6 +11,8 @@ use eco_bdd::{Bdd, BddError, BddManager};
 use eco_netlist::{topo, Circuit, GateKind, NetId, Pin};
 use std::collections::HashMap;
 
+use crate::EcoError;
+
 /// A sampling domain: the sample matrix plus its `z`-variable block.
 #[derive(Debug, Clone)]
 pub struct SamplingDomain {
@@ -22,13 +24,17 @@ impl SamplingDomain {
     /// Creates a domain over `samples` (implementation input order), with
     /// `z` variables allocated starting at BDD variable index `z_base`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `samples` is empty — an empty domain quantifies over
-    /// nothing and would make every rectification vacuously feasible.
-    pub fn new(samples: Vec<Vec<bool>>, z_base: u32) -> Self {
-        assert!(!samples.is_empty(), "sampling domain must not be empty");
-        SamplingDomain { samples, z_base }
+    /// [`EcoError::EmptySamplingDomain`] when `samples` is empty — an empty
+    /// domain quantifies over nothing and would make every rectification
+    /// vacuously feasible. (Earlier versions panicked here instead; by
+    /// construction a domain is never empty, so `len() > 0` always holds.)
+    pub fn new(samples: Vec<Vec<bool>>, z_base: u32) -> Result<Self, EcoError> {
+        if samples.is_empty() {
+            return Err(EcoError::EmptySamplingDomain);
+        }
+        Ok(SamplingDomain { samples, z_base })
     }
 
     /// The sampled assignments.
@@ -36,14 +42,10 @@ impl SamplingDomain {
         &self.samples
     }
 
-    /// Number of samples `N`.
+    /// Number of samples `N` (always at least 1).
+    #[allow(clippy::len_without_is_empty)] // empty domains are unconstructible
     pub fn len(&self) -> usize {
         self.samples.len()
-    }
-
-    /// Whether the domain is empty (never true by construction).
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
     }
 
     /// Number of `z` variables: `⌈log2 N⌉`, at least 1.
@@ -285,7 +287,7 @@ mod tests {
             vec![true, true, true],
             vec![true, false, false],
         ];
-        let dom = SamplingDomain::new(samples.clone(), 0);
+        let dom = SamplingDomain::new(samples.clone(), 0).unwrap();
         let mut m = BddManager::new();
         let g = dom.input_functions(&mut m, 3).unwrap();
         let vals = eval_all_bdd(&c, &mut m, &g).unwrap();
@@ -315,7 +317,7 @@ mod tests {
     fn padding_aliases_samples() {
         // Three samples in a 4-code space: code 3 aliases sample 0.
         let samples = vec![vec![true], vec![false], vec![true]];
-        let dom = SamplingDomain::new(samples, 0);
+        let dom = SamplingDomain::new(samples, 0).unwrap();
         assert_eq!(dom.num_z_vars(), 2);
         assert_eq!(dom.sample_for_code(3), &[true][..]);
         let mut m = BddManager::new();
@@ -329,7 +331,7 @@ mod tests {
 
     #[test]
     fn add_sample_grows_z_block() {
-        let mut dom = SamplingDomain::new(vec![vec![true], vec![false]], 5);
+        let mut dom = SamplingDomain::new(vec![vec![true], vec![false]], 5).unwrap();
         assert_eq!(dom.num_z_vars(), 1);
         dom.add_sample(vec![true]);
         assert_eq!(dom.num_z_vars(), 2);
@@ -345,7 +347,7 @@ mod tests {
         let b = c.add_input("b");
         let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
         c.add_output("y", g);
-        let dom = SamplingDomain::new(vec![vec![false, false], vec![true, false]], 0);
+        let dom = SamplingDomain::new(vec![vec![false, false], vec![true, false]], 0).unwrap();
         let mut m = BddManager::new();
         let gfun = dom.input_functions(&mut m, 2).unwrap();
         let mut subst_map = HashMap::new();
@@ -358,8 +360,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must not be empty")]
     fn empty_domain_rejected() {
-        let _ = SamplingDomain::new(vec![], 0);
+        assert!(matches!(
+            SamplingDomain::new(vec![], 0),
+            Err(crate::EcoError::EmptySamplingDomain)
+        ));
     }
 }

@@ -164,6 +164,49 @@ pub fn outputs_depending_on(circuit: &Circuit, nodes: &[NodeId]) -> Vec<u32> {
         .collect()
 }
 
+/// Returns the nets of the transitive fanin cone of `root` (inclusive) in a
+/// deterministic post-order: fanins before fanouts, children expanded in
+/// fanin pin order, each net listed once at its first completion.
+///
+/// Unlike [`topo_order`], the order depends only on the *structure* of the
+/// cone — two circuits that build the same cone with the same gate/pin
+/// layout produce the same walk even when their [`NodeId`]s differ, which
+/// is what makes a walk position usable as a stable cross-run reference to
+/// a net (see the `eco-cache` signature scheme).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cyclic`] when the cone contains a combinational
+/// cycle.
+pub fn cone_topo_order(circuit: &Circuit, root: NetId) -> Result<Vec<NetId>, NetlistError> {
+    let mut order: Vec<NetId> = Vec::new();
+    // 0 = unvisited, 1 = on stack, 2 = done — same scheme as topo_order,
+    // but seeded from the root only and keyed by net.
+    let mut state = vec![0u8; circuit.num_nodes()];
+    let mut stack: Vec<(NetId, usize)> = vec![(root, 0)];
+    state[root.index()] = 1;
+    while let Some(&mut (w, ref mut child)) = stack.last_mut() {
+        let fanins = circuit.node(w.source()).fanins();
+        if *child < fanins.len() {
+            let next = fanins[*child];
+            *child += 1;
+            match state[next.index()] {
+                0 => {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+                1 => return Err(NetlistError::Cyclic),
+                _ => {}
+            }
+        } else {
+            state[w.index()] = 2;
+            order.push(w);
+            stack.pop();
+        }
+    }
+    Ok(order)
+}
+
 /// Number of live gates in the cone of `net` (inputs and constants excluded).
 pub fn cone_size(circuit: &Circuit, net: NetId) -> usize {
     let seen = tfi(circuit, &[net.source()]);
@@ -260,6 +303,42 @@ mod tests {
         let (c, nets) = chain(3);
         assert_eq!(cone_size(&c, *nets.last().unwrap()), 3);
         assert_eq!(cone_size(&c, nets[0]), 0);
+    }
+
+    #[test]
+    fn cone_topo_order_is_structural() {
+        // Two circuits with the same cone structure but different NodeId
+        // layouts (the second has an unrelated gate inserted first) walk
+        // their cones in the same relative order.
+        let build = |pad: bool| {
+            let mut c = Circuit::new("t");
+            let a = c.add_input("a");
+            let b = c.add_input("b");
+            if pad {
+                let _ = c.add_gate(GateKind::Or, &[a, b]).unwrap();
+            }
+            let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+            let g2 = c.add_gate(GateKind::Xor, &[g1, b]).unwrap();
+            c.add_output("y", g2);
+            (c, g2)
+        };
+        let (c1, r1) = build(false);
+        let (c2, r2) = build(true);
+        let w1 = cone_topo_order(&c1, r1).unwrap();
+        let w2 = cone_topo_order(&c2, r2).unwrap();
+        assert_eq!(w1.len(), w2.len());
+        for (a, b) in w1.iter().zip(&w2) {
+            assert_eq!(c1.node(a.source()).kind(), c2.node(b.source()).kind());
+        }
+        // Fanins precede fanouts and the root closes the walk.
+        assert_eq!(*w1.last().unwrap(), r1);
+        let pos: std::collections::HashMap<_, _> =
+            w1.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &w in &w1 {
+            for &f in c1.node(w.source()).fanins() {
+                assert!(pos[&f] < pos[&w]);
+            }
+        }
     }
 
     #[test]

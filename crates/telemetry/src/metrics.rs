@@ -73,6 +73,14 @@ metric_enum! {
         RectifyMergeConflicts => "rectify.merge_conflicts",
         /// Degradations recorded (any reason).
         RectifyDegradations => "rectify.degradations",
+        /// Persistent-cache lookups that found a reusable record.
+        CacheHits => "cache.hit",
+        /// Persistent-cache lookups that missed.
+        CacheMisses => "cache.miss",
+        /// Cached results rejected by re-verification before reuse.
+        CacheVerifyRejects => "cache.verify_reject",
+        /// Damaged cache segments skipped on open.
+        CacheCorruptSegments => "cache.corrupt_segment",
     }
 }
 

@@ -228,6 +228,41 @@ pub fn scaling_case() -> EcoCase {
     build_case(&scaling_params())
 }
 
+/// Parameters of the incremental revision chain (ids 17–19): one design
+/// revised cumulatively, where step `k` applies the first `k+1` revisions
+/// of the full list. Every step shares the same seed, so the heavily
+/// optimized implementation is bit-identical across the chain and only the
+/// lightly synthesized specification evolves — the shape of a real ECO
+/// sequence, and the workload the persistent cache warm-starts across.
+pub fn chain_params() -> Vec<CaseParams> {
+    use RevisionKind as R;
+    let full = [
+        (0, R::PolarityFlip),
+        (2, R::ConstantChange),
+        (4, R::ConditionFlip),
+    ];
+    let names = ["chain17", "chain18", "chain19"];
+    (0..full.len())
+        .map(|k| CaseParams {
+            id: 17 + k as u32,
+            name: names[k],
+            seed: 0x1111,
+            input_words: 10,
+            width: 4,
+            logic_signals: 48,
+            output_words: 6,
+            revisions: full[..=k].to_vec(),
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        })
+        .collect()
+}
+
+/// Builds the revision chain of [`chain_params`].
+pub fn chain_cases() -> Vec<EcoCase> {
+    chain_params().iter().map(build_case).collect()
+}
+
 /// Builds the 11 ECO cases of Tables 1 and 2.
 pub fn table1_cases() -> Vec<EcoCase> {
     table1_params().iter().map(build_case).collect()
@@ -268,6 +303,38 @@ mod tests {
             "scaling case needs >= 8 failing bit-outputs, got {}",
             case.revised_outputs
         );
+    }
+
+    #[test]
+    fn chain_shares_implementation_and_evolves_spec() {
+        let cases = chain_cases();
+        assert_eq!(cases.len(), 3);
+        // The `.model caseNN` header differs per id; everything below it
+        // (the structure the cache signatures hash) must be bit-identical.
+        let body = |c: &eco_netlist::Circuit| {
+            let blif = eco_netlist::write_blif(c);
+            blif.split_once('\n').map(|(_, rest)| rest.to_string())
+        };
+        let base = body(&cases[0].implementation);
+        for (k, case) in cases.iter().enumerate() {
+            assert_eq!(case.id, 17 + k as u32);
+            case.implementation.check_well_formed().unwrap();
+            case.spec.check_well_formed().unwrap();
+            assert!(case.revised_outputs > 0, "step {k} must fail somewhere");
+            assert_eq!(
+                body(&case.implementation),
+                base,
+                "step {k} implementation must be bit-identical to step 0"
+            );
+        }
+        // Cumulative revisions: each step's spec differs from the previous.
+        for w in cases.windows(2) {
+            assert_ne!(
+                eco_netlist::write_blif(&w[0].spec),
+                eco_netlist::write_blif(&w[1].spec),
+                "consecutive chain specs must differ"
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,8 @@ mod generator;
 mod revision;
 
 pub use cases::{
-    scaling_case, scaling_params, table1_cases, table1_params, timing_cases, timing_params,
+    chain_cases, chain_params, scaling_case, scaling_params, table1_cases, table1_params,
+    timing_cases, timing_params,
 };
 pub use generator::{build_case, CaseParams, EcoCase};
 pub use revision::RevisionKind;

@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const T_BASE: u32 = 0;
     const Y_BASE: u32 = 32;
     const Z_BASE: u32 = 40;
-    let domain = SamplingDomain::new(samples, Z_BASE);
+    let domain = SamplingDomain::new(samples, Z_BASE)?;
     println!(
         "\nsampling domain: N = {} samples → {} z-variables",
         domain.len(),

@@ -1,0 +1,208 @@
+//! Property tests of the structural signature: [`circuit_sig`] must not
+//! depend on construction accidents — the order gates were added in, the
+//! numeric values of the net ids, dead nodes, or the fanin order of
+//! commutative gates — while still separating genuinely different logic.
+
+use eco_cache::sig::circuit_sig;
+use eco_netlist::{Circuit, GateKind, NetId};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A construction-order-free description of a DAG. Fanin entries index
+/// `0..inputs` for primary inputs and `inputs + j` for gate `j`, so gate
+/// `j` may only reference earlier gates — every permutation that respects
+/// that partial order builds the same circuit.
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    gates: Vec<(GateKind, Vec<usize>)>,
+    /// Recipe-net index driving each output port `out{i}`.
+    outputs: Vec<usize>,
+}
+
+fn random_recipe(seed: u64) -> Recipe {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let inputs = rng.gen_range(2..=5);
+    let num_gates = rng.gen_range(3..=12);
+    let mut gates = Vec::with_capacity(num_gates);
+    for g in 0..num_gates {
+        let available = inputs + g;
+        let kind = *[
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+            GateKind::Mux,
+        ]
+        .get(rng.gen_range(0..9))
+        .unwrap();
+        let arity = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            GateKind::Mux => 3,
+            _ => rng.gen_range(2..=3),
+        };
+        let fanins = (0..arity).map(|_| rng.gen_range(0..available)).collect();
+        gates.push((kind, fanins));
+    }
+    // The last gate always drives the first output, so at least one cone
+    // covers fresh structure; further outputs tap random nets.
+    let mut outputs = vec![inputs + num_gates - 1];
+    for _ in 0..rng.gen_range(0..=2) {
+        outputs.push(rng.gen_range(0..inputs + num_gates));
+    }
+    Recipe {
+        inputs,
+        gates,
+        outputs,
+    }
+}
+
+/// A random topological linear extension: any order in which every gate
+/// follows the gates it reads from.
+fn random_gate_order(recipe: &Recipe, rng: &mut SmallRng) -> Vec<usize> {
+    let n = recipe.gates.len();
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let ready: Vec<usize> = (0..n)
+            .filter(|&g| {
+                !placed[g]
+                    && recipe.gates[g]
+                        .1
+                        .iter()
+                        .all(|&f| f < recipe.inputs || placed[f - recipe.inputs])
+            })
+            .collect();
+        let g = ready[rng.gen_range(0..ready.len())];
+        placed[g] = true;
+        order.push(g);
+    }
+    order
+}
+
+/// Builds the recipe with gates added in `order`, optionally interleaving
+/// dead junk gates (shifting every subsequent net id) and optionally
+/// reversing the fanin lists of commutative gates.
+fn build(recipe: &Recipe, order: &[usize], junk: bool, reverse_commutative: bool) -> Circuit {
+    build_named(recipe, order, junk, reverse_commutative, "in0")
+}
+
+fn build_named(
+    recipe: &Recipe,
+    order: &[usize],
+    junk: bool,
+    reverse_commutative: bool,
+    first_input: &str,
+) -> Circuit {
+    let mut c = Circuit::new("prop");
+    let mut nets: Vec<Option<NetId>> = vec![None; recipe.inputs + recipe.gates.len()];
+    for (i, slot) in nets.iter_mut().enumerate().take(recipe.inputs) {
+        let name = if i == 0 {
+            first_input.to_string()
+        } else {
+            format!("in{i}")
+        };
+        *slot = Some(c.add_input(&name));
+    }
+    for &g in order {
+        if junk {
+            // Dead by construction: nothing downstream ever reads it.
+            let _ = c.add_gate(GateKind::Not, &[nets[0].unwrap()]).unwrap();
+        }
+        let (kind, fanins) = &recipe.gates[g];
+        let mut resolved: Vec<NetId> = fanins.iter().map(|&f| nets[f].unwrap()).collect();
+        if reverse_commutative && kind.is_commutative() {
+            resolved.reverse();
+        }
+        nets[recipe.inputs + g] = Some(c.add_gate(*kind, &resolved).unwrap());
+    }
+    for (i, &net) in recipe.outputs.iter().enumerate() {
+        c.add_output(format!("out{i}"), nets[net].unwrap());
+    }
+    c.check_well_formed().unwrap();
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sig_is_invariant_under_construction_order_and_renumbering(seed in any::<u64>()) {
+        let recipe = random_recipe(seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0DE8);
+        let natural: Vec<usize> = (0..recipe.gates.len()).collect();
+        let reference = circuit_sig(&build(&recipe, &natural, false, false)).unwrap();
+
+        // Gate-order permutation: a random linear extension.
+        let permuted = random_gate_order(&recipe, &mut rng);
+        prop_assert_eq!(
+            circuit_sig(&build(&recipe, &permuted, false, false)).unwrap(),
+            reference,
+            "gate insertion order must not matter"
+        );
+
+        // Net renumbering: junk gates shift every net id; dead nodes must
+        // not contribute, swept or not.
+        let mut renumbered = build(&recipe, &permuted, true, false);
+        prop_assert_eq!(circuit_sig(&renumbered).unwrap(), reference,
+            "net ids and dead nodes must not matter");
+        renumbered.sweep();
+        prop_assert_eq!(circuit_sig(&renumbered).unwrap(), reference,
+            "sweeping dead nodes must not matter either");
+
+        // Commutative fanin order.
+        prop_assert_eq!(
+            circuit_sig(&build(&recipe, &natural, false, true)).unwrap(),
+            reference,
+            "fanin order of commutative gates must not matter"
+        );
+    }
+
+    #[test]
+    fn sig_separates_a_single_gate_flip(seed in any::<u64>()) {
+        let recipe = random_recipe(seed);
+        let natural: Vec<usize> = (0..recipe.gates.len()).collect();
+        let reference = circuit_sig(&build(&recipe, &natural, false, false)).unwrap();
+
+        // Flip the kind of the gate driving out0 (arity-compatible swap).
+        let mut flipped = recipe.clone();
+        let last = flipped.gates.len() - 1;
+        let kind = &mut flipped.gates[last].0;
+        *kind = match *kind {
+            GateKind::And => GateKind::Or,
+            GateKind::Or => GateKind::And,
+            GateKind::Nand => GateKind::Nor,
+            GateKind::Nor => GateKind::Nand,
+            GateKind::Xor => GateKind::Xnor,
+            GateKind::Xnor => GateKind::Xor,
+            GateKind::Not => GateKind::Buf,
+            GateKind::Buf => GateKind::Not,
+            // And accepts the mux's three fanins; different function.
+            GateKind::Mux => GateKind::And,
+            other => other,
+        };
+        prop_assert_ne!(
+            circuit_sig(&build(&flipped, &natural, false, false)).unwrap(),
+            reference,
+            "a functional edit in an output cone must change the signature"
+        );
+    }
+
+    #[test]
+    fn sig_depends_on_port_names(seed in any::<u64>()) {
+        let recipe = random_recipe(seed);
+        let natural: Vec<usize> = (0..recipe.gates.len()).collect();
+        let reference = build(&recipe, &natural, false, false);
+        let renamed = build_named(&recipe, &natural, false, false, "other");
+        prop_assert_ne!(
+            circuit_sig(&renamed).unwrap(),
+            circuit_sig(&reference).unwrap(),
+            "input labels are part of the key"
+        );
+    }
+}

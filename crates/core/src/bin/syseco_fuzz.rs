@@ -1,0 +1,202 @@
+//! Differential fuzzing front end for the syseco engine.
+//!
+//! ```text
+//! syseco-fuzz run --seed N --iters N [--out-dir DIR] [--cache-every N]
+//!                 [--heavy] [--mutations N]
+//! syseco-fuzz replay <file.eco-repro>
+//! ```
+//!
+//! `run` generates mutation-based ECO scenarios (implementation plus a
+//! semantics-changed spec with a known delta) and pushes each through the
+//! full cross-oracle conformance matrix: bit-parallel simulation, SAT CEC,
+//! BDD equivalence, `Syseco` rectification at one and four workers
+//! (byte-identical patched netlists, patch verified against the spec),
+//! and — every `--cache-every`-th iteration — cold/warm replay through a
+//! scratch persistent cache. Any disagreement is shrunk and written to
+//! `DIR/repro-<seed>.eco-repro` (default `fuzz-repros/`). Standard output
+//! is byte-stable for a fixed `--seed`/`--iters`; progress goes to stderr.
+//!
+//! `replay` re-runs the whole matrix on a saved `.eco-repro` file and
+//! prints each disagreement. See DESIGN.md §12.
+//!
+//! Exit codes: 0 no disagreements, 1 disagreements found, 2 usage error.
+
+use std::process::ExitCode;
+
+use syseco::fuzz::{parse_repro, write_repro, FuzzConfig, FuzzRunner, Repro};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  syseco-fuzz run --seed N --iters N [--out-dir DIR] [--cache-every N]\n                  \
+         [--heavy] [--mutations N]\n  syseco-fuzz replay <file.eco-repro>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_u64(flag: &str, value: Option<&String>) -> Result<u64, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: not a number: {value}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut seed = None;
+    let mut iters = None;
+    let mut out_dir = String::from("fuzz-repros");
+    let mut config = FuzzConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = args.get(i + 1);
+        let step = match arg {
+            "--seed" => match parse_u64(arg, value) {
+                Ok(v) => {
+                    seed = Some(v);
+                    2
+                }
+                Err(e) => return fail_usage(&e),
+            },
+            "--iters" => match parse_u64(arg, value) {
+                Ok(v) => {
+                    iters = Some(v);
+                    2
+                }
+                Err(e) => return fail_usage(&e),
+            },
+            "--cache-every" => match parse_u64(arg, value) {
+                Ok(v) => {
+                    config.cache_every = v;
+                    2
+                }
+                Err(e) => return fail_usage(&e),
+            },
+            "--mutations" => match parse_u64(arg, value) {
+                Ok(v) if v >= 1 => {
+                    config.scenario.mutations = (v as usize, v as usize);
+                    2
+                }
+                _ => return fail_usage("--mutations needs a number >= 1"),
+            },
+            "--out-dir" => match value {
+                Some(v) => {
+                    out_dir = v.clone();
+                    2
+                }
+                None => return fail_usage("--out-dir needs a value"),
+            },
+            "--heavy" => {
+                config.scenario.heavy_optimization = true;
+                1
+            }
+            other => return fail_usage(&format!("unknown flag: {other}")),
+        };
+        i += step;
+    }
+    let (Some(seed), Some(iters)) = (seed, iters) else {
+        return fail_usage("run needs both --seed and --iters");
+    };
+
+    let runner = FuzzRunner::new(config);
+    let report = match runner.run(seed, iters, |done, failures| {
+        if done % 50 == 0 || done == iters {
+            eprintln!("[syseco-fuzz] {done}/{iters} iterations, {failures} failure(s)");
+        }
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("syseco-fuzz: infrastructure error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for failure in &report.failures {
+        println!(
+            "FAIL iteration {} seed {:#018x}: {}",
+            failure.iteration, failure.seed, failure.repro.check
+        );
+        for d in &failure.disagreements {
+            println!("  {d}");
+        }
+        let path = format!("{out_dir}/repro-{:016x}.eco-repro", failure.seed);
+        if let Err(e) = save_repro(&path, &failure.repro) {
+            eprintln!("syseco-fuzz: cannot write {path}: {e}");
+        } else {
+            println!("  repro written to {path}");
+        }
+    }
+    println!(
+        "ran {} iteration(s) ({} with cache replay): {} failure(s)",
+        report.iterations,
+        report.cache_checked,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn save_repro(path: &str, repro: &Repro) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, write_repro(repro))
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("syseco-fuzz: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let repro = match parse_repro(&text) {
+        Ok(repro) => repro,
+        Err(e) => {
+            eprintln!("syseco-fuzz: cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying seed {:#018x} iteration {} ({})",
+        repro.seed, repro.iteration, repro.check
+    );
+    let runner = FuzzRunner::new(FuzzConfig::default());
+    match runner.replay(&repro) {
+        Ok(disagreements) if disagreements.is_empty() => {
+            println!("no disagreements: the repro no longer fails");
+            ExitCode::SUCCESS
+        }
+        Ok(disagreements) => {
+            for d in &disagreements {
+                println!("  {d}");
+            }
+            println!("{} disagreement(s)", disagreements.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("syseco-fuzz: infrastructure error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn fail_usage(message: &str) -> ExitCode {
+    eprintln!("syseco-fuzz: {message}");
+    usage()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}

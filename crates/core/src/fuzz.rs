@@ -1,0 +1,415 @@
+//! Pipeline-level differential fuzzing.
+//!
+//! Re-exports the netlist-level machinery of the [`eco-fuzz`](eco_fuzz)
+//! crate (scenario generation, the simulation/SAT/BDD oracles, the
+//! shrinker, and the `.eco-repro` format) and layers the checks only this
+//! crate can perform on top: full [`Syseco`] rectification at one and four
+//! workers with byte-identical patched netlists, patch validity against
+//! the spec, and cold/warm replay through the persistent cache. The
+//! [`FuzzRunner`] drives all of it from a single seed; the `syseco-fuzz`
+//! binary is a thin CLI over this module. See DESIGN.md §12.
+
+use std::path::{Path, PathBuf};
+
+use eco_netlist::{write_blif, Circuit};
+
+pub use eco_fuzz::*;
+
+use crate::{verify_rectification, EcoOptions, Syseco};
+
+/// Configuration of a [`FuzzRunner`].
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Scenario size and mutation ranges.
+    pub scenario: ScenarioConfig,
+    /// Run the cache cold/warm replay oracle every `n`-th iteration
+    /// (`0` disables it). Cache checks touch the filesystem, so they are
+    /// sampled rather than run on every case.
+    pub cache_every: u64,
+    /// Predicate-evaluation budget for shrinking a failure.
+    pub shrink_budget: usize,
+    /// Sampling-domain size handed to the engine (kept small: fuzz
+    /// scenarios are tiny and the engine rounds up internally).
+    pub num_samples: usize,
+    /// Directory for the cache oracle's scratch stores; defaults to the
+    /// system temp directory.
+    pub scratch_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            scenario: ScenarioConfig::default(),
+            cache_every: 25,
+            shrink_budget: 400,
+            num_samples: 32,
+            scratch_dir: None,
+        }
+    }
+}
+
+/// One confirmed failure: where it happened, what fired, and the shrunk
+/// replayable pair.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Iteration index within the run.
+    pub iteration: u64,
+    /// Scenario seed (replayable via [`generate`]).
+    pub seed: u64,
+    /// Every disagreement the conformance check reported.
+    pub disagreements: Vec<Disagreement>,
+    /// The shrunk pair plus metadata, ready for [`write_repro`].
+    pub repro: Repro,
+}
+
+/// Outcome of a [`FuzzRunner::run`].
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Iterations on which the cache oracle also ran.
+    pub cache_checked: u64,
+    /// All confirmed failures, in iteration order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// SplitMix64, used to derive independent per-iteration scenario seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The scenario seed of iteration `i` of a run seeded with `seed`.
+pub fn iteration_seed(seed: u64, i: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(i))
+}
+
+fn engine_options(seed: u64, num_samples: usize, jobs: usize) -> EcoOptions {
+    EcoOptions::builder()
+        .seed(seed)
+        .num_samples(num_samples)
+        .jobs(jobs)
+        .build()
+}
+
+fn rectify_blif(
+    implementation: &Circuit,
+    spec: &Circuit,
+    options: EcoOptions,
+    label: &str,
+    out: &mut Vec<Disagreement>,
+) -> Option<String> {
+    match Syseco::new(options).rectify(implementation, spec) {
+        Ok(result) => {
+            match verify_rectification(&result.patched, spec) {
+                Ok(true) => {}
+                Ok(false) => out.push(Disagreement {
+                    check: format!("pipeline:patch-invalid:{label}"),
+                    output: None,
+                    detail: "patched implementation is not equivalent to the spec".into(),
+                }),
+                Err(e) => out.push(Disagreement {
+                    check: format!("pipeline:verify-error:{label}"),
+                    output: None,
+                    detail: e.to_string(),
+                }),
+            }
+            Some(write_blif(&result.patched))
+        }
+        Err(e) => {
+            out.push(Disagreement {
+                check: format!("pipeline:rectify-error:{label}"),
+                output: None,
+                detail: e.to_string(),
+            });
+            None
+        }
+    }
+}
+
+/// Runs the engine-level conformance checks on one pair.
+///
+/// Performed checks: rectify at `jobs=1` and `jobs=4` both produce valid
+/// patches and byte-identical patched netlists; with `cache_scratch` set,
+/// a cold and a warm run through a fresh cache store reproduce the same
+/// bytes again. Netlist-level oracle agreement is *not* included — combine
+/// with [`check_conformance`] (as [`check_case`] does) for the full
+/// matrix.
+pub fn check_pipeline(
+    implementation: &Circuit,
+    spec: &Circuit,
+    seed: u64,
+    num_samples: usize,
+    cache_scratch: Option<&Path>,
+) -> Vec<Disagreement> {
+    let mut out = Vec::new();
+    let b1 = rectify_blif(
+        implementation,
+        spec,
+        engine_options(seed, num_samples, 1),
+        "jobs1",
+        &mut out,
+    );
+    let b4 = rectify_blif(
+        implementation,
+        spec,
+        engine_options(seed, num_samples, 4),
+        "jobs4",
+        &mut out,
+    );
+    if let (Some(b1), Some(b4)) = (&b1, &b4) {
+        if b1 != b4 {
+            out.push(Disagreement {
+                check: "pipeline:jobs-determinism".into(),
+                output: None,
+                detail: "patched netlists differ between jobs=1 and jobs=4".into(),
+            });
+        }
+    }
+    if let Some(dir) = cache_scratch {
+        let cache_run = |label: &str, out: &mut Vec<Disagreement>| {
+            let options = EcoOptions::builder()
+                .seed(seed)
+                .num_samples(num_samples)
+                .jobs(1)
+                .cache_dir(dir.to_path_buf())
+                .build();
+            rectify_blif(implementation, spec, options, label, out)
+        };
+        let cold = cache_run("cache-cold", &mut out);
+        let warm = cache_run("cache-warm", &mut out);
+        for (label, cached) in [("cold", &cold), ("warm", &warm)] {
+            if let (Some(plain), Some(cached)) = (&b1, cached) {
+                if plain != cached {
+                    out.push(Disagreement {
+                        check: format!("pipeline:cache-replay-{label}"),
+                        output: None,
+                        detail: format!(
+                            "{label} cached run produced different bytes than the uncached run"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The full conformance matrix on one pair: cross-oracle agreement plus
+/// the pipeline checks of [`check_pipeline`].
+///
+/// # Errors
+///
+/// [`FuzzError`] for infrastructure failures (ill-formed or
+/// port-incompatible pairs); actual conformance violations are returned
+/// as [`Disagreement`]s, not errors.
+pub fn check_case(
+    implementation: &Circuit,
+    spec: &Circuit,
+    seed: u64,
+    num_samples: usize,
+    cache_scratch: Option<&Path>,
+) -> Result<Vec<Disagreement>, FuzzError> {
+    let mut out = check_conformance(implementation, spec, seed)?;
+    out.extend(check_pipeline(
+        implementation,
+        spec,
+        seed,
+        num_samples,
+        cache_scratch,
+    ));
+    Ok(out)
+}
+
+/// Deterministic seed-driven fuzzing loop over generated scenarios.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzRunner {
+    /// Knobs of the loop.
+    pub config: FuzzConfig,
+}
+
+impl FuzzRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: FuzzConfig) -> Self {
+        FuzzRunner { config }
+    }
+
+    fn scratch_base(&self) -> PathBuf {
+        self.config
+            .scratch_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+    }
+
+    /// Runs `iters` iterations derived from `seed`, invoking `progress`
+    /// after each iteration with `(iteration, failures_so_far)`.
+    ///
+    /// Fully deterministic for a fixed `(seed, iters, config)`: the same
+    /// scenarios are generated, the same checks run (the cache oracle on
+    /// every [`FuzzConfig::cache_every`]-th iteration), and any failure
+    /// shrinks to the same repro.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infrastructure [`FuzzError`]s (scenario generation or
+    /// oracle plumbing); conformance violations are collected into the
+    /// report instead.
+    pub fn run(
+        &self,
+        seed: u64,
+        iters: u64,
+        mut progress: impl FnMut(u64, usize),
+    ) -> Result<FuzzReport, FuzzError> {
+        let mut report = FuzzReport::default();
+        for i in 0..iters {
+            let scenario_seed = iteration_seed(seed, i);
+            let scenario = generate(scenario_seed, &self.config.scenario)?;
+            let with_cache = self.config.cache_every != 0 && i % self.config.cache_every == 0;
+            let scratch = if with_cache {
+                let dir = self.scratch_base().join(format!(
+                    "syseco-fuzz-{}-{scenario_seed:016x}",
+                    std::process::id()
+                ));
+                Some(dir)
+            } else {
+                None
+            };
+            if with_cache {
+                report.cache_checked += 1;
+            }
+            let disagreements = check_case(
+                &scenario.implementation,
+                &scenario.spec,
+                scenario_seed,
+                self.config.num_samples,
+                scratch.as_deref(),
+            )?;
+            if let Some(dir) = &scratch {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            if !disagreements.is_empty() {
+                report
+                    .failures
+                    .push(self.confirm_failure(i, &scenario, disagreements));
+            }
+            report.iterations += 1;
+            progress(i + 1, report.failures.len());
+        }
+        Ok(report)
+    }
+
+    /// Shrinks a failing scenario and packages it as a [`FuzzFailure`].
+    ///
+    /// The shrink predicate re-runs the cheap checks only (oracles and the
+    /// uncached pipeline); a failure that only the cache oracle can see is
+    /// still recorded, just with the unshrunk pair.
+    fn confirm_failure(
+        &self,
+        iteration: u64,
+        scenario: &Scenario,
+        disagreements: Vec<Disagreement>,
+    ) -> FuzzFailure {
+        let seed = scenario.seed;
+        let num_samples = self.config.num_samples;
+        let outcome = shrink_pair(
+            &scenario.implementation,
+            &scenario.spec,
+            |i, s| {
+                check_case(i, s, seed, num_samples, None)
+                    .map(|d| !d.is_empty())
+                    .unwrap_or(false)
+            },
+            self.config.shrink_budget,
+        );
+        let check = disagreements
+            .first()
+            .map(|d| d.check.clone())
+            .unwrap_or_default();
+        let detail = disagreements
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" | ");
+        FuzzFailure {
+            iteration,
+            seed,
+            disagreements,
+            repro: Repro {
+                seed,
+                iteration,
+                check,
+                detail,
+                implementation: outcome.implementation,
+                spec: outcome.spec,
+            },
+        }
+    }
+
+    /// Re-runs the conformance matrix on a parsed repro (the `replay` CLI
+    /// verb). The cache oracle is included, using a scratch store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infrastructure [`FuzzError`]s.
+    pub fn replay(&self, repro: &Repro) -> Result<Vec<Disagreement>, FuzzError> {
+        let dir = self.scratch_base().join(format!(
+            "syseco-fuzz-replay-{}-{:016x}",
+            std::process::id(),
+            repro.seed
+        ));
+        let result = check_case(
+            &repro.implementation,
+            &repro.spec,
+            repro.seed,
+            self.config.num_samples,
+            Some(&dir),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::GateKind;
+
+    #[test]
+    fn iteration_seeds_are_spread() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..100).map(|i| iteration_seed(1, i)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_ne!(iteration_seed(1, 0), iteration_seed(2, 0));
+    }
+
+    #[test]
+    fn pipeline_check_is_clean_on_a_simple_pair() {
+        let mut c = Circuit::new("impl");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        let mut s = Circuit::new("spec");
+        let a = s.add_input("a");
+        let b = s.add_input("b");
+        let g = s.add_gate(GateKind::Or, &[a, b]).unwrap();
+        s.add_output("y", g);
+        let out = check_pipeline(&c, &s, 7, 32, None);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn short_run_is_deterministic_and_clean() {
+        let runner = FuzzRunner::new(FuzzConfig {
+            cache_every: 0,
+            ..FuzzConfig::default()
+        });
+        let a = runner.run(5, 3, |_, _| {}).unwrap();
+        let b = runner.run(5, 3, |_, _| {}).unwrap();
+        assert_eq!(a.iterations, 3);
+        assert!(a.failures.is_empty(), "{:?}", a.failures);
+        assert_eq!(b.failures.len(), a.failures.len());
+    }
+}

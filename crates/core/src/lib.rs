@@ -69,6 +69,7 @@ pub mod correspond;
 mod engine;
 mod error;
 pub mod error_domain;
+pub mod fuzz;
 mod memo;
 mod options;
 pub mod patch;

@@ -1,0 +1,94 @@
+//! Error type shared by the fuzzing subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use eco_netlist::{NetlistError, ParseBlifError};
+use eco_workload::GeneratorError;
+
+/// Errors produced by scenario generation, oracle evaluation, or repro
+/// (de)serialization.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FuzzError {
+    /// A netlist operation failed.
+    Netlist(NetlistError),
+    /// The workload generator rejected the sampled parameters.
+    Generator(GeneratorError),
+    /// A circuit section of a repro file failed to parse.
+    Blif(ParseBlifError),
+    /// The implementation/spec pair has incompatible ports.
+    PortMismatch(String),
+    /// A `.eco-repro` file violated the format.
+    Repro {
+        /// 1-based line number of the violation.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FuzzError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FuzzError::Generator(e) => write!(f, "generator error: {e}"),
+            FuzzError::Blif(e) => write!(f, "blif error: {e}"),
+            FuzzError::PortMismatch(msg) => write!(f, "port mismatch: {msg}"),
+            FuzzError::Repro { line, reason } => {
+                write!(f, "repro line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for FuzzError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FuzzError::Netlist(e) => Some(e),
+            FuzzError::Generator(e) => Some(e),
+            FuzzError::Blif(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for FuzzError {
+    fn from(e: NetlistError) -> Self {
+        FuzzError::Netlist(e)
+    }
+}
+
+impl From<GeneratorError> for FuzzError {
+    fn from(e: GeneratorError) -> Self {
+        FuzzError::Generator(e)
+    }
+}
+
+impl From<ParseBlifError> for FuzzError {
+    fn from(e: ParseBlifError) -> Self {
+        FuzzError::Blif(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let cases = [
+            FuzzError::PortMismatch("x".into()),
+            FuzzError::Repro {
+                line: 3,
+                reason: "bad".into(),
+            },
+            FuzzError::Netlist(NetlistError::UnknownNode(eco_netlist::NodeId::from_index(
+                7,
+            ))),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Semantics-changing netlist mutations.
+//!
+//! Each mutation derives a *revised specification* from a base circuit by a
+//! localized functional edit, mirroring the way real ECOs change a handful
+//! of gates. Because the implementation is the unmutated base, every
+//! generated pair is rectifiable by construction and the applied
+//! [`MutationRecord`]s are the ground-truth delta.
+
+use std::collections::HashMap;
+
+use eco_netlist::{topo, Circuit, GateKind, NetId, NodeId, Pin};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::FuzzError;
+
+/// Maximum cone size duplicated by [`MutationKind::ConeDupEdit`].
+const MAX_DUP_CONE: usize = 12;
+
+/// The kinds of semantics-changing rewrites the fuzzer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Replace a gate's logic operation, keeping its fanins.
+    GateFlip,
+    /// Swap two fanins of an order-sensitive gate (mux branches).
+    PinSwap,
+    /// Duplicate a small cone, flip one gate inside the copy, and rewire a
+    /// consumer of the original root onto the edited copy.
+    ConeDupEdit,
+    /// Rewire a sink pin to a constant.
+    ConstInject,
+}
+
+impl std::fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MutationKind::GateFlip => "gate-flip",
+            MutationKind::PinSwap => "pin-swap",
+            MutationKind::ConeDupEdit => "cone-dup-edit",
+            MutationKind::ConstInject => "const-inject",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One applied mutation: the ground-truth delta entry.
+#[derive(Debug, Clone)]
+pub struct MutationRecord {
+    /// Which rewrite was applied.
+    pub kind: MutationKind,
+    /// The node the rewrite anchored on (the flipped gate, the swapped mux,
+    /// the duplicated root, or the consumer of an injected constant).
+    pub node: NodeId,
+    /// Human-readable description of the edit.
+    pub detail: String,
+}
+
+/// Replacement operations tried by [`MutationKind::GateFlip`]; every entry
+/// accepts the same fanin count as the key.
+fn flip_targets(kind: GateKind) -> &'static [GateKind] {
+    match kind {
+        GateKind::And => &[GateKind::Or, GateKind::Nand, GateKind::Xor],
+        GateKind::Or => &[GateKind::And, GateKind::Nor, GateKind::Xor],
+        GateKind::Nand => &[GateKind::Nor, GateKind::And, GateKind::Xnor],
+        GateKind::Nor => &[GateKind::Nand, GateKind::Or, GateKind::Xnor],
+        GateKind::Xor => &[GateKind::Xnor, GateKind::Or],
+        GateKind::Xnor => &[GateKind::Xor, GateKind::And],
+        GateKind::Not => &[GateKind::Buf],
+        GateKind::Buf => &[GateKind::Not],
+        // And/Or/Xor accept the mux's three fanins.
+        GateKind::Mux => &[GateKind::And, GateKind::Or, GateKind::Xor],
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => &[],
+    }
+}
+
+/// Live gate nodes eligible as mutation anchors (no inputs, no constants).
+fn gate_nodes(c: &Circuit) -> Vec<NodeId> {
+    c.iter_live()
+        .filter(|&id| {
+            let k = c.node(id).kind();
+            k != GateKind::Input && !k.is_const()
+        })
+        .collect()
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        items.get(rng.gen_range(0..items.len()))
+    }
+}
+
+/// Applies one random mutation of `kind` to `c`; returns `None` when no
+/// anchor for that kind exists in the circuit.
+fn try_apply(c: &mut Circuit, rng: &mut SmallRng, kind: MutationKind) -> Option<MutationRecord> {
+    match kind {
+        MutationKind::GateFlip => {
+            let cands: Vec<NodeId> = gate_nodes(c)
+                .into_iter()
+                .filter(|&id| !flip_targets(c.node(id).kind()).is_empty())
+                .collect();
+            let &node = pick(rng, &cands)?;
+            let from = c.node(node).kind();
+            let &to = pick(rng, flip_targets(from)).expect("filtered to non-empty");
+            c.set_gate_kind(node, to).ok()?;
+            Some(MutationRecord {
+                kind,
+                node,
+                detail: format!("{from} -> {to} at n{}", node.index()),
+            })
+        }
+        MutationKind::PinSwap => {
+            let muxes: Vec<NodeId> = gate_nodes(c)
+                .into_iter()
+                .filter(|&id| c.node(id).kind() == GateKind::Mux)
+                .collect();
+            let &node = pick(rng, &muxes)?;
+            let (a, b) = *pick(rng, &[(0u8, 1u8), (1, 2), (0, 2)]).expect("non-empty");
+            c.swap_fanins(node, a, b).ok()?;
+            Some(MutationRecord {
+                kind,
+                node,
+                detail: format!("swap pins {a},{b} of mux n{}", node.index()),
+            })
+        }
+        MutationKind::ConeDupEdit => {
+            let fanouts = c.fanouts();
+            let cands: Vec<NodeId> = gate_nodes(c)
+                .into_iter()
+                .filter(|&id| {
+                    let net: NetId = id.into();
+                    !fanouts[net.index()].is_empty()
+                        && topo::cone_size(c, net) <= MAX_DUP_CONE
+                        && !flip_targets(c.node(id).kind()).is_empty()
+                })
+                .collect();
+            let &root = pick(rng, &cands)?;
+            let root_net: NetId = root.into();
+            let src = c.clone();
+            let map = c.clone_cone(&src, &[root_net], &HashMap::new()).ok()?;
+            // Flip one gate inside the duplicate. The cone root itself is
+            // always flippable (filtered above), so candidates are non-empty.
+            let mut editable: Vec<NodeId> = map
+                .iter()
+                .filter(|(&from, &to)| {
+                    from != to && !flip_targets(src.node(from.source()).kind()).is_empty()
+                })
+                .map(|(_, &to)| to.source())
+                .collect();
+            // HashMap iteration order is per-instance; sort so the same rng
+            // stream always edits the same gate.
+            editable.sort_unstable_by_key(|id| id.index());
+            let &edit = pick(rng, &editable)?;
+            let from_kind = c.node(edit).kind();
+            let &to_kind = pick(rng, flip_targets(from_kind)).expect("filtered to non-empty");
+            c.set_gate_kind(edit, to_kind).ok()?;
+            // Redirect one consumer of the original root onto the copy.
+            let &sink = pick(rng, &fanouts[root_net.index()])?;
+            c.rewire(sink, map[&root_net]).ok()?;
+            Some(MutationRecord {
+                kind,
+                node: root,
+                detail: format!(
+                    "dup cone of n{} ({} nodes), {from_kind} -> {to_kind} inside copy",
+                    root.index(),
+                    topo::cone_size(&src, root_net),
+                ),
+            })
+        }
+        MutationKind::ConstInject => {
+            let mut pins: Vec<Pin> = Vec::new();
+            for id in gate_nodes(c) {
+                for pos in 0..c.node(id).fanins().len() {
+                    pins.push(Pin::gate(id, pos as u8));
+                }
+            }
+            for index in 0..c.num_outputs() {
+                pins.push(Pin::output(index as u32));
+            }
+            let &pin = pick(rng, &pins)?;
+            let value = rng.gen_bool(0.5);
+            let konst = c.constant(value);
+            c.rewire(pin, konst).ok()?;
+            let node = pin.node().unwrap_or_else(|| konst.source());
+            Some(MutationRecord {
+                kind,
+                node,
+                detail: format!("drive {pin:?} with const{}", u8::from(value)),
+            })
+        }
+    }
+}
+
+/// Applies one random semantics-changing mutation, trying other kinds when
+/// the sampled one has no anchor in `c`.
+///
+/// Returns `None` only when the circuit offers no mutable structure at all
+/// (e.g. outputs wired straight to inputs with no gates and no ports).
+pub fn apply_random_mutation(c: &mut Circuit, rng: &mut SmallRng) -> Option<MutationRecord> {
+    const ORDER: [MutationKind; 4] = [
+        MutationKind::GateFlip,
+        MutationKind::PinSwap,
+        MutationKind::ConeDupEdit,
+        MutationKind::ConstInject,
+    ];
+    let start = rng.gen_range(0..ORDER.len());
+    for i in 0..ORDER.len() {
+        let kind = ORDER[(start + i) % ORDER.len()];
+        if let Some(record) = try_apply(c, rng, kind) {
+            return Some(record);
+        }
+    }
+    None
+}
+
+/// Applies up to `count` random mutations and returns the ground-truth
+/// delta. Stops early when the circuit has nothing left to mutate.
+///
+/// # Errors
+///
+/// [`FuzzError::Netlist`] when a mutation leaves the circuit ill-formed —
+/// a bug in the mutation engine itself, surfaced instead of propagated
+/// into the oracles.
+pub fn mutate_n(
+    c: &mut Circuit,
+    rng: &mut SmallRng,
+    count: usize,
+) -> Result<Vec<MutationRecord>, FuzzError> {
+    let mut delta = Vec::with_capacity(count);
+    for _ in 0..count {
+        match apply_random_mutation(c, rng) {
+            Some(record) => delta.push(record),
+            None => break,
+        }
+    }
+    c.check_well_formed()?;
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::write_blif;
+    use rand::SeedableRng;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.add_input("s");
+        let g1 = c.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::And, &[g1, s]).unwrap();
+        let g3 = c.add_gate(GateKind::Mux, &[s, g1, g2]).unwrap();
+        c.add_output("y", g3);
+        c.add_output("t", g2);
+        c
+    }
+
+    #[test]
+    fn every_kind_applies_on_sample() {
+        for kind in [
+            MutationKind::GateFlip,
+            MutationKind::PinSwap,
+            MutationKind::ConeDupEdit,
+            MutationKind::ConstInject,
+        ] {
+            let mut c = sample();
+            let mut rng = SmallRng::seed_from_u64(7);
+            let rec = try_apply(&mut c, &mut rng, kind)
+                .unwrap_or_else(|| panic!("{kind} found no anchor"));
+            assert_eq!(rec.kind, kind);
+            c.check_well_formed().unwrap();
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let run = |seed: u64| {
+            let mut c = sample();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let delta = mutate_n(&mut c, &mut rng, 3).unwrap();
+            (write_blif(&c), delta.len())
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds explore different edits (statistically certain on
+        // this sample).
+        assert!(
+            (0..8)
+                .map(run)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1
+        );
+    }
+
+    #[test]
+    fn mutated_circuits_stay_well_formed() {
+        for seed in 0..50 {
+            let mut c = sample();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let delta = mutate_n(&mut c, &mut rng, 4).unwrap();
+            assert!(!delta.is_empty(), "seed {seed} applied nothing");
+            c.sweep();
+            c.check_well_formed().unwrap();
+        }
+    }
+
+    #[test]
+    fn gateless_circuit_yields_no_mutation_or_const() {
+        // Output wired straight to an input: only const injection applies.
+        let mut c = Circuit::new("wire");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let rec = apply_random_mutation(&mut c, &mut rng).unwrap();
+        assert_eq!(rec.kind, MutationKind::ConstInject);
+        c.check_well_formed().unwrap();
+    }
+}

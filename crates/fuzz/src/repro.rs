@@ -1,0 +1,243 @@
+//! The `.eco-repro` file format: a replayable failing pair.
+//!
+//! A repro file captures everything needed to re-run a failure away from
+//! the fuzzing session that found it: the originating seed and iteration,
+//! the check that fired, and the (usually shrunk) implementation/spec pair
+//! serialized in the BLIF dialect of [`eco_netlist::io`].
+//!
+//! ```text
+//! # eco-repro v1
+//! seed 17
+//! iteration 204
+//! check oracle:sim-vs-sat
+//! detail sim=different but sat=equivalent on output "o3"
+//! --- implementation
+//! .model fuzz
+//! ...
+//! --- spec
+//! .model fuzz
+//! ...
+//! --- end
+//! ```
+
+use eco_netlist::{read_blif, write_blif, Circuit};
+
+use crate::FuzzError;
+
+/// Header line identifying the format and version.
+pub const REPRO_HEADER: &str = "# eco-repro v1";
+
+/// A replayable failing case.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Seed of the scenario that failed.
+    pub seed: u64,
+    /// Fuzzing iteration at which it failed.
+    pub iteration: u64,
+    /// The check that fired (see `Disagreement::check`).
+    pub check: String,
+    /// Free-form description of the failure.
+    pub detail: String,
+    /// The (shrunk) implementation.
+    pub implementation: Circuit,
+    /// The (shrunk) spec.
+    pub spec: Circuit,
+}
+
+fn sanitize(text: &str) -> String {
+    text.replace(['\n', '\r'], "; ")
+}
+
+/// Serializes a repro to the `.eco-repro` text format.
+pub fn write_repro(repro: &Repro) -> String {
+    let mut out = String::new();
+    out.push_str(REPRO_HEADER);
+    out.push('\n');
+    out.push_str(&format!("seed {}\n", repro.seed));
+    out.push_str(&format!("iteration {}\n", repro.iteration));
+    out.push_str(&format!("check {}\n", sanitize(&repro.check)));
+    out.push_str(&format!("detail {}\n", sanitize(&repro.detail)));
+    out.push_str("--- implementation\n");
+    out.push_str(&write_blif(&repro.implementation));
+    out.push_str("--- spec\n");
+    out.push_str(&write_blif(&repro.spec));
+    out.push_str("--- end\n");
+    out
+}
+
+/// Parses a `.eco-repro` file.
+///
+/// # Errors
+///
+/// [`FuzzError::Repro`] for structural violations (bad header, missing
+/// sections, malformed fields) and [`FuzzError::Blif`] when a circuit
+/// section fails to parse.
+pub fn parse_repro(text: &str) -> Result<Repro, FuzzError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(FuzzError::Repro {
+        line: 1,
+        reason: "empty file".into(),
+    })?;
+    if header.trim() != REPRO_HEADER {
+        return Err(FuzzError::Repro {
+            line: 1,
+            reason: format!("expected {REPRO_HEADER:?}, found {header:?}"),
+        });
+    }
+    let mut seed: Option<u64> = None;
+    let mut iteration: Option<u64> = None;
+    let mut check = String::new();
+    let mut detail = String::new();
+    let mut impl_text = String::new();
+    let mut spec_text = String::new();
+    // 0 = metadata, 1 = implementation, 2 = spec, 3 = done
+    let mut section = 0u8;
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        match trimmed {
+            "--- implementation" => {
+                section = 1;
+                continue;
+            }
+            "--- spec" => {
+                section = 2;
+                continue;
+            }
+            "--- end" => {
+                section = 3;
+                break;
+            }
+            _ => {}
+        }
+        match section {
+            0 => {
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let (key, value) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+                match key {
+                    "seed" => {
+                        seed = Some(value.parse().map_err(|_| FuzzError::Repro {
+                            line,
+                            reason: format!("bad seed {value:?}"),
+                        })?)
+                    }
+                    "iteration" => {
+                        iteration = Some(value.parse().map_err(|_| FuzzError::Repro {
+                            line,
+                            reason: format!("bad iteration {value:?}"),
+                        })?)
+                    }
+                    "check" => check = value.to_string(),
+                    "detail" => detail = value.to_string(),
+                    _ => {
+                        return Err(FuzzError::Repro {
+                            line,
+                            reason: format!("unknown field {key:?}"),
+                        })
+                    }
+                }
+            }
+            1 => {
+                impl_text.push_str(raw);
+                impl_text.push('\n');
+            }
+            2 => {
+                spec_text.push_str(raw);
+                spec_text.push('\n');
+            }
+            _ => unreachable!("loop breaks at --- end"),
+        }
+    }
+    if section != 3 {
+        return Err(FuzzError::Repro {
+            line: text.lines().count(),
+            reason: "missing --- end".into(),
+        });
+    }
+    if impl_text.is_empty() || spec_text.is_empty() {
+        return Err(FuzzError::Repro {
+            line: text.lines().count(),
+            reason: "missing circuit section".into(),
+        });
+    }
+    Ok(Repro {
+        seed: seed.unwrap_or(0),
+        iteration: iteration.unwrap_or(0),
+        check,
+        detail,
+        implementation: read_blif(&impl_text)?,
+        spec: read_blif(&spec_text)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_netlist::GateKind;
+
+    fn sample() -> Repro {
+        let mut a = Circuit::new("impl");
+        let x = a.add_input("x");
+        let y = a.add_input("y");
+        let g = a.add_gate(GateKind::And, &[x, y]).unwrap();
+        a.add_output("o", g);
+        let mut b = Circuit::new("spec");
+        let x = b.add_input("x");
+        let y = b.add_input("y");
+        let g = b.add_gate(GateKind::Or, &[x, y]).unwrap();
+        b.add_output("o", g);
+        Repro {
+            seed: 17,
+            iteration: 204,
+            check: "oracle:sim-vs-sat".into(),
+            detail: "multi\nline detail".into(),
+            implementation: a,
+            spec: b,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let repro = sample();
+        let text = write_repro(&repro);
+        let parsed = parse_repro(&text).unwrap();
+        assert_eq!(parsed.seed, 17);
+        assert_eq!(parsed.iteration, 204);
+        assert_eq!(parsed.check, "oracle:sim-vs-sat");
+        assert_eq!(parsed.detail, "multi; line detail");
+        for j in 0..4u8 {
+            let v = [(j & 1) == 1, (j & 2) == 2];
+            assert_eq!(
+                parsed.implementation.eval(&v).unwrap(),
+                repro.implementation.eval(&v).unwrap()
+            );
+            assert_eq!(parsed.spec.eval(&v).unwrap(), repro.spec.eval(&v).unwrap());
+        }
+        // A second roundtrip is byte-stable.
+        assert_eq!(write_repro(&parsed), text);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_truncation() {
+        assert!(matches!(
+            parse_repro("not a repro\n"),
+            Err(FuzzError::Repro { line: 1, .. })
+        ));
+        let text = write_repro(&sample());
+        let truncated = text.replace("--- end\n", "");
+        assert!(matches!(
+            parse_repro(&truncated),
+            Err(FuzzError::Repro { .. })
+        ));
+        assert!(matches!(
+            parse_repro(&text.replace("seed 17", "seed zebra")),
+            Err(FuzzError::Repro { .. })
+        ));
+        assert!(matches!(
+            parse_repro(&text.replace("seed 17", "flavor vanilla")),
+            Err(FuzzError::Repro { .. })
+        ));
+    }
+}

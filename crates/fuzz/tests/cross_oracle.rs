@@ -1,0 +1,36 @@
+//! Netlist-level cross-oracle conformance over a batch of generated
+//! scenarios. The heavier pipeline-level run (rectify, cache replay) lives
+//! in the workspace-level `fuzz_conformance` test of `syseco`.
+
+use eco_fuzz::{check_conformance, generate, ScenarioConfig};
+
+#[test]
+fn forty_scenarios_with_zero_disagreements() {
+    let config = ScenarioConfig::default();
+    for seed in 0..40 {
+        let s = generate(seed, &config).unwrap();
+        let disagreements = check_conformance(&s.implementation, &s.spec, seed).unwrap();
+        assert!(
+            disagreements.is_empty(),
+            "seed {seed}: {}",
+            disagreements
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+#[test]
+fn conformance_holds_on_heavily_optimized_pairs() {
+    let config = ScenarioConfig {
+        heavy_optimization: true,
+        ..ScenarioConfig::default()
+    };
+    for seed in 100..110 {
+        let s = generate(seed, &config).unwrap();
+        let disagreements = check_conformance(&s.implementation, &s.spec, seed).unwrap();
+        assert!(disagreements.is_empty(), "seed {seed}: {disagreements:?}");
+    }
+}

@@ -403,6 +403,62 @@ impl Circuit {
         self.rewire(Pin::output(index), net)
     }
 
+    /// Replaces the logic operation of the gate at `node`, keeping its
+    /// fanins — the gate-type-flip mutation used by differential fuzzing
+    /// (`eco-fuzz`) to derive semantics-changed specifications.
+    ///
+    /// The structure of the graph is untouched, so acyclicity is preserved
+    /// by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNode`] when `node` does not exist,
+    /// [`NetlistError::DeadNode`] when it was swept, and
+    /// [`NetlistError::BadArity`] when `kind` is [`GateKind::Input`] or does
+    /// not accept the node's current fanin count.
+    pub fn set_gate_kind(&mut self, node: NodeId, kind: GateKind) -> Result<(), NetlistError> {
+        let n = self.try_node(node)?;
+        if n.is_dead() {
+            return Err(NetlistError::DeadNode(node));
+        }
+        if n.kind() == GateKind::Input {
+            return Err(NetlistError::BadArity { kind, got: 0 });
+        }
+        if matches!(kind, GateKind::Input) || !kind.accepts_arity(n.fanins.len()) {
+            return Err(NetlistError::BadArity {
+                kind,
+                got: n.fanins.len(),
+            });
+        }
+        self.nodes[node.index()].kind = kind;
+        Ok(())
+    }
+
+    /// Swaps two fanin pins of the gate at `node` — the pin-swap mutation of
+    /// differential fuzzing. Only meaningful on order-sensitive gates
+    /// ([`GateKind::Mux`]); on commutative gates it is a structural no-op
+    /// for evaluation but still changes pin-level identity.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnknownNode`] / [`NetlistError::DeadNode`] for bad
+    /// nodes, [`NetlistError::UnknownPin`] when either position is out of
+    /// range.
+    pub fn swap_fanins(&mut self, node: NodeId, a: u8, b: u8) -> Result<(), NetlistError> {
+        let n = self.try_node(node)?;
+        if n.is_dead() {
+            return Err(NetlistError::DeadNode(node));
+        }
+        let len = n.fanins.len();
+        for pos in [a, b] {
+            if pos as usize >= len {
+                return Err(NetlistError::UnknownPin(Pin::gate(node, pos)));
+            }
+        }
+        self.nodes[node.index()].fanins.swap(a as usize, b as usize);
+        Ok(())
+    }
+
     /// Copies the transitive fanin cones of `roots` from `src` into `self`.
     ///
     /// `boundary` maps nets of `src` to already-existing nets of `self`;
@@ -838,6 +894,74 @@ mod tests {
                 expected: 3,
                 got: 2
             })
+        ));
+    }
+
+    #[test]
+    fn set_gate_kind_flips_semantics_in_place() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        c.add_output("y", g);
+        assert_eq!(c.eval(&[true, false]).unwrap(), vec![false]);
+        c.set_gate_kind(g.source(), GateKind::Or).unwrap();
+        assert_eq!(c.eval(&[true, false]).unwrap(), vec![true]);
+        c.check_well_formed().unwrap();
+        // Arity-incompatible kinds are rejected.
+        assert!(matches!(
+            c.set_gate_kind(g.source(), GateKind::Not),
+            Err(NetlistError::BadArity { .. })
+        ));
+        assert!(matches!(
+            c.set_gate_kind(g.source(), GateKind::Input),
+            Err(NetlistError::BadArity { .. })
+        ));
+        // Inputs cannot be turned into gates.
+        assert!(c.set_gate_kind(a.source(), GateKind::And).is_err());
+        // Unknown nodes are rejected.
+        assert!(matches!(
+            c.set_gate_kind(NodeId(99), GateKind::Or),
+            Err(NetlistError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn swap_fanins_flips_mux_branches() {
+        let mut c = Circuit::new("t");
+        let s = c.add_input("s");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let m = c.add_gate(GateKind::Mux, &[s, a, b]).unwrap();
+        c.add_output("y", m);
+        // sel=1 takes data-1 (b).
+        assert_eq!(c.eval(&[true, true, false]).unwrap(), vec![false]);
+        c.swap_fanins(m.source(), 1, 2).unwrap();
+        assert_eq!(c.eval(&[true, true, false]).unwrap(), vec![true]);
+        c.check_well_formed().unwrap();
+        assert!(matches!(
+            c.swap_fanins(m.source(), 0, 7),
+            Err(NetlistError::UnknownPin(_))
+        ));
+        assert!(c.swap_fanins(NodeId(99), 0, 1).is_err());
+    }
+
+    #[test]
+    fn mutations_reject_dead_nodes() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, &[a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, &[a, b]).unwrap(); // dangling
+        c.add_output("y", g1);
+        c.sweep();
+        assert!(matches!(
+            c.set_gate_kind(g2.source(), GateKind::And),
+            Err(NetlistError::DeadNode(_))
+        ));
+        assert!(matches!(
+            c.swap_fanins(g2.source(), 0, 1),
+            Err(NetlistError::DeadNode(_))
         ));
     }
 

@@ -301,6 +301,56 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_follow_the_documented_formula() {
+        // Bucket b ≥ 1 covers [2^(b-1), 2^b): both edges for every power
+        // of two that fits below the saturating top bucket.
+        for b in 1..NUM_BUCKETS - 1 {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(bucket_of(lo), b, "lower edge of bucket {b}");
+            assert_eq!(bucket_of(hi), b, "upper edge of bucket {b}");
+            assert_eq!(bucket_of(hi) + 1, bucket_of(hi + 1), "boundary at 2^{b}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_samples_land_in_bucket_zero_only() {
+        let reg = Registry::default();
+        let shard = reg.shard();
+        shard.observe(Histogram::SearchMicros, 0);
+        shard.observe(Histogram::SearchMicros, 0);
+        let snap = reg.snapshot();
+        let buckets = snap.histogram_buckets(Histogram::SearchMicros);
+        assert_eq!(buckets[0], 2, "a zero duration is exactly bucket 0");
+        assert!(buckets[1..].iter().all(|&c| c == 0), "and nothing else");
+        // Bucket 0 is exclusive to zero: the smallest non-zero sample is
+        // already bucket 1.
+        shard.observe(Histogram::SearchMicros, 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram_buckets(Histogram::SearchMicros)[0], 2);
+        assert_eq!(snap.histogram_buckets(Histogram::SearchMicros)[1], 1);
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        // Without clamping, values ≥ 2^63 would index bucket 64 — one past
+        // the array. They must saturate into the last bucket, which
+        // therefore covers [2^62, u64::MAX].
+        assert_eq!(bucket_of(1 << 62), NUM_BUCKETS - 1);
+        assert_eq!(bucket_of(1 << 63), NUM_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+        let reg = Registry::default();
+        let shard = reg.shard();
+        for v in [1u64 << 62, 1 << 63, u64::MAX] {
+            shard.observe(Histogram::SatConflictsPerCall, v);
+        }
+        let snap = reg.snapshot();
+        let buckets = snap.histogram_buckets(Histogram::SatConflictsPerCall);
+        assert_eq!(buckets[NUM_BUCKETS - 1], 3);
+        assert_eq!(snap.histogram_count(Histogram::SatConflictsPerCall), 3);
+    }
+
+    #[test]
     fn shards_fold_by_sum_max_and_bucket() {
         let reg = Registry::default();
         let a = reg.shard();

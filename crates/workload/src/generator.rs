@@ -1,6 +1,6 @@
 //! Parametric ECO case generation.
 
-use eco_netlist::{Circuit, CircuitStats};
+use eco_netlist::{topo, Circuit, CircuitStats};
 use eco_synth::lower::synthesize;
 use eco_synth::opt::{optimize, OptOptions};
 use eco_synth::rtl::{ReduceOp, RtlModule, WordExpr};
@@ -8,6 +8,40 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::revision::RevisionKind;
+
+/// Why a parameter set cannot produce a usable ECO case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneratorError {
+    /// The parameters are structurally degenerate (no inputs or no outputs
+    /// can ever be produced), so no amount of reseeding helps.
+    DegenerateParams {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Every retry produced a design whose outputs are all unreachable from
+    /// the primary inputs (constant cones), which no rectification scenario
+    /// can exercise.
+    NoReachableOutputs {
+        /// Number of generation attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeneratorError::DegenerateParams { reason } => {
+                write!(f, "degenerate generator parameters: {reason}")
+            }
+            GeneratorError::NoReachableOutputs { attempts } => write!(
+                f,
+                "no input-reachable outputs after {attempts} generation attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeneratorError {}
 
 /// Parameters of one generated ECO case.
 #[derive(Debug, Clone)]
@@ -124,15 +158,135 @@ fn build_module(params: &CaseParams, rng: &mut SmallRng) -> RtlModule {
     m
 }
 
+/// Rejects parameter sets that can never produce a usable case, before any
+/// synthesis work is spent on them.
+fn check_params(params: &CaseParams) -> Result<(), GeneratorError> {
+    if params.input_words == 0 {
+        return Err(GeneratorError::DegenerateParams {
+            reason: "input_words must be at least 1".into(),
+        });
+    }
+    if params.output_words == 0 {
+        return Err(GeneratorError::DegenerateParams {
+            reason: "output_words must be at least 1".into(),
+        });
+    }
+    if params.width == 0 || params.width > 64 {
+        return Err(GeneratorError::DegenerateParams {
+            reason: format!("width {} outside 1..=64", params.width),
+        });
+    }
+    Ok(())
+}
+
+/// Whether at least one output cone of `circuit` contains a primary input —
+/// the minimum a rectification scenario needs to be exercisable at all.
+fn has_reachable_output(circuit: &Circuit) -> bool {
+    if circuit.num_outputs() == 0 {
+        return false;
+    }
+    let roots: Vec<_> = circuit.outputs().iter().map(|p| p.net().source()).collect();
+    let in_cone = topo::tfi(circuit, &roots);
+    circuit.inputs().iter().any(|&id| in_cone[id.index()])
+}
+
 /// Builds an ECO case from parameters: original design → optimized
 /// implementation; revised design → lightly synthesized specification.
 ///
+/// Degenerate parameter sets are rejected up front, and seed-dependent
+/// degeneracy (a design whose outputs all optimize to constants) is retried
+/// with perturbed seeds before giving up — callers never receive a case
+/// with zero input-reachable outputs.
+///
+/// # Errors
+///
+/// [`GeneratorError::DegenerateParams`] for structurally impossible
+/// parameters, [`GeneratorError::NoReachableOutputs`] when reseeding cannot
+/// find a non-constant design.
+///
 /// # Panics
 ///
-/// Panics when the parameters are degenerate (no signals/outputs) or when
-/// internal synthesis fails — generator parameters are trusted, they come
-/// from [`crate::table1_params`]/[`crate::timing_params`] or tests.
+/// Panics when internal synthesis fails — the word-level builder only emits
+/// elaborable modules.
+pub fn try_build_case(params: &CaseParams) -> Result<EcoCase, GeneratorError> {
+    check_params(params)?;
+    const MAX_ATTEMPTS: u32 = 4;
+    for attempt in 0..MAX_ATTEMPTS {
+        // Attempt 0 uses the caller's seed untouched so existing cases are
+        // byte-identical to what this generator always produced.
+        let mut p = params.clone();
+        if attempt > 0 {
+            p.seed = params
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(attempt)));
+        }
+        let case = build_case_unchecked(&p);
+        if has_reachable_output(&case.implementation) && has_reachable_output(&case.spec) {
+            return Ok(case);
+        }
+    }
+    Err(GeneratorError::NoReachableOutputs {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Builds just the optimized base netlist of `params` — the original design
+/// with **no revision injected**. This is the seeded-random-netlist hook
+/// behind mutation-based fuzzing (`eco-fuzz`), which derives its own revised
+/// specification by structural mutation instead of word-level revision.
+///
+/// The same reachability guarantee as [`try_build_case`] applies.
+///
+/// # Errors
+///
+/// Same conditions as [`try_build_case`].
+pub fn build_base(params: &CaseParams) -> Result<Circuit, GeneratorError> {
+    check_params(params)?;
+    const MAX_ATTEMPTS: u32 = 4;
+    for attempt in 0..MAX_ATTEMPTS {
+        let seed = if attempt == 0 {
+            params.seed
+        } else {
+            params
+                .seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(attempt)))
+        };
+        let mut p = params.clone();
+        p.seed = seed;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let original = build_module(&p, &mut rng);
+        let mut implementation = synthesize(&original).expect("generated module must elaborate");
+        let opt = if p.aggressive_optimization {
+            OptOptions::aggressive(seed ^ 0xC0FFEE)
+        } else if p.heavy_optimization {
+            OptOptions::heavy(seed ^ 0xC0FFEE)
+        } else {
+            OptOptions::light(seed ^ 0xC0FFEE)
+        };
+        optimize(&mut implementation, &opt).expect("optimization must succeed");
+        if has_reachable_output(&implementation) {
+            return Ok(implementation);
+        }
+    }
+    Err(GeneratorError::NoReachableOutputs {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Infallible wrapper over [`try_build_case`] for the trusted parameter
+/// tables ([`crate::table1_params`]/[`crate::timing_params`]) and tests.
+///
+/// # Panics
+///
+/// Panics when the parameters are degenerate (see [`try_build_case`]) or
+/// when internal synthesis fails.
 pub fn build_case(params: &CaseParams) -> EcoCase {
+    try_build_case(params).expect("generator parameters must be non-degenerate")
+}
+
+/// The raw single-attempt case builder; reachability is checked by the
+/// callers above.
+fn build_case_unchecked(params: &CaseParams) -> EcoCase {
     let mut rng = SmallRng::seed_from_u64(params.seed);
     let original = build_module(params, &mut rng);
 
@@ -271,6 +425,52 @@ mod tests {
         assert!(case.designer_estimate >= 1);
         assert_eq!(case.revised_outputs, 4); // one word of width 4
         assert!(case.revised_percent() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_params_are_rejected_not_emitted() {
+        // Zero outputs can never produce a scenario: reject up front.
+        let mut p = small_params();
+        p.output_words = 0;
+        assert!(matches!(
+            try_build_case(&p),
+            Err(GeneratorError::DegenerateParams { .. })
+        ));
+        assert!(build_base(&p).is_err());
+        // Zero inputs would panic deep inside the module builder; reject.
+        let mut p = small_params();
+        p.input_words = 0;
+        assert!(matches!(
+            try_build_case(&p),
+            Err(GeneratorError::DegenerateParams { .. })
+        ));
+        // Zero width words are meaningless.
+        let mut p = small_params();
+        p.width = 0;
+        assert!(matches!(
+            try_build_case(&p),
+            Err(GeneratorError::DegenerateParams { .. })
+        ));
+    }
+
+    #[test]
+    fn accepted_cases_always_have_reachable_outputs() {
+        let case = try_build_case(&small_params()).unwrap();
+        assert!(has_reachable_output(&case.implementation));
+        assert!(has_reachable_output(&case.spec));
+    }
+
+    #[test]
+    fn base_hook_is_deterministic_and_unrevised() {
+        let a = build_base(&small_params()).unwrap();
+        let b = build_base(&small_params()).unwrap();
+        assert_eq!(CircuitStats::of(&a), CircuitStats::of(&b));
+        a.check_well_formed().unwrap();
+        assert!(has_reachable_output(&a));
+        // The base matches the case's implementation: same params, same
+        // synthesis pipeline, no revision applied.
+        let case = build_case(&small_params());
+        assert_eq!(CircuitStats::of(&a), CircuitStats::of(&case.implementation));
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub use cases::{
     chain_cases, chain_params, scaling_case, scaling_params, table1_cases, table1_params,
     timing_cases, timing_params,
 };
-pub use generator::{build_case, CaseParams, EcoCase};
+pub use generator::{build_base, build_case, try_build_case, CaseParams, EcoCase, GeneratorError};
 pub use revision::RevisionKind;

@@ -4,56 +4,18 @@
 //! no-op, and corrupted cache files must degrade to misses — correct
 //! results, a bumped corruption counter, and no errors.
 
-use std::path::PathBuf;
+mod common;
 
+use common::{case_params, tmp_dir};
 use eco_netlist::write_blif;
 use eco_workload::{build_case, CaseParams, RevisionKind};
 use proptest::prelude::*;
 use syseco::{verify_rectification, CacheMode, EcoOptions, Syseco};
 
-fn tmp_dir(tag: &str) -> PathBuf {
-    let dir =
-        std::env::temp_dir().join(format!("eco-cache-roundtrip-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn revision_kind() -> impl Strategy<Value = RevisionKind> {
-    prop_oneof![
-        Just(RevisionKind::GateTermAdded),
-        Just(RevisionKind::MuxBranchSwap),
-        Just(RevisionKind::ConditionFlip),
-        Just(RevisionKind::PolarityFlip),
-        Just(RevisionKind::SingleBitFlip),
-        Just(RevisionKind::SparseTrigger),
-    ]
-}
-
 /// Small multi-output cases: enough failing cones for per-output records
 /// to matter, cheap enough to rectify three times per proptest case.
 fn params() -> impl Strategy<Value = CaseParams> {
-    (
-        any::<u64>(),
-        2usize..=3,
-        2u32..=3,
-        4usize..=7,
-        2usize..=3,
-        (revision_kind(), revision_kind()),
-    )
-        .prop_map(
-            |(seed, input_words, width, logic_signals, output_words, (first, second))| CaseParams {
-                id: 9400,
-                name: "prop-cache",
-                seed,
-                input_words,
-                width,
-                logic_signals,
-                output_words,
-                revisions: vec![(0, first), (1, second)],
-                heavy_optimization: false,
-                aggressive_optimization: false,
-            },
-        )
+    case_params(9400, "prop-cache")
 }
 
 proptest! {

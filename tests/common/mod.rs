@@ -1,0 +1,97 @@
+//! Helpers shared by the workspace integration tests: the reference RTL
+//! datapath and its revisions (`base_module`/`revise`), proptest
+//! strategies over generator cases (`revision_kind`/`case_params`), and
+//! scratch-directory management (`tmp_dir`). Each test binary compiles
+//! its own copy, so helpers unused by a given test are expected.
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+
+use eco_synth::rtl::{ReduceOp, RtlModule, WordExpr as E};
+use eco_workload::{CaseParams, RevisionKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Word width of the reference datapath.
+pub const WIDTH: u32 = 4;
+
+/// A small datapath with three word outputs.
+pub fn base_module() -> RtlModule {
+    let mut m = RtlModule::new("dp");
+    m.add_input("x", WIDTH);
+    m.add_input("y", WIDTH);
+    m.add_input("en", 1);
+    m.add_signal("s0", E::add(E::input("x"), E::input("y")));
+    m.add_signal("s1", E::xor(E::signal("s0"), E::input("y")));
+    m.add_signal("s2", E::mux(E::input("en"), E::signal("s1"), E::input("x")));
+    m.add_signal("s3", E::and(E::signal("s2"), E::signal("s0")));
+    m.add_output("o0", E::signal("s1"));
+    m.add_output("o1", E::signal("s2"));
+    m.add_output("o2", E::signal("s3"));
+    m
+}
+
+/// The reference datapath plus a revised copy whose `s3` signal was
+/// rewritten by the given [`RevisionKind`].
+pub fn revise(kind: RevisionKind, seed: u64) -> (RtlModule, RtlModule) {
+    let original = base_module();
+    let mut revised = original.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let old = revised.signal_expr("s3").expect("defined").clone();
+    let helper = E::signal("s1");
+    let gate_bit = E::reduce(ReduceOp::Or, E::input("en"));
+    let (new_expr, _est) = kind.apply(old, helper, gate_bit, WIDTH, &mut rng);
+    revised.replace_signal("s3", new_expr);
+    (original, revised)
+}
+
+/// Uniform choice over the revision kinds that keep proptest cases fast.
+pub fn revision_kind() -> impl Strategy<Value = RevisionKind> {
+    prop_oneof![
+        Just(RevisionKind::GateTermAdded),
+        Just(RevisionKind::MuxBranchSwap),
+        Just(RevisionKind::ConditionFlip),
+        Just(RevisionKind::PolarityFlip),
+        Just(RevisionKind::SingleBitFlip),
+        Just(RevisionKind::SparseTrigger),
+    ]
+}
+
+/// Small multi-output generator cases: wide enough that several cones
+/// fail (so scheduling and per-output records matter), small enough to
+/// rectify repeatedly per proptest case.
+pub fn case_params(id: u32, name: &'static str) -> impl Strategy<Value = CaseParams> {
+    (
+        any::<u64>(),
+        2usize..=3,
+        2u32..=3,
+        4usize..=7,
+        2usize..=3,
+        (revision_kind(), revision_kind()),
+    )
+        .prop_map(
+            move |(seed, input_words, width, logic_signals, output_words, (first, second))| {
+                CaseParams {
+                    id,
+                    name,
+                    seed,
+                    input_words,
+                    width,
+                    logic_signals,
+                    output_words,
+                    revisions: vec![(0, first), (1, second)],
+                    heavy_optimization: false,
+                    aggressive_optimization: false,
+                }
+            },
+        )
+}
+
+/// A per-process scratch directory under the system temp dir, removed
+/// first if a previous run left it behind.
+pub fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,43 +1,13 @@
 //! End-to-end integration: RTL → synthesis → optimization → revision →
 //! rectification → verification, across every revision kind.
 
+mod common;
+
+use common::revise;
 use eco_synth::lower::synthesize;
 use eco_synth::opt::{optimize, OptOptions};
-use eco_synth::rtl::{ReduceOp, RtlModule, WordExpr as E};
 use eco_workload::RevisionKind;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use syseco::{verify_rectification, EcoOptions, Syseco};
-
-const WIDTH: u32 = 4;
-
-/// A small datapath with three word outputs.
-fn base_module() -> RtlModule {
-    let mut m = RtlModule::new("dp");
-    m.add_input("x", WIDTH);
-    m.add_input("y", WIDTH);
-    m.add_input("en", 1);
-    m.add_signal("s0", E::add(E::input("x"), E::input("y")));
-    m.add_signal("s1", E::xor(E::signal("s0"), E::input("y")));
-    m.add_signal("s2", E::mux(E::input("en"), E::signal("s1"), E::input("x")));
-    m.add_signal("s3", E::and(E::signal("s2"), E::signal("s0")));
-    m.add_output("o0", E::signal("s1"));
-    m.add_output("o1", E::signal("s2"));
-    m.add_output("o2", E::signal("s3"));
-    m
-}
-
-fn revise(kind: RevisionKind, seed: u64) -> (RtlModule, RtlModule) {
-    let original = base_module();
-    let mut revised = original.clone();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let old = revised.signal_expr("s3").expect("defined").clone();
-    let helper = E::signal("s1");
-    let gate_bit = E::reduce(ReduceOp::Or, E::input("en"));
-    let (new_expr, _est) = kind.apply(old, helper, gate_bit, WIDTH, &mut rng);
-    revised.replace_signal("s3", new_expr);
-    (original, revised)
-}
 
 fn run_kind(kind: RevisionKind, heavy: bool) {
     let (original, revised) = revise(kind, 0xE2E);

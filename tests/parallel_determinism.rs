@@ -4,47 +4,18 @@
 //! byte-identical patched netlists, identical rewire lists, and identical
 //! statistics (modulo wall-clock, which `RectifyStats::normalized` zeroes).
 
+mod common;
+
+use common::case_params;
 use eco_netlist::write_blif;
-use eco_workload::{build_case, CaseParams, RevisionKind};
+use eco_workload::{build_case, CaseParams};
 use proptest::prelude::*;
 use syseco::{verify_rectification, EcoOptions, Syseco};
-
-fn revision_kind() -> impl Strategy<Value = RevisionKind> {
-    prop_oneof![
-        Just(RevisionKind::GateTermAdded),
-        Just(RevisionKind::MuxBranchSwap),
-        Just(RevisionKind::ConditionFlip),
-        Just(RevisionKind::PolarityFlip),
-        Just(RevisionKind::SingleBitFlip),
-        Just(RevisionKind::SparseTrigger),
-    ]
-}
 
 /// Multi-output generator pairs: wide enough that the pool has several
 /// failing cones to schedule, small enough for quick proptest cases.
 fn params() -> impl Strategy<Value = CaseParams> {
-    (
-        any::<u64>(),
-        2usize..=3,
-        2u32..=3,
-        4usize..=7,
-        2usize..=3,
-        (revision_kind(), revision_kind()),
-    )
-        .prop_map(
-            |(seed, input_words, width, logic_signals, output_words, (first, second))| CaseParams {
-                id: 9100,
-                name: "prop-parallel",
-                seed,
-                input_words,
-                width,
-                logic_signals,
-                output_words,
-                revisions: vec![(0, first), (1, second)],
-                heavy_optimization: false,
-                aggressive_optimization: false,
-            },
-        )
+    case_params(9100, "prop-parallel")
 }
 
 proptest! {

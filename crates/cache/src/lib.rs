@@ -4,7 +4,7 @@
 //! ECO is iterative by nature: real flows rectify long chains of
 //! near-identical revisions, yet a from-scratch run rediscovers the same
 //! sampling domains, candidate rankings, and patches every time. This crate
-//! provides the two zero-dependency layers the engine's reuse policies are
+//! provides the zero-dependency layers the engine's reuse policies are
 //! built on:
 //!
 //! 1. [`sig`] — canonical structural **signatures**: input-permutation-
@@ -14,6 +14,10 @@
 //! 2. [`store`] — the on-disk **record store** ([`Store`]): append-only
 //!    CRC-checked segments, atomic tempfile-rename commits, versioned
 //!    schema, and corruption-as-miss semantics.
+//! 3. [`vfs`] — the **filesystem seam** ([`Vfs`]): real I/O in production,
+//!    deterministic injected faults under test, and the bounded
+//!    retry-with-backoff policy ([`RetryPolicy`]) that absorbs transient
+//!    errors.
 //!
 //! What to *do* with a hit — warm-starting sampling domains, replaying
 //! memoized patches, and the re-verification invariant that makes stale
@@ -22,9 +26,11 @@
 
 pub mod sig;
 pub mod store;
+pub mod vfs;
 
 pub use sig::{circuit_sig, cone_sig, fingerprint_words, hash_str, node_hashes, ConeWalk, Sig128};
 pub use store::{crc32, Store};
+pub use vfs::{FaultVfs, IoFaultSpec, RealVfs, RetryPolicy, Vfs};
 
 /// How a run uses its cache directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -35,12 +35,20 @@
 //! record sequence) and bumps [`Store::corrupt_segments`]. No read path
 //! returns an error for bad cache bytes: a rectification must never fail
 //! because its cache is bad.
+//!
+//! Transient failures are a different animal from bad bytes: a segment
+//! that *cannot be read* (as opposed to one that reads fine but fails its
+//! CRC) is retried under the store's [`RetryPolicy`] and, only if the
+//! retries are exhausted, counted in [`Store::io_errors`] — never in
+//! [`Store::corrupt_segments`]. All file operations go through a [`Vfs`]
+//! so the fault-injection harness can exercise exactly these paths.
 
 use std::collections::HashMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::sig::Sig128;
+use crate::vfs::{RealVfs, RetryPolicy, Vfs};
 
 const MAGIC: &[u8; 7] = b"SYECOCA";
 const VERSION: u8 = 1;
@@ -96,34 +104,63 @@ pub struct Store {
     map: HashMap<([u8; 16], u8), Vec<u8>>,
     staged: Vec<(Sig128, u8, Vec<u8>)>,
     corrupt_segments: u64,
+    io_errors: u64,
+    retries: u64,
     next_counter: u64,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
 }
 
 impl Store {
     /// Opens (and for writable stores, creates) the cache directory and
-    /// scans every segment in it.
-    ///
-    /// A read-only open of a missing directory yields an empty store.
-    /// Corrupt segments are counted, not reported as errors.
+    /// scans every segment in it, using real I/O and the default retry
+    /// schedule. See [`Store::open_with`].
     ///
     /// # Errors
     ///
     /// I/O errors creating or listing the directory (callers typically
     /// degrade to running uncached).
     pub fn open(dir: &Path, read_only: bool) -> std::io::Result<Store> {
+        Store::open_with(dir, read_only, Arc::new(RealVfs), RetryPolicy::default())
+    }
+
+    /// Opens the store over an explicit [`Vfs`] and [`RetryPolicy`].
+    ///
+    /// A read-only open of a missing directory yields an empty store.
+    /// Corrupt segments (bad bytes) are counted in
+    /// [`Store::corrupt_segments`]; segments that could not be read at all
+    /// after retries are counted in [`Store::io_errors`]. Neither is an
+    /// error — a miss is always safe.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating or listing the directory itself (after
+    /// retries).
+    pub fn open_with(
+        dir: &Path,
+        read_only: bool,
+        vfs: Arc<dyn Vfs>,
+        retry: RetryPolicy,
+    ) -> std::io::Result<Store> {
         let mut store = Store {
             dir: dir.to_path_buf(),
             read_only,
             map: HashMap::new(),
             staged: Vec::new(),
             corrupt_segments: 0,
+            io_errors: 0,
+            retries: 0,
             next_counter: 0,
+            vfs,
+            retry,
         };
         if !dir.exists() {
             if read_only {
                 return Ok(store);
             }
-            std::fs::create_dir_all(dir)?;
+            let (res, used) = store.retry.run(|| store.vfs.create_dir_all(dir));
+            store.retries += used;
+            res?;
         }
         let mut names: Vec<std::ffi::OsString> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok())
@@ -138,13 +175,18 @@ impl Store {
             if let Some(counter) = parse_counter(&text) {
                 store.next_counter = store.next_counter.max(counter.saturating_add(1));
             }
-            match std::fs::read(dir.join(&name)) {
+            let path = dir.join(&name);
+            let (res, used) = store.retry.run(|| store.vfs.read(&path));
+            store.retries += used;
+            match res {
                 Ok(bytes) => {
                     if !store.scan_segment(&bytes) {
                         store.corrupt_segments += 1;
                     }
                 }
-                Err(_) => store.corrupt_segments += 1,
+                // Unreadable after retries: a transient-I/O miss, distinct
+                // from corruption (the bytes were never seen).
+                Err(_) => store.io_errors += 1,
             }
         }
         Ok(store)
@@ -214,6 +256,17 @@ impl Store {
         self.corrupt_segments
     }
 
+    /// Number of operations that failed permanently (all retries
+    /// exhausted). These are transient-I/O casualties, not corruption.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Number of retry attempts performed (successful or not).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Total records visible (scanned + staged).
     pub fn len(&self) -> usize {
         self.map.len()
@@ -230,13 +283,16 @@ impl Store {
     }
 
     /// Persists every staged record as one new segment, atomically: the
-    /// segment is written to a tempfile and renamed into place. No-op when
-    /// nothing is staged or the store is read-only.
+    /// segment is written to a tempfile and renamed into place (the
+    /// write-then-rename pair is retried as a unit on transient errors).
+    /// No-op when nothing is staged or the store is read-only.
     ///
     /// # Errors
     ///
-    /// I/O errors writing the segment; the staged records are kept so a
-    /// retry is possible.
+    /// I/O errors writing the segment after retries; the staged records
+    /// are kept so a later commit can try again, and the failure is also
+    /// counted in [`Store::io_errors`]. A half-written tempfile may remain
+    /// behind — opens ignore it (only `.ecc` files are scanned).
     pub fn commit(&mut self) -> std::io::Result<()> {
         if self.read_only || self.staged.is_empty() {
             return Ok(());
@@ -257,12 +313,17 @@ impl Store {
         }
         let tmp = self.dir.join(format!(".tmp-{pid}-{counter:016x}"));
         let fin = self.dir.join(format!("seg-{counter:016x}-{pid}.ecc"));
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
+        let (res, used) = self.retry.run(|| {
+            // Retrying the pair from the top is safe: `write_file`
+            // truncates, so a torn previous attempt is overwritten whole.
+            self.vfs.write_file(&tmp, &bytes)?;
+            self.vfs.rename(&tmp, &fin)
+        });
+        self.retries += used;
+        if let Err(e) = res {
+            self.io_errors += 1;
+            return Err(e);
         }
-        std::fs::rename(&tmp, &fin)?;
         self.next_counter = counter + 1;
         self.staged.clear();
         Ok(())
@@ -398,6 +459,82 @@ mod tests {
         assert_eq!(s.get(k1, 1), Some(&[1; 8][..]));
         assert_eq!(s.get(k2, 1), None);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_read_errors_retry_then_count_as_io_not_corruption() {
+        use crate::vfs::{FaultVfs, IoFaultSpec};
+        let dir = tmp_dir("transient");
+        let k1 = fingerprint_words(&[1]);
+        {
+            let mut s = Store::open(&dir, false).unwrap();
+            s.put(k1, 1, vec![5; 8]);
+            s.commit().unwrap();
+        }
+        // One transient blip on the first segment read: absorbed by retry.
+        let vfs = Arc::new(FaultVfs::new(IoFaultSpec {
+            read_error_at: Some((1, 1)),
+            ..Default::default()
+        }));
+        let s = Store::open_with(&dir, true, vfs, RetryPolicy::no_sleep()).unwrap();
+        assert_eq!(s.get(k1, 1), Some(&[5; 8][..]));
+        assert_eq!(s.corrupt_segments(), 0);
+        assert_eq!(s.io_errors(), 0);
+        assert_eq!(s.retries(), 1);
+        // A permanent read fault exhausts retries: an io_error, not
+        // corruption, and still just a miss.
+        let vfs = Arc::new(FaultVfs::new(IoFaultSpec {
+            read_error_at: Some((1, u64::MAX)),
+            ..Default::default()
+        }));
+        let s = Store::open_with(&dir, true, vfs, RetryPolicy::no_sleep()).unwrap();
+        assert_eq!(s.get(k1, 1), None);
+        assert_eq!(s.corrupt_segments(), 0);
+        assert_eq!(s.io_errors(), 1);
+        assert_eq!(s.retries(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_commit_retries_and_leaves_no_bad_segment() {
+        use crate::vfs::{FaultVfs, IoFaultSpec};
+        let dir = tmp_dir("torn");
+        let k1 = fingerprint_words(&[1]);
+        // Short write on the first attempt; the retry rewrites whole.
+        let vfs = Arc::new(FaultVfs::new(IoFaultSpec {
+            short_write_at: Some((1, 1)),
+            ..Default::default()
+        }));
+        {
+            let mut s = Store::open_with(&dir, false, vfs, RetryPolicy::no_sleep()).unwrap();
+            s.put(k1, 1, vec![3; 16]);
+            s.commit().unwrap();
+            assert_eq!(s.retries(), 1);
+            assert_eq!(s.io_errors(), 0);
+        }
+        let s = Store::open(&dir, true).unwrap();
+        assert_eq!(s.get(k1, 1), Some(&[3; 16][..]));
+        assert_eq!(s.corrupt_segments(), 0);
+
+        // Permanent rename failure: commit errors, staged records are
+        // kept, the orphan tempfile is ignored by later opens.
+        let dir2 = tmp_dir("torn2");
+        let vfs = Arc::new(FaultVfs::new(IoFaultSpec {
+            rename_error_at: Some((1, u64::MAX)),
+            ..Default::default()
+        }));
+        {
+            let mut s = Store::open_with(&dir2, false, vfs, RetryPolicy::no_sleep()).unwrap();
+            s.put(k1, 1, vec![4; 16]);
+            assert!(s.commit().is_err());
+            assert_eq!(s.io_errors(), 1);
+            assert_eq!(s.staged_len(), 1, "staged survives for a later try");
+        }
+        let s = Store::open(&dir2, true).unwrap();
+        assert_eq!(s.corrupt_segments(), 0, "orphan tempfile is not scanned");
+        assert_eq!(s.get(k1, 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
     }
 
     #[test]

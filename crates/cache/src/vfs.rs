@@ -1,0 +1,337 @@
+//! The filesystem seam of the store: real I/O by default, deterministic
+//! fault I/O under test.
+//!
+//! [`Store`](crate::Store) performs every byte-level operation through the
+//! small [`Vfs`] trait so that the chaos harness can inject the failure
+//! modes a long-running ECO service actually sees — transient read errors,
+//! short (torn) writes, and failed tempfile renames — without `unsafe`,
+//! syscall interposition, or real disk faults. Production code pays one
+//! virtual call per file operation; nothing else changes.
+//!
+//! Transient faults are *retried* by [`RetryPolicy`] with bounded
+//! exponential backoff. The sleeper is injectable so tests drive the
+//! backoff with a no-op clock and stay deterministic and fast.
+
+use std::io;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The file operations [`Store`](crate::Store) needs, virtualized.
+///
+/// Implementations must be safe to share across threads; the fault
+/// implementation keeps its own atomic call counters so a single plan can
+/// be threaded through a multi-worker run.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (truncating) `path`, writes `bytes`, and syncs to disk.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Renames `from` to `to` (the atomic commit step).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Recursively creates `path` as a directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// Where in a call sequence an injected fault fires.
+///
+/// `at` is the 1-based index of the first failing call of that operation
+/// kind; `burst` is how many consecutive calls fail from there
+/// ([`u64::MAX`] = every call from `at` onward, modelling a permanent
+/// fault). A burst of 1 models a transient blip a retry should absorb.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoFaultSpec {
+    /// Fail whole-file reads: `(at, burst)`.
+    pub read_error_at: Option<(u64, u64)>,
+    /// Truncate the written bytes to half and fail: `(at, burst)`.
+    pub short_write_at: Option<(u64, u64)>,
+    /// Fail the tempfile rename, leaving the tempfile behind: `(at, burst)`.
+    pub rename_error_at: Option<(u64, u64)>,
+}
+
+impl IoFaultSpec {
+    /// Whether this spec injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        self.read_error_at.is_none()
+            && self.short_write_at.is_none()
+            && self.rename_error_at.is_none()
+    }
+
+    fn fires(window: Option<(u64, u64)>, call: u64) -> bool {
+        match window {
+            Some((at, burst)) => call >= at && call - at < burst,
+            None => false,
+        }
+    }
+}
+
+/// A [`Vfs`] that injects the faults described by an [`IoFaultSpec`],
+/// delegating clean calls to [`RealVfs`].
+///
+/// Call counters are per-operation and atomic, so the injection points are
+/// deterministic for a deterministic call sequence (the store's single
+/// scan/commit order) even when the store is shared behind a lock.
+#[derive(Debug)]
+pub struct FaultVfs {
+    spec: IoFaultSpec,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    renames: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultVfs {
+    /// A fault VFS driven by `spec`.
+    pub fn new(spec: IoFaultSpec) -> Self {
+        FaultVfs {
+            spec,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            renames: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// How many faults have fired so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn inject(&self, what: &str) -> io::Error {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        io::Error::other(format!("injected fault: {what}"))
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let call = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        if IoFaultSpec::fires(self.spec.read_error_at, call) {
+            return Err(self.inject("read error"));
+        }
+        RealVfs.read(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let call = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if IoFaultSpec::fires(self.spec.short_write_at, call) {
+            // A torn write: half the payload lands on disk, then the
+            // "device" fails. The half-written file must never be trusted.
+            let _ = RealVfs.write_file(path, &bytes[..bytes.len() / 2]);
+            return Err(self.inject("short write"));
+        }
+        RealVfs.write_file(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let call = self.renames.fetch_add(1, Ordering::Relaxed) + 1;
+        if IoFaultSpec::fires(self.spec.rename_error_at, call) {
+            // The tempfile stays behind — later opens must ignore it.
+            return Err(self.inject("rename error"));
+        }
+        RealVfs.rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        RealVfs.create_dir_all(path)
+    }
+}
+
+/// Bounded retry with exponential backoff for transient I/O errors.
+///
+/// `attempts` is the *total* number of tries (so `attempts: 3` retries
+/// twice); waits double from `base_delay` between tries. The sleeper is a
+/// plain closure so tests substitute a no-op and the schedule stays
+/// deterministic under test clocks.
+#[derive(Clone)]
+pub struct RetryPolicy {
+    /// Total tries per operation (minimum 1).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    sleeper: Arc<dyn Fn(Duration) + Send + Sync>,
+}
+
+impl std::fmt::Debug for RetryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryPolicy")
+            .field("attempts", &self.attempts)
+            .field("base_delay", &self.base_delay)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three tries, 10 ms → 20 ms backoff, real sleeps.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+            sleeper: Arc::new(std::thread::sleep),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default schedule with a no-op sleeper — deterministic and
+    /// instant, for tests and the chaos harness.
+    pub fn no_sleep() -> Self {
+        RetryPolicy {
+            sleeper: Arc::new(|_| {}),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A single try: any error is immediately permanent.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::no_sleep()
+        }
+    }
+
+    /// Runs `op` up to [`RetryPolicy::attempts`] times.
+    ///
+    /// Returns the final result and the number of *retries* performed
+    /// (0 when the first try succeeds; callers feed this into the
+    /// `cache.retry` counter whether or not the operation ultimately
+    /// succeeded).
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u64) {
+        let attempts = self.attempts.max(1);
+        let mut retries = 0u64;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) => {
+                    if retries + 1 >= u64::from(attempts) {
+                        return (Err(e), retries);
+                    }
+                    (self.sleeper)(self.base_delay * (1 << retries.min(16)) as u32);
+                    retries += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eco-vfs-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fault_windows_fire_at_and_for_burst() {
+        assert!(!IoFaultSpec::fires(None, 1));
+        assert!(!IoFaultSpec::fires(Some((2, 1)), 1));
+        assert!(IoFaultSpec::fires(Some((2, 1)), 2));
+        assert!(!IoFaultSpec::fires(Some((2, 1)), 3));
+        assert!(IoFaultSpec::fires(Some((2, u64::MAX)), 999));
+        assert!(IoFaultSpec::default().is_noop());
+    }
+
+    #[test]
+    fn fault_vfs_injects_read_and_short_write_and_rename() {
+        let dir = tmp("inject");
+        let file = dir.join("f");
+        let vfs = FaultVfs::new(IoFaultSpec {
+            read_error_at: Some((2, 1)),
+            short_write_at: Some((2, u64::MAX)),
+            rename_error_at: Some((1, 1)),
+        });
+        vfs.write_file(&file, b"0123456789").unwrap();
+        assert_eq!(vfs.read(&file).unwrap(), b"0123456789");
+        assert!(vfs.read(&file).is_err(), "second read fails");
+        assert_eq!(vfs.read(&file).unwrap(), b"0123456789", "burst of 1");
+        // Second write onward is torn: half the bytes land.
+        assert!(vfs.write_file(&file, b"abcdefgh").is_err());
+        assert_eq!(std::fs::read(&file).unwrap(), b"abcd");
+        let to = dir.join("g");
+        assert!(vfs.rename(&file, &to).is_err());
+        assert!(file.exists() && !to.exists(), "failed rename left source");
+        vfs.rename(&file, &to).unwrap();
+        assert!(to.exists());
+        assert_eq!(vfs.injected(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_absorbs_transient_errors_and_reports_counts() {
+        let policy = RetryPolicy::no_sleep();
+        let mut calls = 0;
+        let (res, retries) = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::other("flaky"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        let (res, retries) = policy.run(|| Err::<(), _>(io::Error::other("dead")));
+        assert!(res.is_err());
+        assert_eq!(retries, 2, "attempts=3 means two retries then give up");
+
+        let (res, retries) = RetryPolicy::none().run(|| Err::<(), _>(io::Error::other("dead")));
+        assert!(res.is_err());
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retry_backoff_schedule_doubles() {
+        let waits: Arc<std::sync::Mutex<Vec<Duration>>> = Arc::default();
+        let w = waits.clone();
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(5),
+            sleeper: Arc::new(move |d| w.lock().unwrap().push(d)),
+        };
+        let (_, retries) = policy.run(|| Err::<(), _>(io::Error::other("dead")));
+        assert_eq!(retries, 3);
+        assert_eq!(
+            *waits.lock().unwrap(),
+            vec![
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+                Duration::from_millis(20)
+            ]
+        );
+    }
+}

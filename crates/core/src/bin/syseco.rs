@@ -7,6 +7,7 @@
 //!                [--out patched.blif] [--seed N] [--samples N]
 //!                [--level-driven] [--timeout SECS] [--jobs N] [--progress]
 //!                [--cache-dir DIR] [--cache off|ro|rw]
+//!                [--checkpoint-dir DIR]
 //!                [--trace-out FILE] [--metrics-out FILE]
 //!                [--log-format human|json]
 //! ```
@@ -18,6 +19,11 @@
 //! recorded results, with every reused record re-verified before use.
 //! `--cache off|ro|rw` sets how the directory is used (default `rw`;
 //! `--engine syseco` only).
+//! `--checkpoint-dir DIR` enables crash-safe checkpointing (DESIGN.md
+//! §13): per-output results are durably recorded as they complete, so a
+//! rerun of a killed process resumes the finished outputs, re-verifies
+//! them, and produces the same patch the uninterrupted run would have
+//! (`--engine syseco` only).
 //! `--progress` prints a live per-cone status line to stderr as searches
 //! start, finish, and merge; with `--log-format json` each line is one
 //! JSON object instead (see [`ProgressEvent::to_json`]).
@@ -56,7 +62,7 @@ fn usage() -> ExitCode {
          syseco rectify <impl.blif> <spec.blif> [--engine syseco|deltasyn|cone]\n                 \
          [--out patched.blif] [--seed N] [--samples N] [--level-driven]\n                 \
          [--timeout SECS] [--jobs N] [--progress]\n                 \
-         [--cache-dir DIR] [--cache off|ro|rw]\n                 \
+         [--cache-dir DIR] [--cache off|ro|rw] [--checkpoint-dir DIR]\n                 \
          [--trace-out FILE] [--metrics-out FILE] [--log-format human|json]"
     );
     ExitCode::from(2)
@@ -180,6 +186,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut trace_out: Option<String> = None;
             let mut metrics_out: Option<String> = None;
             let mut cache_dir: Option<String> = None;
+            let mut checkpoint_dir: Option<String> = None;
             let mut json_log = false;
             let mut progress = false;
             let mut builder = EcoOptions::builder();
@@ -262,6 +269,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                         builder = builder.cache_dir(cache_dir.clone().unwrap());
                         i += 2;
                     }
+                    "--checkpoint-dir" => {
+                        checkpoint_dir = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("--checkpoint-dir needs a value")?,
+                        );
+                        builder = builder.checkpoint_dir(checkpoint_dir.clone().unwrap());
+                        i += 2;
+                    }
                     "--cache" => {
                         let mode: syseco::CacheMode = args
                             .get(i + 1)
@@ -304,6 +320,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if cache_dir.is_some() && engine_name != "syseco" {
                 return Err(format!(
                     "--cache-dir requires --engine syseco, got {engine_name:?}"
+                ));
+            }
+            if checkpoint_dir.is_some() && engine_name != "syseco" {
+                return Err(format!(
+                    "--checkpoint-dir requires --engine syseco, got {engine_name:?}"
                 ));
             }
             let telemetry = if trace_out.is_some() || metrics_out.is_some() {
@@ -351,6 +372,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!(
                     "cache: {} hit(s), {} miss(es), {} verify-reject(s), {} corrupt segment(s)",
                     r.cache_hits, r.cache_misses, r.cache_verify_rejects, r.cache_corrupt_segments
+                );
+            }
+            if checkpoint_dir.is_some() {
+                let r = &result.rectify;
+                println!(
+                    "checkpoint: {} output(s) resumed, {} record(s) written",
+                    r.checkpoint_hits, r.checkpoint_writes
                 );
             }
             print!(

@@ -3,6 +3,8 @@
 //! ```text
 //! syseco-fuzz run --seed N --iters N [--out-dir DIR] [--cache-every N]
 //!                 [--heavy] [--mutations N]
+//! syseco-fuzz chaos --seed N --scenarios N [--out-dir DIR] [--heavy]
+//!                   [--mutations N]
 //! syseco-fuzz replay <file.eco-repro>
 //! ```
 //!
@@ -16,8 +18,17 @@
 //! `DIR/repro-<seed>.eco-repro` (default `fuzz-repros/`). Standard output
 //! is byte-stable for a fixed `--seed`/`--iters`; progress goes to stderr.
 //!
+//! `chaos` (builds with `--features fault-injection` only) sweeps every
+//! registered fault point of the engine's `FaultPlan` over each generated
+//! scenario: checkpointed rectification with the fault armed, asserting
+//! that every run ends in a verified patch or a clean degradation — and
+//! that a simulated crash resumes from its checkpoint directory to a
+//! byte-identical patch. Violations are written as `.eco-repro` files with
+//! the triggering fault plan embedded. See DESIGN.md §13.
+//!
 //! `replay` re-runs the whole matrix on a saved `.eco-repro` file and
-//! prints each disagreement. See DESIGN.md §12.
+//! prints each disagreement. A repro carrying a `fault` line re-arms the
+//! same fault plan (requires `--features fault-injection`).
 //!
 //! Exit codes: 0 no disagreements, 1 disagreements found, 2 usage error.
 
@@ -28,7 +39,8 @@ use syseco::fuzz::{parse_repro, write_repro, FuzzConfig, FuzzRunner, Repro};
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  syseco-fuzz run --seed N --iters N [--out-dir DIR] [--cache-every N]\n                  \
-         [--heavy] [--mutations N]\n  syseco-fuzz replay <file.eco-repro>"
+         [--heavy] [--mutations N]\n  syseco-fuzz chaos --seed N --scenarios N [--out-dir DIR] [--heavy]\n                    \
+         [--mutations N]\n  syseco-fuzz replay <file.eco-repro>"
     );
     ExitCode::from(2)
 }
@@ -138,6 +150,123 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
 }
 
+/// The chaos fault sweep. Compiled only with `fault-injection`; the
+/// stub below keeps the verb discoverable in default builds.
+#[cfg(feature = "fault-injection")]
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    use syseco::fuzz::chaos::{ChaosConfig, ChaosRunner};
+
+    let mut seed = None;
+    let mut scenarios = None;
+    let mut out_dir = String::from("fuzz-repros");
+    let mut config = ChaosConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = args.get(i + 1);
+        let step = match arg {
+            "--seed" => match parse_u64(arg, value) {
+                Ok(v) => {
+                    seed = Some(v);
+                    2
+                }
+                Err(e) => return fail_usage(&e),
+            },
+            "--scenarios" => match parse_u64(arg, value) {
+                Ok(v) => {
+                    scenarios = Some(v);
+                    2
+                }
+                Err(e) => return fail_usage(&e),
+            },
+            "--mutations" => match parse_u64(arg, value) {
+                Ok(v) if v >= 1 => {
+                    config.scenario.mutations = (v as usize, v as usize);
+                    2
+                }
+                _ => return fail_usage("--mutations needs a number >= 1"),
+            },
+            "--out-dir" => match value {
+                Some(v) => {
+                    out_dir = v.clone();
+                    2
+                }
+                None => return fail_usage("--out-dir needs a value"),
+            },
+            "--heavy" => {
+                config.scenario.heavy_optimization = true;
+                1
+            }
+            other => return fail_usage(&format!("unknown flag: {other}")),
+        };
+        i += step;
+    }
+    let (Some(seed), Some(scenarios)) = (seed, scenarios) else {
+        return fail_usage("chaos needs both --seed and --scenarios");
+    };
+
+    let runner = ChaosRunner::new(config);
+    let report = match runner.run(seed, scenarios, |done, violations| {
+        if done % 10 == 0 || done == scenarios {
+            eprintln!(
+                "[syseco-fuzz] {done}/{scenarios} scenario(s) swept, {violations} violation(s)"
+            );
+        }
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("syseco-fuzz: infrastructure error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for violation in &report.violations {
+        println!(
+            "VIOLATION scenario {} seed {:#018x} fault {}: {}",
+            violation.iteration, violation.seed, violation.fault, violation.repro.check
+        );
+        for d in &violation.disagreements {
+            println!("  {d}");
+        }
+        let path = format!(
+            "{out_dir}/chaos-{:016x}-{}.eco-repro",
+            violation.seed,
+            violation.fault.replace([':', '@', ','], "_")
+        );
+        if let Err(e) = save_repro(&path, &violation.repro) {
+            eprintln!("syseco-fuzz: cannot write {path}: {e}");
+        } else {
+            println!("  repro written to {path}");
+        }
+    }
+    let covered = report.coverage.values().filter(|&&n| n > 0).count();
+    println!(
+        "swept {} scenario(s) x {} fault point(s): {} run(s), {} crash-resume(s), \
+         {} degraded, {} point(s) fired, {} violation(s)",
+        report.scenarios,
+        report.coverage.len(),
+        report.runs,
+        report.aborted,
+        report.degraded,
+        covered,
+        report.violations.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn cmd_chaos(_args: &[String]) -> ExitCode {
+    eprintln!(
+        "syseco-fuzz: the chaos verb needs fault injection compiled in; \
+         rebuild with --features fault-injection"
+    );
+    ExitCode::from(2)
+}
+
 fn save_repro(path: &str, repro: &Repro) -> std::io::Result<()> {
     if let Some(parent) = std::path::Path::new(path).parent() {
         std::fs::create_dir_all(parent)?;
@@ -196,6 +325,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => usage(),
     }

@@ -13,21 +13,25 @@
 //! applicable output-rewire fallback) and records each cut corner as a
 //! [`Degradation`] in the run statistics.
 //!
-//! Under `cfg(test)` or the `fault-injection` feature, a `FaultPolicy`
-//! deterministically forces BDD node-limit hits, SAT budget exhaustion, and
-//! synthetic panics at chosen call counts so every degradation path is
-//! testable.
+//! Under `cfg(test)` or the `fault-injection` feature, a
+//! [`FaultPlan`](crate::fault) deterministically forces BDD node-limit
+//! hits, SAT budget exhaustion, synthetic panics, span-boundary
+//! cancellations/aborts, and cache/checkpoint I/O faults at chosen call
+//! counts so every degradation and recovery path is testable (see
+//! [`crate::fault`]).
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-#[cfg(any(test, feature = "fault-injection"))]
-use std::sync::atomic::AtomicU64;
-
 use eco_bdd::BddManager;
+use eco_cache::{RetryPolicy, Vfs};
 use eco_sat::Solver;
+
+use crate::fault::SpanPoint;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::{FaultPlan, FaultPolicy, FaultState};
 
 /// Cooperative cancellation token.
 ///
@@ -87,9 +91,9 @@ pub struct Budget {
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     #[cfg(any(test, feature = "fault-injection"))]
-    faults: FaultPolicy,
+    plan: FaultPlan,
     #[cfg(any(test, feature = "fault-injection"))]
-    fault_state: FaultCounters,
+    fault_state: FaultState,
 }
 
 impl Budget {
@@ -125,7 +129,16 @@ impl Budget {
     /// in test builds or with the `fault-injection` feature.
     #[cfg(any(test, feature = "fault-injection"))]
     pub fn with_faults(mut self, faults: FaultPolicy) -> Self {
-        self.faults = faults;
+        self.plan.policy = faults;
+        self
+    }
+
+    /// Attaches a complete [`FaultPlan`] (builder style), replacing any
+    /// policy set by [`Budget::with_faults`]. Only available in test builds
+    /// or with the `fault-injection` feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
         self
     }
 
@@ -152,6 +165,10 @@ impl Budget {
             if c.is_cancelled() {
                 return BudgetStatus::Cancelled;
             }
+        }
+        #[cfg(any(test, feature = "fault-injection"))]
+        if self.fault_state.cancelled.load(Ordering::Relaxed) {
+            return BudgetStatus::Cancelled;
         }
         BudgetStatus::Ok
     }
@@ -200,7 +217,11 @@ impl Budget {
                 .bdd_attempts
                 .fetch_add(1, Ordering::Relaxed)
                 + 1;
-            return matches!(self.faults.bdd_node_limit_from, Some(at) if n >= at);
+            if matches!(self.plan.policy.bdd_node_limit_from, Some(at) if n >= at) {
+                self.fault_state.injected.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            return false;
         }
         #[allow(unreachable_code)]
         false
@@ -217,7 +238,11 @@ impl Budget {
                 .sat_validations
                 .fetch_add(1, Ordering::Relaxed)
                 + 1;
-            return matches!(self.faults.sat_exhaust_from, Some(at) if n >= at);
+            if matches!(self.plan.policy.sat_exhaust_from, Some(at) if n >= at) {
+                self.fault_state.injected.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            return false;
         }
         #[allow(unreachable_code)]
         false
@@ -230,37 +255,104 @@ impl Budget {
         #[cfg(any(test, feature = "fault-injection"))]
         {
             let n = self.fault_state.searches.fetch_add(1, Ordering::Relaxed) + 1;
-            if matches!(self.faults.panic_at, Some(at) if n == at) {
+            if matches!(self.plan.policy.panic_at, Some(at) if n == at) {
+                self.fault_state.injected.fetch_add(1, Ordering::Relaxed);
                 panic!("synthetic fault: injected panic in per-output search #{n}");
             }
         }
     }
-}
 
-/// Deterministic fault schedule for exercising degradation paths.
-///
-/// Counters are 1-based: `bdd_node_limit_from: Some(1)` faults every BDD
-/// domain attempt from the first one on. Only available under `cfg(test)`
-/// or the `fault-injection` feature.
-#[cfg(any(test, feature = "fault-injection"))]
-#[derive(Debug, Clone, Default)]
-pub struct FaultPolicy {
-    /// Force the per-output BDD manager to a 1-node limit from the Nth
-    /// domain attempt onwards.
-    pub bdd_node_limit_from: Option<u64>,
-    /// Force SAT validation to report exhaustion (`Unknown`) from the Nth
-    /// validation onwards.
-    pub sat_exhaust_from: Option<u64>,
-    /// Panic inside the Nth per-output search (exactly once).
-    pub panic_at: Option<u64>,
-}
+    /// Counts one entry to a span point, firing any cancellation or abort
+    /// the plan schedules there.
+    ///
+    /// A scheduled *cancellation* trips the budget exactly as an external
+    /// [`CancelToken`] would — downstream code winds down along the normal
+    /// degradation ladder. A scheduled *abort* simulates a hard crash
+    /// (SIGKILL): `EcoError::InjectedAbort` propagates out of the run and
+    /// nothing else is written; a rerun resumes from whatever was durably
+    /// checkpointed. No-op (always `Ok`) without fault injection.
+    #[inline]
+    pub(crate) fn fault_span(&self, _point: SpanPoint) -> Result<(), crate::EcoError> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            let n = self.fault_state.spans[_point.index()].fetch_add(1, Ordering::Relaxed) + 1;
+            if matches!(self.plan.cancel_at, Some((p, at)) if p == _point && at == n) {
+                self.fault_state.cancelled.store(true, Ordering::Relaxed);
+                self.fault_state.injected.fetch_add(1, Ordering::Relaxed);
+            }
+            if matches!(self.plan.abort_at, Some((p, at)) if p == _point && at == n) {
+                self.fault_state.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(crate::EcoError::InjectedAbort);
+            }
+        }
+        Ok(())
+    }
 
-#[cfg(any(test, feature = "fault-injection"))]
-#[derive(Debug, Default)]
-struct FaultCounters {
-    bdd_attempts: AtomicU64,
-    sat_validations: AtomicU64,
-    searches: AtomicU64,
+    /// The [`Vfs`] the persistent cache must use: the plan's fault VFS when
+    /// cache I/O faults are scheduled, else `None` (real I/O).
+    ///
+    /// The fault VFS is built once and shared so open and commit observe
+    /// one continuous call sequence.
+    pub(crate) fn cache_vfs(&self) -> Option<Arc<dyn Vfs>> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            if !self.plan.cache_io.is_noop() {
+                let vfs = self
+                    .fault_state
+                    .cache_vfs
+                    .get_or_init(|| Arc::new(eco_cache::FaultVfs::new(self.plan.cache_io)));
+                return Some(Arc::clone(vfs) as Arc<dyn Vfs>);
+            }
+        }
+        None
+    }
+
+    /// The [`Vfs`] the checkpoint store must use (see
+    /// [`Budget::cache_vfs`]).
+    pub(crate) fn checkpoint_vfs(&self) -> Option<Arc<dyn Vfs>> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            if !self.plan.checkpoint_io.is_noop() {
+                let vfs = self
+                    .fault_state
+                    .checkpoint_vfs
+                    .get_or_init(|| Arc::new(eco_cache::FaultVfs::new(self.plan.checkpoint_io)));
+                return Some(Arc::clone(vfs) as Arc<dyn Vfs>);
+            }
+        }
+        None
+    }
+
+    /// The retry schedule for cache/checkpoint I/O: the default (real
+    /// backoff sleeps) in production, the deterministic no-sleep schedule
+    /// whenever a fault plan is active so chaos sweeps stay fast.
+    pub(crate) fn io_retry(&self) -> RetryPolicy {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            if !self.plan.is_noop() {
+                return RetryPolicy::no_sleep();
+            }
+        }
+        RetryPolicy::default()
+    }
+
+    /// Total faults fired so far by this budget's plan, including I/O
+    /// faults from the plan's VFSs. Always 0 without fault injection.
+    pub fn faults_fired(&self) -> u64 {
+        #[cfg(any(test, feature = "fault-injection"))]
+        {
+            let mut n = self.fault_state.injected.load(Ordering::Relaxed);
+            if let Some(vfs) = self.fault_state.cache_vfs.get() {
+                n += vfs.injected();
+            }
+            if let Some(vfs) = self.fault_state.checkpoint_vfs.get() {
+                n += vfs.injected();
+            }
+            return n;
+        }
+        #[allow(unreachable_code)]
+        0
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -418,6 +510,47 @@ mod tests {
         }));
         assert!(caught.is_err());
         b.inject_search_panic(); // search 3: fine again (exact match)
+    }
+
+    #[test]
+    fn fault_span_cancel_trips_budget_at_exact_count() {
+        let plan = FaultPlan::parse("cancel:merge@2").unwrap();
+        let b = Budget::unlimited().with_fault_plan(plan);
+        assert!(b.fault_span(SpanPoint::Merge).is_ok());
+        assert_eq!(b.status(), BudgetStatus::Ok, "first merge entry is clean");
+        assert!(b.fault_span(SpanPoint::Merge).is_ok());
+        assert_eq!(b.status(), BudgetStatus::Cancelled);
+        assert_eq!(b.degrade_reason(), Some(DegradeReason::Cancelled));
+        assert_eq!(b.faults_fired(), 1);
+    }
+
+    #[test]
+    fn fault_span_abort_errors_out_once() {
+        let plan = FaultPlan::parse("abort:commit@1").unwrap();
+        let b = Budget::unlimited().with_fault_plan(plan);
+        assert!(b.fault_span(SpanPoint::Verify).is_ok(), "other spans clean");
+        assert!(matches!(
+            b.fault_span(SpanPoint::Commit),
+            Err(crate::EcoError::InjectedAbort)
+        ));
+        assert!(b.fault_span(SpanPoint::Commit).is_ok(), "exact count only");
+        assert_eq!(b.faults_fired(), 1);
+    }
+
+    #[test]
+    fn fault_vfs_accessors_follow_the_plan() {
+        let b = Budget::unlimited();
+        assert!(b.cache_vfs().is_none());
+        assert!(b.checkpoint_vfs().is_none());
+        assert_eq!(b.faults_fired(), 0);
+        let b = Budget::unlimited()
+            .with_fault_plan(FaultPlan::parse("cache-read-error@1,ckpt-rename-error@1").unwrap());
+        assert!(b.cache_vfs().is_some());
+        assert!(b.checkpoint_vfs().is_some());
+        // Faults from the shared VFS roll up into faults_fired.
+        let vfs = b.cache_vfs().unwrap();
+        assert!(vfs.read(std::path::Path::new("/nonexistent")).is_err());
+        assert_eq!(b.faults_fired(), 1);
     }
 
     #[test]

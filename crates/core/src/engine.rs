@@ -7,8 +7,10 @@ use eco_netlist::{Circuit, NetId};
 use eco_telemetry::{ArgValue, Counter, SpanRecord, Telemetry};
 
 use crate::budget::Budget;
+use crate::checkpoint::CheckpointSession;
 use crate::correspond::Correspondence;
 use crate::error_domain::{classify_outputs, Equivalence};
+use crate::fault::SpanPoint;
 use crate::memo::{CacheSession, RunRecord};
 use crate::options::EcoOptions;
 use crate::patch::{refine_patch_inputs_timed, Patch, PatchStats};
@@ -184,7 +186,7 @@ impl Syseco {
         // *replayed* — the recorded rewire groups are applied and the result
         // re-verified end to end — so a stale or colliding record degrades
         // to the cold path instead of corrupting the output.
-        let mut cache = CacheSession::open(&self.options, &patched, spec);
+        let mut cache = CacheSession::open(&self.options, &patched, spec, budget);
         let mut replay_rejects = 0u64;
         if let Some(session) = cache.as_mut() {
             if let Some(record) = session.run_record() {
@@ -194,6 +196,10 @@ impl Syseco {
                 }
             }
         }
+        // Crash-safe checkpointing (DESIGN.md §13). Opened on the
+        // post-normalization circuit — the exact one the fan-out searches —
+        // so the run key covers what resume will actually rectify.
+        let checkpoint = CheckpointSession::open(&self.options, &patched, spec, budget);
         let (patch, mut rectify, mut trace, committed) = rewire_rectify_with(
             &mut patched,
             spec,
@@ -203,6 +209,7 @@ impl Syseco {
             pool,
             telemetry,
             cache.as_mut(),
+            checkpoint.as_ref(),
         )?;
         // Patch-input refinement (§5.2 post-processing): reuse existing
         // implementation logic inside the cloned patch. Under level-driven
@@ -211,6 +218,7 @@ impl Syseco {
         if !budget.is_exhausted() {
             let mut tb = telemetry.buffer(0);
             let span = tb.start();
+            budget.fault_span(SpanPoint::RefinePatch)?;
             let model = eco_timing::DelayModel::default();
             refine_patch_inputs_timed(
                 &mut patched,
@@ -230,17 +238,29 @@ impl Syseco {
         rectify.cache_verify_rejects += replay_rejects;
         if let Some(session) = cache.as_mut() {
             session.record_run(&committed, &rectify);
-            rectify.cache_misses = session.misses;
-            rectify.cache_corrupt_segments = session.corrupt_segments();
-            let shard = telemetry.shard();
-            if shard.is_enabled() {
-                shard.add(Counter::CacheMisses, session.misses);
-                shard.add(Counter::CacheCorruptSegments, session.corrupt_segments());
-                shard.add(Counter::CacheVerifyRejects, replay_rejects);
-            }
             // A commit failure loses warm-start data for future runs, never
             // this run's result.
             let _ = session.commit();
+            rectify.cache_misses = session.misses;
+            // `+=`: the checkpoint store's counters are already folded in.
+            rectify.cache_corrupt_segments += session.corrupt_segments();
+            rectify.cache_io_errors += session.io_errors();
+            rectify.cache_retries += session.retries();
+            let shard = telemetry.shard();
+            if shard.is_enabled() {
+                shard.add(Counter::CacheMisses, session.misses);
+                shard.add(Counter::CacheVerifyRejects, replay_rejects);
+            }
+        }
+        let shard = telemetry.shard();
+        if shard.is_enabled() {
+            shard.add(
+                Counter::CacheCorruptSegments,
+                rectify.cache_corrupt_segments,
+            );
+            shard.add(Counter::CacheIoErrors, rectify.cache_io_errors);
+            shard.add(Counter::CacheRetries, rectify.cache_retries);
+            shard.add(Counter::FaultInjections, budget.faults_fired());
         }
         Ok(EcoResult {
             stats,
@@ -318,6 +338,8 @@ impl Syseco {
             cache_hits: 1,
             cache_misses: session.misses,
             cache_corrupt_segments: session.corrupt_segments(),
+            cache_io_errors: session.io_errors(),
+            cache_retries: session.retries(),
             ..Default::default()
         };
         let shard = telemetry.shard();
@@ -325,6 +347,8 @@ impl Syseco {
             shard.add(Counter::CacheHits, 1);
             shard.add(Counter::CacheMisses, session.misses);
             shard.add(Counter::CacheCorruptSegments, session.corrupt_segments());
+            shard.add(Counter::CacheIoErrors, session.io_errors());
+            shard.add(Counter::CacheRetries, session.retries());
         }
         let stats = patch.stats(&patched);
         Some(EcoResult {

@@ -28,6 +28,12 @@ pub enum EcoError {
     /// quantifies over nothing, which would make every rectification
     /// vacuously feasible, so construction rejects it up front.
     EmptySamplingDomain,
+    /// An active fault plan aborted the run, simulating a hard crash
+    /// (SIGKILL) at a span boundary: nothing further was written and the
+    /// run must be resumable from its checkpoint directory. Only
+    /// constructed under `cfg(test)` or the `fault-injection` feature.
+    #[cfg(any(test, feature = "fault-injection"))]
+    InjectedAbort,
 }
 
 impl fmt::Display for EcoError {
@@ -41,6 +47,10 @@ impl fmt::Display for EcoError {
             }
             EcoError::EmptySamplingDomain => {
                 write!(f, "sampling domain must not be empty")
+            }
+            #[cfg(any(test, feature = "fault-injection"))]
+            EcoError::InjectedAbort => {
+                write!(f, "injected abort (simulated crash) from the fault plan")
             }
         }
     }
@@ -82,6 +92,7 @@ mod tests {
             EcoError::Bdd(BddError::NodeLimit { limit: 1 }),
             EcoError::RectificationFailed { output: "y".into() },
             EcoError::EmptySamplingDomain,
+            EcoError::InjectedAbort,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

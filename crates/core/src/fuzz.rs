@@ -341,6 +341,7 @@ impl FuzzRunner {
                 iteration,
                 check,
                 detail,
+                fault: None,
                 implementation: outcome.implementation,
                 spec: outcome.spec,
             },
@@ -350,10 +351,33 @@ impl FuzzRunner {
     /// Re-runs the conformance matrix on a parsed repro (the `replay` CLI
     /// verb). The cache oracle is included, using a scratch store.
     ///
+    /// A repro that embeds a chaos fault plan (`fault` line) is instead
+    /// replayed through `chaos::check_chaos_case` with the same plan
+    /// re-armed; this requires the `fault-injection` feature.
+    ///
     /// # Errors
     ///
-    /// Propagates infrastructure [`FuzzError`]s.
+    /// Propagates infrastructure [`FuzzError`]s, and rejects fault-bearing
+    /// repros in builds without `fault-injection`.
     pub fn replay(&self, repro: &Repro) -> Result<Vec<Disagreement>, FuzzError> {
+        if repro.fault.is_some() {
+            #[cfg(any(test, feature = "fault-injection"))]
+            {
+                let runner = chaos::ChaosRunner::new(chaos::ChaosConfig {
+                    scenario: self.config.scenario.clone(),
+                    num_samples: self.config.num_samples,
+                    scratch_dir: self.config.scratch_dir.clone(),
+                });
+                return Ok(runner.replay(repro).disagreements);
+            }
+            #[cfg(not(any(test, feature = "fault-injection")))]
+            return Err(FuzzError::Repro {
+                line: 0,
+                reason: "repro embeds a chaos fault plan; rebuild with \
+                         --features fault-injection to replay it"
+                    .into(),
+            });
+        }
         let dir = self.scratch_base().join(format!(
             "syseco-fuzz-replay-{}-{:016x}",
             std::process::id(),
@@ -368,6 +392,411 @@ impl FuzzRunner {
         );
         let _ = std::fs::remove_dir_all(&dir);
         result
+    }
+}
+
+/// Systematic chaos fault-sweeping (DESIGN.md §13).
+///
+/// For every fuzz-generated scenario, every registered fault point of
+/// [`FaultPlan`](crate::FaultPlan) is armed in turn against a full
+/// checkpointed rectification, and the robustness invariant is asserted:
+/// **every run ends in a verified patch or a clean degradation report —
+/// never corruption, a poisoned lock, or a silently-missing output.** A
+/// simulated crash (`abort:*` faults) additionally asserts crash-safety:
+/// resuming from the checkpoint directory without faults must succeed and
+/// produce a patched netlist byte-identical to an undisturbed run's.
+///
+/// Only compiled under `cfg(test)` or the `fault-injection` feature; the
+/// `syseco-fuzz chaos` verb is the CLI over [`chaos::ChaosRunner`].
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod chaos {
+    use std::collections::BTreeMap;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
+
+    use eco_netlist::{write_blif, Circuit};
+
+    use super::{generate, iteration_seed, Disagreement, FuzzError, Repro, ScenarioConfig};
+    use crate::fault::FaultPlan;
+    use crate::{verify_rectification, Budget, EcoError, EcoOptions, EcoResult, Session};
+
+    /// Configuration of a [`ChaosRunner`].
+    #[derive(Debug, Clone)]
+    pub struct ChaosConfig {
+        /// Scenario size and mutation ranges.
+        pub scenario: ScenarioConfig,
+        /// Sampling-domain size handed to the engine.
+        pub num_samples: usize,
+        /// Directory for checkpoint scratch stores; defaults to the system
+        /// temp directory.
+        pub scratch_dir: Option<PathBuf>,
+    }
+
+    impl Default for ChaosConfig {
+        fn default() -> Self {
+            ChaosConfig {
+                scenario: ScenarioConfig::default(),
+                num_samples: 32,
+                scratch_dir: None,
+            }
+        }
+    }
+
+    /// One invariant violation: the scenario, the fault plan that broke it,
+    /// and a replayable repro embedding that plan.
+    #[derive(Debug, Clone)]
+    pub struct ChaosViolation {
+        /// Scenario index within the sweep.
+        pub iteration: u64,
+        /// Scenario seed.
+        pub seed: u64,
+        /// The fault-plan spec that was armed.
+        pub fault: String,
+        /// Every invariant the case violated.
+        pub disagreements: Vec<Disagreement>,
+        /// Replayable repro (`fault` embedded, so `syseco-fuzz replay`
+        /// re-arms the plan).
+        pub repro: Repro,
+    }
+
+    /// Outcome of a [`ChaosRunner::run`].
+    #[derive(Debug, Clone, Default)]
+    pub struct ChaosReport {
+        /// Scenarios generated.
+        pub scenarios: u64,
+        /// Individual (scenario × fault-point) runs executed.
+        pub runs: u64,
+        /// Runs that ended in a simulated crash and were resumed from their
+        /// checkpoint directory.
+        pub aborted: u64,
+        /// Runs that completed with a non-empty degradation report.
+        pub degraded: u64,
+        /// How many times each fault point actually fired, by name. A point
+        /// whose count stays zero was never reached by any scenario — grow
+        /// the sweep rather than trusting it.
+        pub coverage: BTreeMap<String, u64>,
+        /// All invariant violations, in sweep order.
+        pub violations: Vec<ChaosViolation>,
+    }
+
+    /// What one chaos case concluded, beyond pass/fail.
+    #[derive(Debug, Clone, Default)]
+    pub struct ChaosOutcome {
+        /// Invariant violations (empty on a clean case).
+        pub disagreements: Vec<Disagreement>,
+        /// The faulted run ended in `EcoError::InjectedAbort` and resumed.
+        pub aborted: bool,
+        /// The faulted run completed with recorded degradations.
+        pub degraded: bool,
+        /// Faults that actually fired during the faulted run.
+        pub faults_fired: u64,
+    }
+
+    fn engine_options(seed: u64, num_samples: usize, checkpoint_dir: Option<&Path>) -> EcoOptions {
+        let builder = EcoOptions::builder()
+            .seed(seed)
+            .num_samples(num_samples)
+            .jobs(1);
+        match checkpoint_dir {
+            // Faulted runs get both durable stores: the checkpoint under
+            // `ckpt/`, a result cache under `cache/` — so the cache-*
+            // fault points have I/O to hit. Both are re-verified reuse,
+            // so neither changes the answer vs. the plain reference run.
+            Some(dir) => builder
+                .checkpoint_dir(dir.join("ckpt"))
+                .cache_dir(dir.join("cache"))
+                .build(),
+            None => builder.build(),
+        }
+    }
+
+    fn disagree(check: &str, detail: String) -> Disagreement {
+        Disagreement {
+            check: format!("chaos:{check}"),
+            output: None,
+            detail,
+        }
+    }
+
+    /// Runs one engine pass under `budget`, catching panics that escape the
+    /// engine (they must not — per-output panic isolation is part of the
+    /// invariant) and verifying any returned patch. Returns the patched
+    /// netlist bytes on success.
+    fn guarded_run(
+        implementation: &Circuit,
+        spec: &Circuit,
+        options: &EcoOptions,
+        budget: &Budget,
+        label: &str,
+        out: &mut Vec<Disagreement>,
+    ) -> Result<Option<String>, EcoError> {
+        let session = Session::new(options.clone()).with_telemetry(&crate::Telemetry::enabled());
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            session.run_with_budget(implementation, spec, budget)
+        }));
+        // Taking a metrics snapshot after the run proves no registry lock
+        // was left poisoned by an injected panic.
+        let snapshot = catch_unwind(AssertUnwindSafe(|| session.metrics_snapshot()));
+        if snapshot.is_err() {
+            out.push(disagree(
+                "poisoned-metrics",
+                format!("metrics snapshot panicked after the {label} run"),
+            ));
+        }
+        let result: Result<EcoResult, EcoError> = match run {
+            Ok(r) => r,
+            Err(_) => {
+                out.push(disagree(
+                    "escaped-panic",
+                    format!("a panic escaped the engine during the {label} run"),
+                ));
+                return Ok(None);
+            }
+        };
+        match result {
+            Ok(result) => {
+                match verify_rectification(&result.patched, spec) {
+                    Ok(true) => {}
+                    Ok(false) => out.push(disagree(
+                        "unverified-patch",
+                        format!("the {label} run returned a patch that fails verification"),
+                    )),
+                    Err(e) => out.push(disagree(
+                        "verify-error",
+                        format!("verifying the {label} run's patch errored: {e}"),
+                    )),
+                }
+                Ok(Some(write_blif(&result.patched)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs the chaos invariant check for one `(pair, fault plan)` case.
+    ///
+    /// `scratch` hosts the case's checkpoint directory; it is created and
+    /// cleaned up here.
+    pub fn check_chaos_case(
+        implementation: &Circuit,
+        spec: &Circuit,
+        seed: u64,
+        num_samples: usize,
+        fault: &str,
+        scratch: &Path,
+    ) -> ChaosOutcome {
+        let mut outcome = ChaosOutcome::default();
+        let plan = match FaultPlan::parse(fault) {
+            Ok(plan) => plan,
+            Err(e) => {
+                outcome
+                    .disagreements
+                    .push(disagree("bad-plan", format!("{fault:?}: {e}")));
+                return outcome;
+            }
+        };
+
+        // Reference: no faults, no checkpointing. The scenario generator
+        // only produces rectifiable pairs, so a reference failure is an
+        // infrastructure problem, not a chaos finding.
+        let reference = match guarded_run(
+            implementation,
+            spec,
+            &engine_options(seed, num_samples, None),
+            &Budget::unlimited(),
+            "reference",
+            &mut outcome.disagreements,
+        ) {
+            Ok(Some(blif)) => blif,
+            Ok(None) => return outcome,
+            Err(e) => {
+                outcome
+                    .disagreements
+                    .push(disagree("reference-error", e.to_string()));
+                return outcome;
+            }
+        };
+
+        let ckpt = scratch.join(format!(
+            "chaos-{seed:016x}-{}",
+            fault.replace([':', '@', ','], "_")
+        ));
+        let _ = std::fs::remove_dir_all(&ckpt);
+
+        // Faulted run: checkpointing on, the plan armed.
+        let budget = Budget::unlimited().with_fault_plan(plan);
+        let options = engine_options(seed, num_samples, Some(&ckpt));
+        let faulted = guarded_run(
+            implementation,
+            spec,
+            &options,
+            &budget,
+            "faulted",
+            &mut outcome.disagreements,
+        );
+        outcome.faults_fired = budget.faults_fired();
+        match faulted {
+            Ok(Some(_)) => {
+                // Completed despite the faults: the patch already verified
+                // inside guarded_run; note whether it degraded cleanly.
+                outcome.degraded = budget.degrade_reason().is_some();
+            }
+            Ok(None) => {} // an escaped panic was already recorded
+            Err(EcoError::InjectedAbort) => {
+                // Simulated crash. Resume without faults: the run must
+                // complete, verify, and reproduce the reference bytes.
+                outcome.aborted = true;
+                match guarded_run(
+                    implementation,
+                    spec,
+                    &options,
+                    &Budget::unlimited(),
+                    "resumed",
+                    &mut outcome.disagreements,
+                ) {
+                    Ok(Some(resumed)) => {
+                        if resumed != reference {
+                            outcome.disagreements.push(disagree(
+                                "resume-divergence",
+                                "resumed run produced different bytes than the undisturbed run"
+                                    .into(),
+                            ));
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => outcome
+                        .disagreements
+                        .push(disagree("resume-error", e.to_string())),
+                }
+            }
+            Err(e) => outcome.disagreements.push(disagree(
+                "unexpected-error",
+                format!("faulted run errored with {e} (only injected aborts may error)"),
+            )),
+        }
+        let _ = std::fs::remove_dir_all(&ckpt);
+        outcome
+    }
+
+    /// Sweeps every registered fault point over generated scenarios.
+    #[derive(Debug, Clone, Default)]
+    pub struct ChaosRunner {
+        /// Knobs of the sweep.
+        pub config: ChaosConfig,
+    }
+
+    impl ChaosRunner {
+        /// Creates a runner with the given configuration.
+        pub fn new(config: ChaosConfig) -> Self {
+            ChaosRunner { config }
+        }
+
+        /// Runs `scenarios` generated scenarios × every registered fault
+        /// point, invoking `progress` after each scenario with
+        /// `(scenario, violations_so_far)`.
+        ///
+        /// Deterministic for a fixed `(seed, scenarios, config)` up to
+        /// wall-clock-free behavior: the same scenarios, plans, and
+        /// verdicts.
+        ///
+        /// # Errors
+        ///
+        /// Propagates scenario-generation [`FuzzError`]s; invariant
+        /// violations are collected into the report instead.
+        pub fn run(
+            &self,
+            seed: u64,
+            scenarios: u64,
+            mut progress: impl FnMut(u64, usize),
+        ) -> Result<ChaosReport, FuzzError> {
+            let scratch = self
+                .config
+                .scratch_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir)
+                .join(format!("syseco-chaos-{}", std::process::id()));
+            let points = FaultPlan::point_names();
+            let mut report = ChaosReport::default();
+            for name in &points {
+                report.coverage.insert(name.clone(), 0);
+            }
+            for i in 0..scenarios {
+                let scenario_seed = iteration_seed(seed ^ 0xc4a05, i);
+                let scenario = generate(scenario_seed, &self.config.scenario)?;
+                for name in &points {
+                    let fault = format!("{name}@1");
+                    let outcome = check_chaos_case(
+                        &scenario.implementation,
+                        &scenario.spec,
+                        scenario_seed,
+                        self.config.num_samples,
+                        &fault,
+                        &scratch,
+                    );
+                    report.runs += 1;
+                    report.aborted += u64::from(outcome.aborted);
+                    report.degraded += u64::from(outcome.degraded);
+                    if outcome.faults_fired > 0 {
+                        *report
+                            .coverage
+                            .get_mut(name.as_str())
+                            .expect("seeded above") += 1;
+                    }
+                    if !outcome.disagreements.is_empty() {
+                        let detail = outcome
+                            .disagreements
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(" | ");
+                        let check = outcome
+                            .disagreements
+                            .first()
+                            .map(|d| d.check.clone())
+                            .unwrap_or_default();
+                        report.violations.push(ChaosViolation {
+                            iteration: i,
+                            seed: scenario_seed,
+                            fault: fault.clone(),
+                            disagreements: outcome.disagreements,
+                            repro: Repro {
+                                seed: scenario_seed,
+                                iteration: i,
+                                check,
+                                detail,
+                                fault: Some(fault),
+                                implementation: scenario.implementation.clone(),
+                                spec: scenario.spec.clone(),
+                            },
+                        });
+                    }
+                }
+                report.scenarios += 1;
+                progress(i + 1, report.violations.len());
+            }
+            let _ = std::fs::remove_dir_all(&scratch);
+            Ok(report)
+        }
+
+        /// Replays one chaos repro: re-runs the invariant check with the
+        /// embedded fault plan (or no faults when the repro carries none).
+        pub fn replay(&self, repro: &Repro) -> ChaosOutcome {
+            let scratch = self
+                .config
+                .scratch_dir
+                .clone()
+                .unwrap_or_else(std::env::temp_dir)
+                .join(format!("syseco-chaos-replay-{}", std::process::id()));
+            let outcome = check_chaos_case(
+                &repro.implementation,
+                &repro.spec,
+                repro.seed,
+                self.config.num_samples,
+                repro.fault.as_deref().unwrap_or(""),
+                &scratch,
+            );
+            let _ = std::fs::remove_dir_all(&scratch);
+            outcome
+        }
     }
 }
 
@@ -411,5 +840,53 @@ mod tests {
         assert_eq!(a.iterations, 3);
         assert!(a.failures.is_empty(), "{:?}", a.failures);
         assert_eq!(b.failures.len(), a.failures.len());
+    }
+
+    #[test]
+    fn chaos_sweep_holds_every_invariant_on_one_scenario() {
+        let runner = chaos::ChaosRunner::new(chaos::ChaosConfig::default());
+        let report = runner.run(11, 1, |_, _| {}).unwrap();
+        assert_eq!(report.scenarios, 1);
+        assert_eq!(
+            report.runs,
+            crate::FaultPlan::point_names().len() as u64,
+            "one faulted run per registered point"
+        );
+        assert!(
+            report.violations.is_empty(),
+            "chaos invariant violations: {:#?}",
+            report.violations
+        );
+        // Simulated crashes happened and were resumed.
+        assert!(report.aborted > 0, "no abort point fired: {report:?}");
+        // Points every run must pass through actually fired. Cache points
+        // stay at zero here (the sweep runs without a result cache), and
+        // late spans (e.g. verify) may not be reached on tiny scenarios.
+        for point in ["abort:run", "abort:search", "search-panic", "cancel:search"] {
+            assert!(
+                report.coverage[point] > 0,
+                "fault point {point} never fired: {:?}",
+                report.coverage
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_replay_rearms_the_embedded_fault_plan() {
+        let scenario = generate(23, &ScenarioConfig::default()).unwrap();
+        let repro = Repro {
+            seed: 23,
+            iteration: 0,
+            check: "chaos:resume-divergence".into(),
+            detail: "synthetic".into(),
+            fault: Some("abort:merge@1".into()),
+            implementation: scenario.implementation,
+            spec: scenario.spec,
+        };
+        let runner = FuzzRunner::new(FuzzConfig::default());
+        // Crash at the merge span, then resume: the invariant must hold, so
+        // a fault-bearing repro replays clean.
+        let disagreements = runner.replay(&repro).unwrap();
+        assert!(disagreements.is_empty(), "{disagreements:?}");
     }
 }

@@ -64,11 +64,13 @@
 
 pub mod baseline;
 pub mod budget;
+mod checkpoint;
 pub mod choices;
 pub mod correspond;
 mod engine;
 mod error;
 pub mod error_domain;
+pub mod fault;
 pub mod fuzz;
 mod memo;
 mod options;
@@ -82,11 +84,12 @@ mod schedule;
 mod session;
 pub mod validate;
 
-#[cfg(any(test, feature = "fault-injection"))]
-pub use budget::FaultPolicy;
 pub use budget::{Budget, BudgetStatus, CancelToken, Degradation, DegradeAction, DegradeReason};
 pub use engine::{verify_rectification, EcoResult, Syseco};
 pub use error::EcoError;
+pub use fault::SpanPoint;
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::{FaultPlan, FaultPolicy};
 pub use options::{EcoOptions, EcoOptionsBuilder, SamplePolicy};
 pub use patch::{Patch, PatchStats, RewireOp};
 pub use progress::{OutputAction, ProgressCallback, ProgressEvent};

@@ -24,6 +24,7 @@
 use eco_cache::{circuit_sig, fingerprint_words, hash_str, node_hashes, ConeWalk, Sig128, Store};
 use eco_netlist::{Circuit, NetId, NetlistError, Pin};
 
+use crate::budget::Budget;
 use crate::correspond::OutputPair;
 use crate::options::{EcoOptions, SamplePolicy};
 use crate::rectify::RectifyStats;
@@ -126,12 +127,30 @@ impl CacheSession {
     /// be opened, or the inputs cannot be signed (cyclic circuits error
     /// later, on their own terms). A `None` here silently degrades to an
     /// uncached run.
-    pub fn open(options: &EcoOptions, implementation: &Circuit, spec: &Circuit) -> Option<Self> {
+    ///
+    /// The `budget` supplies the I/O seam (DESIGN.md §13): its fault plan's
+    /// cache VFS and retry schedule under test, real I/O with default
+    /// retries otherwise.
+    pub fn open(
+        options: &EcoOptions,
+        implementation: &Circuit,
+        spec: &Circuit,
+        budget: &Budget,
+    ) -> Option<Self> {
         let dir = options.cache_dir.as_deref()?;
         if !options.cache_mode.is_enabled() {
             return None;
         }
-        let store = Store::open(dir, options.cache_mode.is_read_only()).ok()?;
+        let vfs: std::sync::Arc<dyn eco_cache::Vfs> = budget
+            .cache_vfs()
+            .unwrap_or_else(|| std::sync::Arc::new(eco_cache::RealVfs));
+        let store = Store::open_with(
+            dir,
+            options.cache_mode.is_read_only(),
+            vfs,
+            budget.io_retry(),
+        )
+        .ok()?;
         let impl_sig = circuit_sig(implementation).ok()?;
         let spec_sig = circuit_sig(spec).ok()?;
         let options_fp = options_fingerprint(options);
@@ -146,6 +165,16 @@ impl CacheSession {
     /// Damaged segments skipped when the store was opened.
     pub fn corrupt_segments(&self) -> u64 {
         self.store.corrupt_segments()
+    }
+
+    /// Cache I/O operations that failed even after bounded retries.
+    pub fn io_errors(&self) -> u64 {
+        self.store.io_errors()
+    }
+
+    /// Transient cache I/O failures absorbed by retry-with-backoff.
+    pub fn retries(&self) -> u64 {
+        self.store.retries()
     }
 
     /// Looks up and decodes the whole-run replay record, counting a miss
@@ -236,40 +265,40 @@ impl CacheSession {
 
 // --- encoding helpers (little-endian throughout) ---
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Cursor-style reader over a payload; every accessor returns `None` past
 /// the end, so truncated records decode as misses.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         let b = *self.buf.get(self.pos)?;
         self.pos += 1;
         Some(b)
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         let bytes = self.buf.get(self.pos..self.pos + 4)?;
         self.pos += 4;
         Some(u32::from_le_bytes(bytes.try_into().unwrap()))
     }
 
     /// A length prefix, rejected when implausibly large.
-    fn len(&mut self) -> Option<u32> {
+    pub(crate) fn len(&mut self) -> Option<u32> {
         self.u32().filter(|&n| n <= MAX_DECODE_ITEMS)
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -280,7 +309,11 @@ impl<'a> Reader<'a> {
 /// valid across net-id renumberings of structurally identical cones.
 /// Returns `None` when a spec net falls outside the walk (cannot happen for
 /// candidates produced by the search, but guards future callers).
-fn encode_rewire(buf: &mut Vec<u8>, r: &CandidateRewire, walk: Option<&ConeWalk>) -> Option<()> {
+pub(crate) fn encode_rewire(
+    buf: &mut Vec<u8>,
+    r: &CandidateRewire,
+    walk: Option<&ConeWalk>,
+) -> Option<()> {
     match r.pin {
         Pin::Gate { node, pos } => {
             buf.push(0);
@@ -302,7 +335,10 @@ fn encode_rewire(buf: &mut Vec<u8>, r: &CandidateRewire, walk: Option<&ConeWalk>
     Some(())
 }
 
-fn decode_rewire(r: &mut Reader<'_>, walk: Option<&ConeWalk>) -> Option<CandidateRewire> {
+pub(crate) fn decode_rewire(
+    r: &mut Reader<'_>,
+    walk: Option<&ConeWalk>,
+) -> Option<CandidateRewire> {
     let pin = match r.u8()? {
         0 => {
             let node = r.u32()?;
@@ -549,6 +585,7 @@ mod tests {
             jobs: 7,
             timeout: Some(std::time::Duration::from_secs(1)),
             cache_dir: Some("/nonexistent".into()),
+            checkpoint_dir: Some("/nonexistent-ckpt".into()),
             ..EcoOptions::default()
         };
         assert_eq!(options_fingerprint(&base), options_fingerprint(&mech));
@@ -558,12 +595,13 @@ mod tests {
     fn session_none_when_cache_disabled() {
         let c = tiny();
         let off = EcoOptions::default();
-        assert!(CacheSession::open(&off, &c, &c).is_none());
+        let budget = Budget::unlimited();
+        assert!(CacheSession::open(&off, &c, &c, &budget).is_none());
         let disabled = EcoOptions {
             cache_dir: Some(std::env::temp_dir().join("eco-cache-memo-off")),
             cache_mode: eco_cache::CacheMode::Off,
             ..EcoOptions::default()
         };
-        assert!(CacheSession::open(&disabled, &c, &c).is_none());
+        assert!(CacheSession::open(&disabled, &c, &c, &budget).is_none());
     }
 }

@@ -102,6 +102,14 @@ pub struct EcoOptions {
     /// How the cache directory is used (ignored while `cache_dir` is
     /// `None`): read-write (the default), read-only, or off.
     pub cache_mode: CacheMode,
+    /// Directory for crash-safe checkpointing. `None` (the default)
+    /// disables it. With a directory set, each per-output search result is
+    /// durably persisted the moment it completes, so a killed run rerun
+    /// with the same inputs *resumes*: completed outputs skip their
+    /// searches, everything is re-verified by the engine's
+    /// always-re-verify policy, and the final patch is byte-identical to
+    /// an uninterrupted run's (DESIGN.md §13).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EcoOptions {
@@ -126,6 +134,7 @@ impl Default for EcoOptions {
             jobs: 0,
             cache_dir: None,
             cache_mode: CacheMode::ReadWrite,
+            checkpoint_dir: None,
         }
     }
 }
@@ -236,6 +245,20 @@ impl EcoOptionsBuilder {
         self
     }
 
+    /// Sets [`EcoOptions::checkpoint_dir`], enabling crash-safe
+    /// checkpoint/resume.
+    pub fn checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.options.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Clears [`EcoOptions::checkpoint_dir`] (the default: no
+    /// checkpointing).
+    pub fn no_checkpoint_dir(mut self) -> Self {
+        self.options.checkpoint_dir = None;
+        self
+    }
+
     /// Sets [`EcoOptions::timeout`].
     pub fn timeout(mut self, timeout: std::time::Duration) -> Self {
         self.options.timeout = Some(timeout);
@@ -307,6 +330,7 @@ mod tests {
             .timeout(std::time::Duration::from_secs(5))
             .cache_dir("/tmp/eco-cache")
             .cache_mode(CacheMode::ReadOnly)
+            .checkpoint_dir("/tmp/eco-ckpt")
             .build();
         assert_eq!(o.num_samples, 32);
         assert_eq!(o.sample_policy, SamplePolicy::Mixed);
@@ -332,11 +356,23 @@ mod tests {
         );
         assert_eq!(o.cache_mode, CacheMode::ReadOnly);
         assert_eq!(
+            o.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/eco-ckpt"))
+        );
+        assert_eq!(
             EcoOptions::builder()
                 .cache_dir("x")
                 .no_cache_dir()
                 .build()
                 .cache_dir,
+            None
+        );
+        assert_eq!(
+            EcoOptions::builder()
+                .checkpoint_dir("x")
+                .no_checkpoint_dir()
+                .build()
+                .checkpoint_dir,
             None
         );
         assert_eq!(

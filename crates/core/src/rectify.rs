@@ -44,12 +44,14 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::budget::{Budget, Degradation, DegradeAction, DegradeReason};
+use crate::checkpoint::{CheckpointSession, CheckpointVerdict};
 use crate::choices::find_choices;
 use crate::correspond::{Correspondence, OutputPair};
 use crate::error_domain::{
     check_output_pair_with_stats, classify_outputs_with_stats, collect_samples_with_stats,
     Equivalence,
 };
+use crate::fault::SpanPoint;
 use crate::memo::{CacheSession, OutputEntry, WarmStart};
 use crate::options::EcoOptions;
 use crate::patch::Patch;
@@ -132,8 +134,26 @@ pub struct RectifyStats {
     /// (SAT validation or the replay equivalence check) rejected them —
     /// stale entries cost time, never correctness.
     pub cache_verify_rejects: u64,
-    /// Damaged cache segments skipped when the store was opened.
+    /// Damaged cache segments skipped when the store was opened (cache and
+    /// checkpoint stores combined). Checksum damage is *permanent*: the
+    /// segment is discarded, unlike the transient failures counted by
+    /// [`cache_io_errors`](Self::cache_io_errors).
     pub cache_corrupt_segments: u64,
+    /// Cache/checkpoint I/O operations that kept failing after every
+    /// bounded retry and were given up on (DESIGN.md §13). Distinct from
+    /// corruption: the bytes on disk may be fine, the I/O just failed.
+    pub cache_io_errors: u64,
+    /// Transient cache/checkpoint I/O failures absorbed by retry-with-
+    /// backoff — the operation eventually succeeded or was abandoned; each
+    /// retry attempt counts once.
+    pub cache_retries: u64,
+    /// Per-output search results resumed from the checkpoint directory
+    /// instead of searched (always re-verified downstream). Zero without
+    /// [`EcoOptions::checkpoint_dir`].
+    pub checkpoint_hits: u64,
+    /// Per-output search results durably persisted to the checkpoint
+    /// directory as their searches completed.
+    pub checkpoint_writes: u64,
 }
 
 impl RectifyStats {
@@ -190,6 +210,36 @@ enum SearchVerdict {
     /// fallback. `reason` is set when the search was cut short rather than
     /// exhausted cleanly.
     Fallback { reason: Option<DegradeReason> },
+    /// The fault plan simulated a hard crash inside this search. Never
+    /// merged: the coordinator aborts the whole run as soon as any slot
+    /// reports it, modeling a process killed mid-fan-out.
+    #[cfg(any(test, feature = "fault-injection"))]
+    Aborted,
+}
+
+/// The persistable form of a verdict: `Some` only for *clean* outcomes.
+/// Degraded or aborted searches return `None` and are searched again on
+/// resume rather than resumed into a worse-than-necessary patch.
+fn clean_checkpoint_verdict(v: &SearchVerdict) -> Option<CheckpointVerdict> {
+    match v {
+        SearchVerdict::Equivalent => Some(CheckpointVerdict::Equivalent),
+        SearchVerdict::Proposal { rewires, cut: None } => {
+            Some(CheckpointVerdict::Proposal(rewires.clone()))
+        }
+        SearchVerdict::Fallback { reason: None } => Some(CheckpointVerdict::CleanFallback),
+        _ => None,
+    }
+}
+
+/// Reconstitutes the verdict a checkpointed search concluded with. Exact
+/// inverse of [`clean_checkpoint_verdict`] on the clean subset, so the merge
+/// phase cannot tell a resumed slot from a freshly searched one.
+fn resume_verdict(v: CheckpointVerdict) -> SearchVerdict {
+    match v {
+        CheckpointVerdict::Equivalent => SearchVerdict::Equivalent,
+        CheckpointVerdict::Proposal(rewires) => SearchVerdict::Proposal { rewires, cut: None },
+        CheckpointVerdict::CleanFallback => SearchVerdict::Fallback { reason: None },
+    }
 }
 
 /// Result of [`rewire_rectify_with`]: the patch, run statistics, the merged
@@ -273,6 +323,7 @@ pub fn rewire_rectify(
         None,
         &pool,
         &Telemetry::disabled(),
+        None,
         None,
     )
     .map(|(patch, stats, _trace, _committed)| (patch, stats))
@@ -359,11 +410,13 @@ pub(crate) fn rewire_rectify_with(
     pool: &WorkerPool,
     telemetry: &Telemetry,
     mut cache: Option<&mut CacheSession>,
+    checkpoint: Option<&CheckpointSession>,
 ) -> Result<CommittedRectification, EcoError> {
     let t_run = Instant::now();
     let mut tb = telemetry.buffer(0);
     let shard = telemetry.shard();
     let span_run = tb.start();
+    budget.fault_span(SpanPoint::Run)?;
     let corr = Correspondence::build(implementation, spec)?;
     let mut patch = Patch::new(implementation.num_nodes());
     let mut stats = RectifyStats {
@@ -390,6 +443,7 @@ pub(crate) fn rewire_rectify_with(
     let mut failing: HashSet<u32> = HashSet::new();
     let mut seeds: HashMap<u32, Vec<bool>> = HashMap::new();
     let span_detect = tb.start();
+    budget.fault_span(SpanPoint::Detect)?;
     let (verdicts, detect_sat) = classify_outputs_with_stats(
         implementation,
         spec,
@@ -454,6 +508,22 @@ pub(crate) fn rewire_rectify_with(
         None => Vec::new(),
     };
 
+    // Checkpoint slots are likewise resolved up front: a resumed slot
+    // substitutes its stored clean verdict for the search, everything
+    // downstream (merge rechecks, the verification pass) runs unchanged.
+    let checkpoint_slots: Vec<_> = match checkpoint {
+        Some(ck) => order
+            .iter()
+            .map(|p| {
+                let key = ck.slot_key(&p.name);
+                let record = ck.load(key);
+                (key, record)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let resumed_count = checkpoint_slots.iter().filter(|(_, r)| r.is_some()).count();
+
     emit(
         observer,
         ProgressEvent::RunStarted {
@@ -488,34 +558,59 @@ pub(crate) fn rewire_rectify_with(
         // ran it, so the merged trace is independent of scheduling.
         let mut trace = telemetry.buffer(i as u32 + 1);
         let span_search = trace.start();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            budget.inject_search_panic();
-            search_one_output(
-                base,
-                spec,
-                &corr,
-                pair,
-                seeds.get(&pair.impl_index).map(Vec::as_slice),
-                &failing,
-                &initial_bank,
-                options,
-                timing.as_ref(),
-                &mut local,
-                budget,
-                &mut trace,
-                &worker_shards[w],
-                output_entries.get(i).and_then(|e| e.warm.as_ref()),
-                &mut refined,
-            )
-        }));
-        let verdict = match outcome {
-            Ok(Ok(v)) => v,
-            Ok(Err(e)) => SearchVerdict::Fallback {
-                reason: Some(DegradeReason::SearchError(e.to_string())),
-            },
-            Err(payload) => SearchVerdict::Fallback {
-                reason: Some(DegradeReason::SearchPanicked(panic_message(payload))),
-            },
+        let slot = checkpoint_slots.get(i);
+        let resumed = slot.and_then(|(_, record)| record.clone());
+        let verdict = match resumed {
+            // Resumed from the checkpoint: skip the search entirely. The
+            // stored refinement minterms are carried over so the cache
+            // write-back matches an uninterrupted run's.
+            Some(record) => {
+                refined = record.refined;
+                resume_verdict(record.verdict)
+            }
+            None => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    budget.fault_span(SpanPoint::Search)?;
+                    budget.inject_search_panic();
+                    search_one_output(
+                        base,
+                        spec,
+                        &corr,
+                        pair,
+                        seeds.get(&pair.impl_index).map(Vec::as_slice),
+                        &failing,
+                        &initial_bank,
+                        options,
+                        timing.as_ref(),
+                        &mut local,
+                        budget,
+                        &mut trace,
+                        &worker_shards[w],
+                        output_entries.get(i).and_then(|e| e.warm.as_ref()),
+                        &mut refined,
+                    )
+                }));
+                let verdict = match outcome {
+                    Ok(Ok(v)) => v,
+                    #[cfg(any(test, feature = "fault-injection"))]
+                    Ok(Err(EcoError::InjectedAbort)) => SearchVerdict::Aborted,
+                    Ok(Err(e)) => SearchVerdict::Fallback {
+                        reason: Some(DegradeReason::SearchError(e.to_string())),
+                    },
+                    Err(payload) => SearchVerdict::Fallback {
+                        reason: Some(DegradeReason::SearchPanicked(panic_message(payload))),
+                    },
+                };
+                // Persist clean verdicts the moment the search finishes:
+                // after `record` returns, a kill at any later instant
+                // leaves this output resumable.
+                if let (Some(ck), Some((key, _))) = (checkpoint, slot) {
+                    if let Some(cv) = clean_checkpoint_verdict(&verdict) {
+                        ck.record(*key, &cv, &refined);
+                    }
+                }
+                verdict
+            }
         };
         let search = t_search.elapsed();
         trace!("output {}: search done in {search:?}", pair.name);
@@ -564,6 +659,16 @@ pub(crate) fn rewire_rectify_with(
         stats.cache_hits += r.stats.cache_hits;
         stats.cache_verify_rejects += r.stats.cache_verify_rejects;
     }
+    // A simulated crash in any search slot kills the whole run *now*,
+    // before the merge phase writes anything — exactly what a SIGKILL
+    // mid-fan-out leaves behind: durable checkpoints, no partial patch.
+    #[cfg(any(test, feature = "fault-injection"))]
+    if results
+        .iter()
+        .any(|r| matches!(r.verdict, SearchVerdict::Aborted))
+    {
+        return Err(EcoError::InjectedAbort);
+    }
 
     // ------------------------------------------------------------------
     // Merge phase: apply proposals sequentially in the fixed order.
@@ -586,6 +691,7 @@ pub(crate) fn rewire_rectify_with(
     let mut output_proposals: Vec<Option<usize>> = vec![None; order.len()];
     let mut refined_per_output: Vec<Vec<Vec<bool>>> = Vec::with_capacity(order.len());
     let span_merge = tb.start();
+    budget.fault_span(SpanPoint::Merge)?;
     let recheck = |implementation: &Circuit,
                    pair: &OutputPair,
                    stats: &mut RectifyStats|
@@ -606,8 +712,11 @@ pub(crate) fn rewire_rectify_with(
         search_traces.push(trace);
         refined_per_output.push(refined);
         let span_commit = tb.start();
+        budget.fault_span(SpanPoint::Commit)?;
         let (action, degraded) = match verdict {
             SearchVerdict::Equivalent => (OutputAction::AlreadyEquivalent, false),
+            #[cfg(any(test, feature = "fault-injection"))]
+            SearchVerdict::Aborted => unreachable!("aborted runs never reach the merge phase"),
             SearchVerdict::Fallback { reason } => {
                 let reason = reason.or_else(|| budget.degrade_reason());
                 // An earlier merged proposal may have fixed this output as a
@@ -777,8 +886,12 @@ pub(crate) fn rewire_rectify_with(
     // damage an earlier one's output (each was re-checked only for its own
     // pair). Re-classify everything and repair damage with the fallback.
     // ------------------------------------------------------------------
-    if proposals_applied >= 2 {
+    // A resumed run with any merged proposal also verifies: resumed slots
+    // skipped their searches, so the end-to-end re-classification is what
+    // discharges the "always re-verified" resume guarantee.
+    if proposals_applied >= 2 || (resumed_count > 0 && proposals_applied >= 1) {
         let span_verify = tb.start();
+        budget.fault_span(SpanPoint::Verify)?;
         let (verdicts, verify_sat) =
             classify_outputs_with_stats(implementation, spec, &corr, recheck_budget, Some(budget))?;
         note_sat(&mut stats, &shard, verify_sat);
@@ -859,6 +972,19 @@ pub(crate) fn rewire_rectify_with(
             minterms.truncate(minterm_cap);
             let spec_root = spec.outputs()[pair.spec_index as usize].net();
             session.record_output(entry, spec, spec_root, proposal, &minterms);
+        }
+    }
+
+    if let Some(ck) = checkpoint {
+        stats.checkpoint_hits = resumed_count as u64;
+        stats.checkpoint_writes = ck.writes();
+        stats.cache_corrupt_segments += ck.corrupt_segments();
+        let (io_errors, retries) = ck.io_counters();
+        stats.cache_io_errors += io_errors;
+        stats.cache_retries += retries;
+        if shard.is_enabled() {
+            shard.add(Counter::CheckpointHits, stats.checkpoint_hits);
+            shard.add(Counter::CheckpointWrites, stats.checkpoint_writes);
         }
     }
 
@@ -970,6 +1096,7 @@ fn search_one_output(
 ) -> Result<SearchVerdict, EcoError> {
     let mut rng = SmallRng::seed_from_u64(per_output_seed(options.seed, pair.impl_index));
     let span_samples = buf.start();
+    budget.fault_span(SpanPoint::Samples)?;
     let (mut samples, sample_sat) = collect_samples_with_stats(
         base,
         spec,
@@ -1030,6 +1157,7 @@ fn search_one_output(
             stats.validations += 1;
             let t_val = Instant::now();
             let span_val = buf.start();
+            budget.fault_span(SpanPoint::Validate)?;
             let result = validate_rewires_with_stats(
                 base,
                 spec,
@@ -1314,6 +1442,7 @@ fn attempt_in_manager(
         }
         let t_sets = Instant::now();
         let span_sets = buf.start();
+        budget.fault_span(SpanPoint::PointSets)?;
         let sets = match feasible_point_sets(
             base,
             m,
@@ -1368,6 +1497,7 @@ fn attempt_in_manager(
                 )?);
             }
             let span_choices = buf.start();
+            budget.fault_span(SpanPoint::Choices)?;
             let choices = match find_choices(
                 base,
                 m,
@@ -1456,6 +1586,7 @@ fn attempt_in_manager(
                 stats.validations += 1;
                 let t_val = Instant::now();
                 let span_val = buf.start();
+                budget.fault_span(SpanPoint::Validate)?;
                 let (validation, val_sat) = validate_rewires_with_stats(
                     base,
                     spec,
@@ -1735,6 +1866,7 @@ mod tests {
             &pool,
             &telemetry,
             None,
+            None,
         )
         .unwrap();
         // The run span closes the coordinator lane; the per-output search
@@ -1771,7 +1903,7 @@ mod tests {
 
     // --- resource-governance and fault-injection paths ---
 
-    use crate::budget::FaultPolicy;
+    use crate::fault::FaultPolicy;
 
     fn rectify_with_faults(faults: FaultPolicy) -> (Circuit, Circuit, RectifyStats) {
         let (mut c, s) = and_or_case();

@@ -9,7 +9,7 @@
 //! for any worker count; only wall-clock changes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// BDD and netlist traversals recurse; give workers a deep stack so a cone
 /// that fits on the (8 MiB) main thread also fits on a worker.
@@ -74,7 +74,11 @@ impl WorkerPool {
                         break;
                     }
                     let result = f(w, i);
-                    slots_ref.lock().unwrap()[i] = Some(result);
+                    // A panic in another worker must not cascade through
+                    // lock poisoning: the slot vector is only ever written
+                    // whole-`Some` under the lock, so its contents stay
+                    // valid even if a holder died.
+                    slots_ref.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(result);
                 });
                 // Spawn failure (resource exhaustion) is not fatal: the work
                 // is still drained by whichever workers did start, or by the
@@ -82,7 +86,7 @@ impl WorkerPool {
                 drop(handle);
             }
         });
-        let mut slots = slots.into_inner().unwrap();
+        let mut slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
         // If thread spawning failed entirely, finish inline.
         for (i, slot) in slots.iter_mut().enumerate() {
             if slot.is_none() {

@@ -20,7 +20,7 @@ use crate::rewire_nets::RewireCandidate;
 use crate::EcoError;
 
 /// One candidate rewire: a rectification point and its chosen net.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CandidateRewire {
     /// The rectification point.
     pub pin: Pin,

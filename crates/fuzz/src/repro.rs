@@ -11,6 +11,7 @@
 //! iteration 204
 //! check oracle:sim-vs-sat
 //! detail sim=different but sat=equivalent on output "o3"
+//! fault abort:commit@1          (optional: chaos-mode fault plan)
 //! --- implementation
 //! .model fuzz
 //! ...
@@ -38,6 +39,11 @@ pub struct Repro {
     pub check: String,
     /// Free-form description of the failure.
     pub detail: String,
+    /// Fault-plan spec active when the failure occurred (chaos mode), in
+    /// the `name@count,...` notation of the engine's `FaultPlan`. `None`
+    /// for plain fuzzing failures; when present, `syseco-fuzz replay`
+    /// (built with `fault-injection`) re-arms the same plan.
+    pub fault: Option<String>,
     /// The (shrunk) implementation.
     pub implementation: Circuit,
     /// The (shrunk) spec.
@@ -57,6 +63,9 @@ pub fn write_repro(repro: &Repro) -> String {
     out.push_str(&format!("iteration {}\n", repro.iteration));
     out.push_str(&format!("check {}\n", sanitize(&repro.check)));
     out.push_str(&format!("detail {}\n", sanitize(&repro.detail)));
+    if let Some(fault) = &repro.fault {
+        out.push_str(&format!("fault {}\n", sanitize(fault)));
+    }
     out.push_str("--- implementation\n");
     out.push_str(&write_blif(&repro.implementation));
     out.push_str("--- spec\n");
@@ -88,6 +97,7 @@ pub fn parse_repro(text: &str) -> Result<Repro, FuzzError> {
     let mut iteration: Option<u64> = None;
     let mut check = String::new();
     let mut detail = String::new();
+    let mut fault: Option<String> = None;
     let mut impl_text = String::new();
     let mut spec_text = String::new();
     // 0 = metadata, 1 = implementation, 2 = spec, 3 = done
@@ -131,6 +141,7 @@ pub fn parse_repro(text: &str) -> Result<Repro, FuzzError> {
                     }
                     "check" => check = value.to_string(),
                     "detail" => detail = value.to_string(),
+                    "fault" => fault = Some(value.to_string()),
                     _ => {
                         return Err(FuzzError::Repro {
                             line,
@@ -167,6 +178,7 @@ pub fn parse_repro(text: &str) -> Result<Repro, FuzzError> {
         iteration: iteration.unwrap_or(0),
         check,
         detail,
+        fault,
         implementation: read_blif(&impl_text)?,
         spec: read_blif(&spec_text)?,
     })
@@ -193,6 +205,7 @@ mod tests {
             iteration: 204,
             check: "oracle:sim-vs-sat".into(),
             detail: "multi\nline detail".into(),
+            fault: None,
             implementation: a,
             spec: b,
         }
@@ -216,6 +229,24 @@ mod tests {
             assert_eq!(parsed.spec.eval(&v).unwrap(), repro.spec.eval(&v).unwrap());
         }
         // A second roundtrip is byte-stable.
+        assert_eq!(write_repro(&parsed), text);
+        // No fault line when no plan was active.
+        assert!(!text.contains("\nfault "));
+        assert_eq!(parsed.fault, None);
+    }
+
+    #[test]
+    fn fault_plan_roundtrips_when_present() {
+        let repro = Repro {
+            fault: Some("abort:commit@2,ckpt-short-write@1".into()),
+            ..sample()
+        };
+        let text = write_repro(&repro);
+        let parsed = parse_repro(&text).unwrap();
+        assert_eq!(
+            parsed.fault.as_deref(),
+            Some("abort:commit@2,ckpt-short-write@1")
+        );
         assert_eq!(write_repro(&parsed), text);
     }
 

@@ -102,6 +102,7 @@ fn injected_oracle_bug_is_detected_and_shrinks_small() {
         iteration: 0,
         check: "oracle:sim-vs-broken-sim".into(),
         detail: "injected Not->Buf evaluator bug".into(),
+        fault: None,
         implementation: outcome.implementation,
         spec: outcome.spec,
     };

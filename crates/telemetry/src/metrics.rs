@@ -81,6 +81,16 @@ metric_enum! {
         CacheVerifyRejects => "cache.verify_reject",
         /// Damaged cache segments skipped on open.
         CacheCorruptSegments => "cache.corrupt_segment",
+        /// Transient cache/checkpoint I/O retries performed.
+        CacheRetries => "cache.retry",
+        /// Cache/checkpoint operations that failed after all retries.
+        CacheIoErrors => "cache.io_error",
+        /// Per-output searches skipped by a checkpoint resume.
+        CheckpointHits => "checkpoint.hit",
+        /// Per-output results persisted to the checkpoint directory.
+        CheckpointWrites => "checkpoint.write",
+        /// Faults fired by an active fault-injection plan.
+        FaultInjections => "fault.injected",
     }
 }
 
@@ -205,13 +215,25 @@ pub(crate) struct Registry {
 impl Registry {
     pub(crate) fn shard(&self) -> MetricsShard {
         let data = Arc::new(ShardData::default());
-        self.shards.lock().unwrap().push(Arc::clone(&data));
+        // Recover from poisoning: the guarded Vec is only ever pushed to,
+        // so a worker that panicked mid-registration cannot have left it
+        // inconsistent — and metrics must stay takeable after a contained
+        // per-output panic.
+        self.shards
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::clone(&data));
         MetricsShard(Some(data))
     }
 
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
-        for shard in self.shards.lock().unwrap().iter() {
+        for shard in self
+            .shards
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             for (i, c) in shard.counters.iter().enumerate() {
                 snap.counters[i] += c.load(Ordering::Relaxed);
             }

@@ -99,3 +99,51 @@ fn injected_worker_panic_degrades_only_that_cone() {
     assert!(verify_rectification(&result.patched, &case.spec).unwrap());
     result.patched.check_well_formed().unwrap();
 }
+
+/// A contained worker panic must not poison the sharded metrics registry
+/// (or any other shared lock): taking a snapshot afterwards works, shows
+/// the run's activity, and the same telemetry handle keeps serving
+/// subsequent runs.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn worker_panic_leaves_metrics_registry_usable() {
+    use syseco::{Budget, FaultPolicy, Session, Telemetry};
+
+    let case = multi_output_case();
+    let telemetry = Telemetry::enabled();
+    let session =
+        Session::new(EcoOptions::builder().seed(0x5EED).jobs(4).build()).with_telemetry(&telemetry);
+    let budget = Budget::unlimited().with_faults(FaultPolicy {
+        panic_at: Some(1),
+        ..FaultPolicy::default()
+    });
+    session
+        .run_with_budget(&case.implementation, &case.spec, &budget)
+        .expect("the panicking cone degrades, the run completes");
+
+    // The registry lock survived the panic: a snapshot both succeeds and
+    // reflects the completed run.
+    let snapshot = session.metrics_snapshot();
+    assert!(
+        snapshot
+            .counters()
+            .any(|(name, value)| name == "rectify.validations" && value > 0),
+        "snapshot shows no search activity after a contained panic"
+    );
+
+    // And a clean follow-up run on the same telemetry handle still works,
+    // registering fresh shards and folding them into the next snapshot.
+    session
+        .run_with_budget(&case.implementation, &case.spec, &Budget::unlimited())
+        .expect("clean run after a contained panic");
+    let after = session.metrics_snapshot();
+    let validations = |s: &syseco::MetricsSnapshot| {
+        s.counters()
+            .find(|(name, _)| *name == "rectify.validations")
+            .map_or(0, |(_, v)| v)
+    };
+    assert!(
+        validations(&after) > validations(&snapshot),
+        "second run's metrics did not land in the registry"
+    );
+}

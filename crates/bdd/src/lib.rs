@@ -42,4 +42,4 @@ mod manager;
 
 pub use cubes::Cube;
 pub use error::BddError;
-pub use manager::{Bdd, BddCounters, BddManager};
+pub use manager::{Bdd, BddCounters, BddManager, OpCacheSizes};

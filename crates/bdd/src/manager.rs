@@ -60,6 +60,11 @@ pub struct BddCounters {
     pub quant_hits: u64,
     /// Quantification-cache misses.
     pub quant_misses: u64,
+    /// Unique-table resize (rehash) events: inserts that grew the table's
+    /// allocated capacity.
+    pub unique_resizes: u64,
+    /// Operation-cache entries dropped by [`BddManager::clear_caches`].
+    pub evictions: u64,
 }
 
 impl BddCounters {
@@ -84,6 +89,28 @@ impl std::ops::AddAssign for BddCounters {
         self.not_misses += rhs.not_misses;
         self.quant_hits += rhs.quant_hits;
         self.quant_misses += rhs.quant_misses;
+        self.unique_resizes += rhs.unique_resizes;
+        self.evictions += rhs.evictions;
+    }
+}
+
+/// Entry counts of a [`BddManager`]'s operation caches at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCacheSizes {
+    /// Apply-cache (AND/OR/XOR) entries.
+    pub apply: usize,
+    /// ITE-cache entries.
+    pub ite: usize,
+    /// NOT-cache entries.
+    pub not: usize,
+    /// Quantification-cache entries.
+    pub quant: usize,
+}
+
+impl OpCacheSizes {
+    /// Total entries across every operation cache.
+    pub fn total(&self) -> usize {
+        self.apply + self.ite + self.not + self.quant
     }
 }
 
@@ -206,7 +233,11 @@ impl BddManager {
         }
         let id = self.nodes.len() as u32;
         self.nodes.push(Node { var, lo, hi });
+        let capacity_before = self.unique.capacity();
         self.unique.insert((var, lo, hi), id);
+        if self.unique.capacity() > capacity_before {
+            self.counters.unique_resizes += 1;
+        }
         // Nodes are never reclaimed today, but peak tracking must survive a
         // future garbage-collection pass, so it is maintained explicitly.
         if self.nodes.len() > self.peak_nodes {
@@ -668,6 +699,10 @@ impl BddManager {
     /// Hit/miss [`counters`](BddManager::counters) are cumulative and are
     /// *not* reset — use [`reset_counters`](BddManager::reset_counters).
     pub fn clear_caches(&mut self) {
+        self.counters.evictions += (self.apply_cache.len()
+            + self.ite_cache.len()
+            + self.not_cache.len()
+            + self.quant_cache.len()) as u64;
         self.apply_cache.clear();
         self.ite_cache.clear();
         self.not_cache.clear();
@@ -699,6 +734,29 @@ impl BddManager {
     #[inline]
     pub fn unique_table_len(&self) -> usize {
         self.unique.len()
+    }
+
+    /// Current entry counts of each operation cache.
+    pub fn op_cache_sizes(&self) -> OpCacheSizes {
+        OpCacheSizes {
+            apply: self.apply_cache.len(),
+            ite: self.ite_cache.len(),
+            not: self.not_cache.len(),
+            quant: self.quant_cache.len(),
+        }
+    }
+
+    /// Live node count per variable level: index `v` holds the number of
+    /// nodes labelled with variable `v` (terminals excluded). The vector
+    /// has [`num_vars`](BddManager::num_vars) entries.
+    pub fn nodes_per_level(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.num_vars as usize];
+        for node in &self.nodes {
+            if node.var != TERMINAL_VAR {
+                levels[node.var as usize] += 1;
+            }
+        }
+        levels
     }
 
     /// Functional composition `f[var := g]`.
@@ -826,6 +884,58 @@ mod tests {
         let peak = m.peak_num_nodes();
         m.clear_caches();
         assert_eq!(m.peak_num_nodes(), peak);
+    }
+
+    #[test]
+    fn cache_clears_count_evictions_and_sizes_report() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let _ = m.xor(a, b).unwrap();
+        let sizes = m.op_cache_sizes();
+        assert!(sizes.apply > 0, "xor populates the apply cache");
+        assert_eq!(
+            sizes.total(),
+            sizes.apply + sizes.ite + sizes.not + sizes.quant
+        );
+        let expected = sizes.total() as u64;
+        m.clear_caches();
+        assert_eq!(m.counters().evictions, expected);
+        assert_eq!(m.op_cache_sizes().total(), 0);
+        // A clear of empty caches evicts nothing further.
+        m.clear_caches();
+        assert_eq!(m.counters().evictions, expected);
+    }
+
+    #[test]
+    fn unique_resizes_are_counted() {
+        let mut m = mgr();
+        // Build a function with enough distinct nodes to force the unique
+        // table through several capacity doublings.
+        let mut f = m.zero();
+        for i in 0..64 {
+            let v = m.var(i);
+            f = m.xor(f, v).unwrap();
+        }
+        assert!(
+            m.counters().unique_resizes > 0,
+            "64-variable parity must grow the unique table"
+        );
+        assert!(m.counters().unique_resizes < m.unique_table_len() as u64);
+    }
+
+    #[test]
+    fn nodes_per_level_counts_every_nonterminal() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b).unwrap();
+        let _ = m.or(ab, c).unwrap();
+        let levels = m.nodes_per_level();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels.iter().sum::<usize>(), m.num_nodes() - 2);
+        assert!(levels.iter().all(|&c| c > 0));
     }
 
     #[test]

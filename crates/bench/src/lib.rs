@@ -7,7 +7,9 @@
 //! * [`tables::table3_rows`] — Table 3: patch gates and post-patch slack,
 //!   DeltaSyn vs syseco (level-driven selection on),
 //! * [`ablation`] — the three ablation studies from DESIGN.md: sampling
-//!   domain size, error-domain vs random samples, level-driven choice.
+//!   domain size, error-domain vs random samples, level-driven choice,
+//! * [`diff`] — BENCH-file regression comparison behind the `bench_diff`
+//!   binary and the CI perf gate (DESIGN.md §14).
 //!
 //! Everything is deterministic; run through the `tables` binary:
 //!
@@ -16,4 +18,5 @@
 //! ```
 
 pub mod ablation;
+pub mod diff;
 pub mod tables;

@@ -9,7 +9,10 @@
 //!                [--cache-dir DIR] [--cache off|ro|rw]
 //!                [--checkpoint-dir DIR]
 //!                [--trace-out FILE] [--metrics-out FILE]
+//!                [--report-out FILE] [--openmetrics-out FILE]
 //!                [--log-format human|json]
+//! syseco report  <trace.jsonl> [--metrics metrics.json] [--out FILE]
+//!                [--wall-clock] [--title STRING]
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for the per-output searches
@@ -33,7 +36,18 @@
 //! default, span-per-line JSONL when `FILE` ends in `.jsonl`.
 //! `--metrics-out FILE` writes the folded metrics registry (SAT conflict
 //! counts, BDD cache hit rates, search/validate timing histograms) as
-//! JSON. Both are `--engine syseco` only.
+//! JSON. `--report-out FILE` renders the deterministic markdown run
+//! report (DESIGN.md §14) directly from the run's spans and metrics.
+//! `--openmetrics-out FILE` writes the metrics registry in OpenMetrics
+//! text exposition format for scrape-style collection. All four are
+//! `--engine syseco` only.
+//!
+//! `syseco report` re-renders the same markdown report offline from a
+//! previously written span JSONL file (`--trace-out FILE.jsonl`) and,
+//! optionally, a metrics JSON file. The default report contains no
+//! wall-clock data, so it is byte-identical for any `--jobs` value and
+//! across checkpoint kill/resume; `--wall-clock` opts into timing
+//! columns.
 //!
 //! Designs are read and written in the BLIF-style format of
 //! [`eco_netlist::io`].
@@ -48,7 +62,9 @@ use eco_netlist::{read_blif, write_blif, Circuit, CircuitStats};
 use syseco::baseline::{cone, deltasyn};
 use syseco::correspond::Correspondence;
 use syseco::error_domain::{classify_outputs, Equivalence};
-use syseco::telemetry::export::{chrome_trace, metrics_json, spans_jsonl};
+use syseco::telemetry::export::{chrome_trace, metrics_json, openmetrics, spans_jsonl};
+use syseco::telemetry::profile::{parse_spans_jsonl, Profile};
+use syseco::telemetry::report::{parse_metrics_json, render, MetricsDoc, ReportOptions};
 use syseco::{Budget, EcoOptions, ProgressEvent, Session, Telemetry};
 
 fn load(path: &str) -> Result<Circuit, String> {
@@ -63,7 +79,10 @@ fn usage() -> ExitCode {
          [--out patched.blif] [--seed N] [--samples N] [--level-driven]\n                 \
          [--timeout SECS] [--jobs N] [--progress]\n                 \
          [--cache-dir DIR] [--cache off|ro|rw] [--checkpoint-dir DIR]\n                 \
-         [--trace-out FILE] [--metrics-out FILE] [--log-format human|json]"
+         [--trace-out FILE] [--metrics-out FILE]\n                 \
+         [--report-out FILE] [--openmetrics-out FILE] [--log-format human|json]\n  \
+         syseco report  <trace.jsonl> [--metrics metrics.json] [--out FILE]\n                 \
+         [--wall-clock] [--title STRING]"
     );
     ExitCode::from(2)
 }
@@ -185,6 +204,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let mut out_path: Option<String> = None;
             let mut trace_out: Option<String> = None;
             let mut metrics_out: Option<String> = None;
+            let mut report_out: Option<String> = None;
+            let mut openmetrics_out: Option<String> = None;
             let mut cache_dir: Option<String> = None;
             let mut checkpoint_dir: Option<String> = None;
             let mut json_log = false;
@@ -214,6 +235,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                             args.get(i + 1)
                                 .cloned()
                                 .ok_or("--metrics-out needs a value")?,
+                        );
+                        i += 2;
+                    }
+                    "--report-out" => {
+                        report_out = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("--report-out needs a value")?,
+                        );
+                        i += 2;
+                    }
+                    "--openmetrics-out" => {
+                        openmetrics_out = Some(
+                            args.get(i + 1)
+                                .cloned()
+                                .ok_or("--openmetrics-out needs a value")?,
                         );
                         i += 2;
                     }
@@ -312,9 +349,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             let options = builder.build();
             let timeout = options.timeout;
-            if (trace_out.is_some() || metrics_out.is_some()) && engine_name != "syseco" {
+            let telemetry_requested = trace_out.is_some()
+                || metrics_out.is_some()
+                || report_out.is_some()
+                || openmetrics_out.is_some();
+            if telemetry_requested && engine_name != "syseco" {
                 return Err(format!(
-                    "--trace-out/--metrics-out require --engine syseco, got {engine_name:?}"
+                    "--trace-out/--metrics-out/--report-out/--openmetrics-out require \
+                     --engine syseco, got {engine_name:?}"
                 ));
             }
             if cache_dir.is_some() && engine_name != "syseco" {
@@ -327,7 +369,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     "--checkpoint-dir requires --engine syseco, got {engine_name:?}"
                 ));
             }
-            let telemetry = if trace_out.is_some() || metrics_out.is_some() {
+            let telemetry = if telemetry_requested {
                 Telemetry::enabled()
             } else {
                 Telemetry::disabled()
@@ -365,6 +407,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 std::fs::write(path, metrics_json(&telemetry.snapshot()))
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("metrics written to {path}");
+            }
+            if let Some(path) = &openmetrics_out {
+                std::fs::write(path, openmetrics(&telemetry.snapshot()))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("openmetrics written to {path}");
+            }
+            if let Some(path) = &report_out {
+                let profile = Profile::from_spans(&result.trace);
+                let doc = MetricsDoc::from(&telemetry.snapshot());
+                let rendered = render(&profile, &doc, &ReportOptions::default());
+                std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("run report written to {path}");
             }
             println!("engine {engine_name} finished in {:?}", result.runtime);
             if cache_dir.is_some() {
@@ -431,6 +485,62 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             } else {
                 ExitCode::SUCCESS
             })
+        }
+        "report" => {
+            if args.len() < 2 {
+                return Ok(usage());
+            }
+            let trace_path = &args[1];
+            let mut metrics_path: Option<String> = None;
+            let mut out_path: Option<String> = None;
+            let mut options = ReportOptions::default();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--metrics" => {
+                        metrics_path =
+                            Some(args.get(i + 1).cloned().ok_or("--metrics needs a value")?);
+                        i += 2;
+                    }
+                    "--out" => {
+                        out_path = Some(args.get(i + 1).cloned().ok_or("--out needs a value")?);
+                        i += 2;
+                    }
+                    "--title" => {
+                        options.title =
+                            Some(args.get(i + 1).cloned().ok_or("--title needs a value")?);
+                        i += 2;
+                    }
+                    "--wall-clock" => {
+                        options.wall_clock = true;
+                        i += 1;
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            let trace_text = std::fs::read_to_string(trace_path)
+                .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+            let spans = parse_spans_jsonl(&trace_text)
+                .map_err(|e| format!("cannot parse {trace_path}: {e}"))?;
+            let profile = Profile::from_owned(spans);
+            let doc = match &metrics_path {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    parse_metrics_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))?
+                }
+                None => MetricsDoc::default(),
+            };
+            let rendered = render(&profile, &doc, &options);
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, rendered)
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!("run report written to {path}");
+                }
+                None => print!("{rendered}"),
+            }
+            Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),
     }

@@ -120,6 +120,12 @@ pub struct RectifyStats {
     pub sat_decisions: u64,
     /// SAT propagations (same scope).
     pub sat_propagations: u64,
+    /// SAT Luby restarts (same scope).
+    pub sat_restarts: u64,
+    /// SAT learnt clauses (same scope).
+    pub sat_learnt_clauses: u64,
+    /// SAT learnt literals across every learnt clause (same scope).
+    pub sat_learnt_literals: u64,
     /// BDD operation-cache hits/misses summed over every per-output manager.
     pub bdd: BddCounters,
     /// Largest node count any single BDD manager reached.
@@ -346,10 +352,16 @@ fn note_sat(stats: &mut RectifyStats, shard: &MetricsShard, s: SolverStats) {
     stats.sat_conflicts += s.conflicts;
     stats.sat_decisions += s.decisions;
     stats.sat_propagations += s.propagations;
+    stats.sat_restarts += s.restarts;
+    stats.sat_learnt_clauses += s.learnt_clauses;
+    stats.sat_learnt_literals += s.learnt_literals;
     if shard.is_enabled() {
         shard.add(Counter::SatConflicts, s.conflicts);
         shard.add(Counter::SatDecisions, s.decisions);
         shard.add(Counter::SatPropagations, s.propagations);
+        shard.add(Counter::SatRestarts, s.restarts);
+        shard.add(Counter::SatLearntClauses, s.learnt_clauses);
+        shard.add(Counter::SatLearntLiterals, s.learnt_literals);
     }
 }
 
@@ -362,6 +374,9 @@ fn flush_search_metrics(shard: &MetricsShard, s: &SearchStats, search: Duration)
     shard.add(Counter::SatConflicts, s.sat.conflicts);
     shard.add(Counter::SatDecisions, s.sat.decisions);
     shard.add(Counter::SatPropagations, s.sat.propagations);
+    shard.add(Counter::SatRestarts, s.sat.restarts);
+    shard.add(Counter::SatLearntClauses, s.sat.learnt_clauses);
+    shard.add(Counter::SatLearntLiterals, s.sat.learnt_literals);
     shard.add(Counter::BddApplyHits, s.bdd.apply_hits);
     shard.add(Counter::BddApplyMisses, s.bdd.apply_misses);
     shard.add(Counter::BddIteHits, s.bdd.ite_hits);
@@ -370,6 +385,8 @@ fn flush_search_metrics(shard: &MetricsShard, s: &SearchStats, search: Duration)
     shard.add(Counter::BddNotMisses, s.bdd.not_misses);
     shard.add(Counter::BddQuantHits, s.bdd.quant_hits);
     shard.add(Counter::BddQuantMisses, s.bdd.quant_misses);
+    shard.add(Counter::BddUniqueResizes, s.bdd.unique_resizes);
+    shard.add(Counter::BddEvictions, s.bdd.evictions);
     shard.add(Counter::RectifyRefinements, s.refinements as u64);
     shard.add(Counter::RectifyValidations, s.validations as u64);
     shard.add(Counter::RectifyPointSets, s.point_sets_tried as u64);
@@ -654,6 +671,9 @@ pub(crate) fn rewire_rectify_with(
         stats.sat_conflicts += r.stats.sat.conflicts;
         stats.sat_decisions += r.stats.sat.decisions;
         stats.sat_propagations += r.stats.sat.propagations;
+        stats.sat_restarts += r.stats.sat.restarts;
+        stats.sat_learnt_clauses += r.stats.sat.learnt_clauses;
+        stats.sat_learnt_literals += r.stats.sat.learnt_literals;
         stats.bdd += r.stats.bdd;
         stats.bdd_peak_nodes = stats.bdd_peak_nodes.max(r.stats.bdd_peak_nodes);
         stats.cache_hits += r.stats.cache_hits;
@@ -858,11 +878,24 @@ pub(crate) fn rewire_rectify_with(
             action,
         });
         tb.end_with(span_commit, "commit", "rectify", || {
-            vec![
+            let mut args = vec![
                 ("output", ArgValue::Str(pair.name.clone())),
                 ("action", ArgValue::Str(action.to_string())),
                 ("degraded", ArgValue::U64(u64::from(degraded))),
-            ]
+            ];
+            if degraded {
+                // The degradation for this output was just pushed; its
+                // reason feeds the run report's narrative.
+                if let Some(d) = stats
+                    .degradations
+                    .iter()
+                    .rev()
+                    .find(|d| d.output == pair.name)
+                {
+                    args.push(("reason", ArgValue::Str(d.reason.to_string())));
+                }
+            }
+            args
         });
         emit(
             observer,

@@ -135,6 +135,12 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Unit propagations performed.
     pub propagations: u64,
+    /// Luby restarts performed.
+    pub restarts: u64,
+    /// Clauses learnt from conflicts (asserting units included).
+    pub learnt_clauses: u64,
+    /// Literals across every learnt clause, after minimization.
+    pub learnt_literals: u64,
 }
 
 impl std::ops::AddAssign for SolverStats {
@@ -142,6 +148,9 @@ impl std::ops::AddAssign for SolverStats {
         self.conflicts += rhs.conflicts;
         self.decisions += rhs.decisions;
         self.propagations += rhs.propagations;
+        self.restarts += rhs.restarts;
+        self.learnt_clauses += rhs.learnt_clauses;
+        self.learnt_literals += rhs.learnt_literals;
     }
 }
 
@@ -173,6 +182,9 @@ pub struct Solver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    restarts: u64,
+    learnt_clauses: u64,
+    learnt_literals: u64,
     seen: Vec<bool>,
     pending_reset: bool,
 }
@@ -212,6 +224,9 @@ impl Solver {
             conflicts: 0,
             decisions: 0,
             propagations: 0,
+            restarts: 0,
+            learnt_clauses: 0,
+            learnt_literals: 0,
             seen: Vec::new(),
             pending_reset: false,
         }
@@ -265,6 +280,9 @@ impl Solver {
             conflicts: self.conflicts,
             decisions: self.decisions,
             propagations: self.propagations,
+            restarts: self.restarts,
+            learnt_clauses: self.learnt_clauses,
+            learnt_literals: self.learnt_literals,
         }
     }
 
@@ -722,6 +740,8 @@ impl Solver {
                     break 'outer SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                self.learnt_clauses += 1;
+                self.learnt_literals += learnt.len() as u64;
                 // Backtracking below the assumption prefix is fine: the
                 // decide step re-installs assumptions in order.
                 self.backtrack(bt);
@@ -751,6 +771,7 @@ impl Solver {
                     conflicts_in_run = 0;
                     luby_index += 1;
                     restart_limit = 64u64 * luby(luby_index);
+                    self.restarts += 1;
                     self.backtrack(assumptions.len() as u32);
                 }
                 continue;
@@ -1042,5 +1063,34 @@ mod tests {
         s.solve(&[]);
         assert!(s.num_decisions() >= 1);
         assert!(s.num_vars() == 3);
+    }
+
+    #[test]
+    fn learnt_and_restart_stats_are_tracked() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let stats = s.stats();
+        assert!(stats.conflicts > 0);
+        assert!(
+            stats.learnt_clauses > 0,
+            "a conflict-driven refutation must learn clauses"
+        );
+        assert!(
+            stats.learnt_literals >= stats.learnt_clauses,
+            "every learnt clause has at least one literal"
+        );
+        assert!(
+            stats.restarts > 0,
+            "php(7,6) needs more than the first 64-conflict Luby run \
+             (saw {} conflicts)",
+            stats.conflicts
+        );
+        // Snapshots fold across solvers.
+        let mut total = SolverStats::default();
+        total += stats;
+        total += stats;
+        assert_eq!(total.learnt_clauses, 2 * stats.learnt_clauses);
+        assert_eq!(total.restarts, 2 * stats.restarts);
     }
 }

@@ -1,0 +1,128 @@
+//! An allocation-counting global allocator hook.
+//!
+//! [`CountingAlloc`] wraps [`System`] and counts allocations, frees, and
+//! bytes through process-global relaxed atomics. It is **opt-in per
+//! binary**: profiling binaries (e.g. `bdd_profile`) install it with
+//! `#[global_allocator]`; the library never does, so production binaries
+//! and the overhead-budget benchmark keep the stock allocator and the
+//! disabled-telemetry no-op guarantee is untouched.
+//!
+//! ```
+//! use eco_telemetry::alloc::{allocation_counts, AllocCounts};
+//! // In a profiling binary:
+//! // #[global_allocator]
+//! // static ALLOC: eco_telemetry::alloc::CountingAlloc =
+//! //     eco_telemetry::alloc::CountingAlloc;
+//! let AllocCounts { allocations, .. } = allocation_counts();
+//! println!("{allocations} allocations so far"); // zero unless installed
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts every allocation.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to System; the counters are relaxed atomics
+// touched outside the allocation itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// A point-in-time reading of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocCounts {
+    /// Allocations (including reallocations) since process start.
+    pub allocations: u64,
+    /// Deallocations since process start.
+    pub deallocations: u64,
+    /// Total bytes requested (not peak, not live).
+    pub bytes_allocated: u64,
+}
+
+impl AllocCounts {
+    /// The counter deltas from `earlier` to `self`.
+    pub fn since(self, earlier: AllocCounts) -> AllocCounts {
+        AllocCounts {
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+            deallocations: self.deallocations.saturating_sub(earlier.deallocations),
+            bytes_allocated: self.bytes_allocated.saturating_sub(earlier.bytes_allocated),
+        }
+    }
+}
+
+/// Reads the current allocation counters. All zero unless a binary has
+/// installed [`CountingAlloc`] as its `#[global_allocator]`.
+pub fn allocation_counts() -> AllocCounts {
+    AllocCounts {
+        allocations: ALLOCATIONS.load(Ordering::Relaxed),
+        deallocations: DEALLOCATIONS.load(Ordering::Relaxed),
+        bytes_allocated: BYTES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_subtract_and_saturate() {
+        let a = AllocCounts {
+            allocations: 10,
+            deallocations: 4,
+            bytes_allocated: 1000,
+        };
+        let b = AllocCounts {
+            allocations: 25,
+            deallocations: 9,
+            bytes_allocated: 1600,
+        };
+        assert_eq!(
+            b.since(a),
+            AllocCounts {
+                allocations: 15,
+                deallocations: 5,
+                bytes_allocated: 600,
+            }
+        );
+        assert_eq!(a.since(b).allocations, 0, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn counting_allocator_counts_through_the_trait() {
+        // Exercise the GlobalAlloc impl directly (without installing it
+        // process-wide, which a test must not do).
+        let before = allocation_counts();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            let p = CountingAlloc.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            CountingAlloc.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+        }
+        let delta = allocation_counts().since(before);
+        assert_eq!(delta.allocations, 2);
+        assert_eq!(delta.deallocations, 1);
+        assert_eq!(delta.bytes_allocated, 64 + 128);
+    }
+}

@@ -115,13 +115,16 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
 ///   "counters": {"sat.conflicts": 123, ...},
 ///   "gauges": {"bdd.peak_nodes": 456, ...},
 ///   "histograms": {
-///     "search.us": {"count": 3, "buckets": [[13, 2], [14, 1]]}
+///     "search.us": {"count": 3, "sum": 18432, "p50": 95.5, "p90": 120.7,
+///                   "p99": 126.4, "buckets": [[13, 2], [14, 1]]}
 ///   }
 /// }
 /// ```
 ///
 /// Histogram buckets are `[bucket_index, count]` pairs over non-empty
-/// buckets only; bucket `b ≥ 1` covers values in `[2^(b-1), 2^b)`.
+/// buckets only; bucket `b ≥ 1` covers values in `[2^(b-1), 2^b)`. `sum`
+/// is the exact sum of observations; `p50`/`p90`/`p99` are log₂-bucket
+/// quantile estimates rendered to one decimal place.
 pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::from("{\n  \"counters\": {");
     for (i, (name, value)) in snapshot.counters().enumerate() {
@@ -148,9 +151,11 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         }
         out.push_str("\n    ");
         push_json_str(&mut out, h.name());
+        let (p50, p90, p99) = snapshot.histogram_percentiles(h);
         out.push_str(&format!(
-            ": {{\"count\": {}, \"buckets\": [",
-            snapshot.histogram_count(h)
+            ": {{\"count\": {}, \"sum\": {}, \"p50\": {p50:.1}, \"p90\": {p90:.1}, \"p99\": {p99:.1}, \"buckets\": [",
+            snapshot.histogram_count(h),
+            snapshot.histogram_sum(h),
         ));
         let buckets = snapshot.histogram_buckets(h);
         let mut first = true;
@@ -167,6 +172,59 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         out.push_str("]}");
     }
     out.push_str("\n  }\n}\n");
+    out
+}
+
+/// An exported metric name in OpenMetrics form: `syseco_` prefix, dots
+/// replaced by underscores (`sat.conflicts` → `syseco_sat_conflicts`).
+pub fn openmetrics_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("syseco_");
+    for c in name.chars() {
+        out.push(if c == '.' { '_' } else { c });
+    }
+    out
+}
+
+/// Renders a metrics snapshot in the OpenMetrics text exposition format —
+/// the scrape format for the planned `syseco-serve` daemon.
+///
+/// Mapping (documented in DESIGN.md §14): every name gets a `syseco_`
+/// prefix with dots replaced by underscores; counters expose
+/// `<name>_total`; gauges expose `<name>`; histograms expose cumulative
+/// `<name>_bucket{le="..."}` series (log₂ bucket `b`'s upper bound is
+/// `2^b − 1`, bucket 0's is `0`), a `+Inf` bucket, `<name>_sum`, and
+/// `<name>_count`. The document ends with the mandatory `# EOF`.
+pub fn openmetrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snapshot.counters() {
+        let om = openmetrics_name(name);
+        out.push_str(&format!("# TYPE {om} counter\n{om}_total {value}\n"));
+    }
+    for (name, value) in snapshot.gauges() {
+        let om = openmetrics_name(name);
+        out.push_str(&format!("# TYPE {om} gauge\n{om} {value}\n"));
+    }
+    for &h in Histogram::ALL {
+        let om = openmetrics_name(h.name());
+        out.push_str(&format!("# TYPE {om} histogram\n"));
+        let buckets = snapshot.histogram_buckets(h);
+        let highest = buckets.iter().rposition(|&c| c != 0);
+        let mut cumulative = 0u64;
+        if let Some(top) = highest {
+            for (b, &count) in buckets.iter().enumerate().take(top + 1) {
+                cumulative += count;
+                let le = if b == 0 { 0 } else { (1u64 << b) - 1 };
+                out.push_str(&format!("{om}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{om}_bucket{{le=\"+Inf\"}} {cum}\n{om}_sum {sum}\n{om}_count {cum}\n",
+            cum = cumulative,
+            sum = snapshot.histogram_sum(h),
+        ));
+    }
+    out.push_str("# EOF\n");
     out
 }
 
@@ -248,10 +306,48 @@ mod tests {
         let out = metrics_json(&t.snapshot());
         assert!(out.contains("\"sat.conflicts\": 9"));
         assert!(out.contains("\"bdd.peak_nodes\": 5"));
-        assert!(out.contains("\"search.us\": {\"count\": 1, \"buckets\": [[7, 1]]}"));
+        // One observation of 100 lands in bucket 7 = [64, 127]; the
+        // quantile estimates interpolate inside that bucket.
+        assert!(out.contains(
+            "\"search.us\": {\"count\": 1, \"sum\": 100, \"p50\": 95.5, \
+             \"p90\": 120.7, \"p99\": 126.4, \"buckets\": [[7, 1]]}"
+        ));
         for c in Counter::ALL {
             assert!(out.contains(c.name()), "missing {}", c.name());
         }
+    }
+
+    #[test]
+    fn openmetrics_names_mangle_dots() {
+        assert_eq!(openmetrics_name("sat.conflicts"), "syseco_sat_conflicts");
+        assert_eq!(openmetrics_name("bdd.apply.hits"), "syseco_bdd_apply_hits");
+    }
+
+    #[test]
+    fn openmetrics_exposes_counters_gauges_histograms_and_eof() {
+        let t = Telemetry::enabled();
+        let shard = t.shard();
+        shard.add(Counter::SatConflicts, 9);
+        shard.gauge_max(Gauge::BddPeakNodes, 5);
+        shard.observe(crate::Histogram::SearchMicros, 100);
+        shard.observe(crate::Histogram::SearchMicros, 3);
+        let out = openmetrics(&t.snapshot());
+        assert!(out.contains("# TYPE syseco_sat_conflicts counter\n"));
+        assert!(out.contains("syseco_sat_conflicts_total 9\n"));
+        assert!(out.contains("# TYPE syseco_bdd_peak_nodes gauge\n"));
+        assert!(out.contains("syseco_bdd_peak_nodes 5\n"));
+        assert!(out.contains("# TYPE syseco_search_us histogram\n"));
+        // 3 is bucket 2 (le 3), 100 is bucket 7 (le 127); series are
+        // cumulative.
+        assert!(out.contains("syseco_search_us_bucket{le=\"3\"} 1\n"));
+        assert!(out.contains("syseco_search_us_bucket{le=\"127\"} 2\n"));
+        assert!(out.contains("syseco_search_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(out.contains("syseco_search_us_sum 103\n"));
+        assert!(out.contains("syseco_search_us_count 2\n"));
+        assert!(out.ends_with("# EOF\n"));
+        // An empty histogram still exposes +Inf/sum/count.
+        assert!(out.contains("syseco_validate_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(out.contains("syseco_validate_us_sum 0\n"));
     }
 
     #[test]

@@ -47,8 +47,13 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod export;
+pub mod json;
 mod metrics;
+pub mod names;
+pub mod profile;
+pub mod report;
 mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsShard, MetricsSnapshot};

@@ -1,6 +1,7 @@
 //! The sharded metrics registry: counters, max-gauges, and log₂
 //! histograms, one shard per thread, folded into a snapshot at run end.
 
+use crate::names;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -10,7 +11,7 @@ use std::sync::{Arc, Mutex};
 pub(crate) const NUM_BUCKETS: usize = 64;
 
 macro_rules! metric_enum {
-    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $label:literal),* $(,)? }) => {
+    ($(#[$doc:meta])* $name:ident { $($(#[$vdoc:meta])* $variant:ident => $label:expr),* $(,)? }) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq)]
         #[repr(usize)]
@@ -36,61 +37,71 @@ metric_enum! {
     /// Monotonic counters folded by summation.
     Counter {
         /// SAT conflicts across every solver the run created.
-        SatConflicts => "sat.conflicts",
+        SatConflicts => names::SAT_CONFLICTS,
         /// SAT decisions.
-        SatDecisions => "sat.decisions",
+        SatDecisions => names::SAT_DECISIONS,
         /// SAT unit propagations.
-        SatPropagations => "sat.propagations",
+        SatPropagations => names::SAT_PROPAGATIONS,
+        /// SAT Luby restarts.
+        SatRestarts => names::SAT_RESTARTS,
+        /// SAT learnt clauses (asserting units included).
+        SatLearntClauses => names::SAT_LEARNT_CLAUSES,
+        /// SAT literals across every learnt clause.
+        SatLearntLiterals => names::SAT_LEARNT_LITERALS,
         /// BDD apply-cache hits.
-        BddApplyHits => "bdd.apply.hits",
+        BddApplyHits => names::BDD_APPLY_HITS,
         /// BDD apply-cache misses.
-        BddApplyMisses => "bdd.apply.misses",
+        BddApplyMisses => names::BDD_APPLY_MISSES,
         /// BDD ITE-cache hits.
-        BddIteHits => "bdd.ite.hits",
+        BddIteHits => names::BDD_ITE_HITS,
         /// BDD ITE-cache misses.
-        BddIteMisses => "bdd.ite.misses",
+        BddIteMisses => names::BDD_ITE_MISSES,
         /// BDD NOT-cache hits.
-        BddNotHits => "bdd.not.hits",
+        BddNotHits => names::BDD_NOT_HITS,
         /// BDD NOT-cache misses.
-        BddNotMisses => "bdd.not.misses",
+        BddNotMisses => names::BDD_NOT_MISSES,
         /// BDD quantification-cache hits.
-        BddQuantHits => "bdd.quant.hits",
+        BddQuantHits => names::BDD_QUANT_HITS,
         /// BDD quantification-cache misses.
-        BddQuantMisses => "bdd.quant.misses",
+        BddQuantMisses => names::BDD_QUANT_MISSES,
+        /// BDD unique-table resize (rehash) events.
+        BddUniqueResizes => names::BDD_UNIQUE_RESIZES,
+        /// BDD operation-cache entries dropped by explicit clears.
+        BddEvictions => names::BDD_EVICTIONS,
         /// Sampling-domain refinements (false positives fed back).
-        RectifyRefinements => "rectify.refinements",
+        RectifyRefinements => names::RECTIFY_REFINEMENTS,
         /// SAT validation calls.
-        RectifyValidations => "rectify.validations",
+        RectifyValidations => names::RECTIFY_VALIDATIONS,
         /// Feasible point-sets examined.
-        RectifyPointSets => "rectify.point_sets",
+        RectifyPointSets => names::RECTIFY_POINT_SETS,
         /// Rewiring choices examined.
-        RectifyChoices => "rectify.choices",
+        RectifyChoices => names::RECTIFY_CHOICES,
         /// Outputs that took the output-rewire fallback.
-        RectifyFallbacks => "rectify.fallbacks",
+        RectifyFallbacks => names::RECTIFY_FALLBACKS,
         /// Outputs rectified through non-trivial rewiring.
-        RectifyRewired => "rectify.rewired",
+        RectifyRewired => names::RECTIFY_REWIRED,
         /// Proposals invalidated by an earlier merge.
-        RectifyMergeConflicts => "rectify.merge_conflicts",
+        RectifyMergeConflicts => names::RECTIFY_MERGE_CONFLICTS,
         /// Degradations recorded (any reason).
-        RectifyDegradations => "rectify.degradations",
+        RectifyDegradations => names::RECTIFY_DEGRADATIONS,
         /// Persistent-cache lookups that found a reusable record.
-        CacheHits => "cache.hit",
+        CacheHits => names::CACHE_HIT,
         /// Persistent-cache lookups that missed.
-        CacheMisses => "cache.miss",
+        CacheMisses => names::CACHE_MISS,
         /// Cached results rejected by re-verification before reuse.
-        CacheVerifyRejects => "cache.verify_reject",
+        CacheVerifyRejects => names::CACHE_VERIFY_REJECT,
         /// Damaged cache segments skipped on open.
-        CacheCorruptSegments => "cache.corrupt_segment",
+        CacheCorruptSegments => names::CACHE_CORRUPT_SEGMENT,
         /// Transient cache/checkpoint I/O retries performed.
-        CacheRetries => "cache.retry",
+        CacheRetries => names::CACHE_RETRY,
         /// Cache/checkpoint operations that failed after all retries.
-        CacheIoErrors => "cache.io_error",
+        CacheIoErrors => names::CACHE_IO_ERROR,
         /// Per-output searches skipped by a checkpoint resume.
-        CheckpointHits => "checkpoint.hit",
+        CheckpointHits => names::CHECKPOINT_HIT,
         /// Per-output results persisted to the checkpoint directory.
-        CheckpointWrites => "checkpoint.write",
+        CheckpointWrites => names::CHECKPOINT_WRITE,
         /// Faults fired by an active fault-injection plan.
-        FaultInjections => "fault.injected",
+        FaultInjections => names::FAULT_INJECTED,
     }
 }
 
@@ -98,9 +109,9 @@ metric_enum! {
     /// High-water marks folded by maximum.
     Gauge {
         /// Peak node count over every BDD manager of the run.
-        BddPeakNodes => "bdd.peak_nodes",
+        BddPeakNodes => names::BDD_PEAK_NODES,
         /// Peak unique-table size over every BDD manager of the run.
-        BddUniqueEntries => "bdd.unique_entries",
+        BddUniqueEntries => names::BDD_UNIQUE_ENTRIES,
     }
 }
 
@@ -108,11 +119,11 @@ metric_enum! {
     /// Log₂-bucketed distributions folded by per-bucket summation.
     Histogram {
         /// Per-output search wall-clock, µs.
-        SearchMicros => "search.us",
+        SearchMicros => names::SEARCH_US,
         /// Per-validation wall-clock, µs.
-        ValidateMicros => "validate.us",
+        ValidateMicros => names::VALIDATE_US,
         /// SAT conflicts spent per validation call.
-        SatConflictsPerCall => "sat.conflicts_per_call",
+        SatConflictsPerCall => names::SAT_CONFLICTS_PER_CALL,
     }
 }
 
@@ -126,6 +137,7 @@ struct ShardData {
     counters: [AtomicU64; NUM_COUNTERS],
     gauges: [AtomicU64; NUM_GAUGES],
     histograms: [[AtomicU64; NUM_BUCKETS]; NUM_HISTOGRAMS],
+    histogram_sums: [AtomicU64; NUM_HISTOGRAMS],
 }
 
 impl Default for ShardData {
@@ -134,6 +146,7 @@ impl Default for ShardData {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            histogram_sums: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -184,11 +197,13 @@ impl MetricsShard {
         }
     }
 
-    /// Records one observation into a histogram's log₂ bucket.
+    /// Records one observation into a histogram's log₂ bucket and its
+    /// exact running sum.
     #[inline]
     pub fn observe(&self, histogram: Histogram, value: u64) {
         if let Some(d) = &self.0 {
             d.histograms[histogram as usize][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            d.histogram_sums[histogram as usize].fetch_add(value, Ordering::Relaxed);
         }
     }
 }
@@ -245,6 +260,9 @@ impl Registry {
                     snap.histograms[i][b] += count.load(Ordering::Relaxed);
                 }
             }
+            for (i, s) in shard.histogram_sums.iter().enumerate() {
+                snap.histogram_sums[i] += s.load(Ordering::Relaxed);
+            }
         }
         snap
     }
@@ -256,6 +274,7 @@ pub struct MetricsSnapshot {
     counters: [u64; NUM_COUNTERS],
     gauges: [u64; NUM_GAUGES],
     histograms: [[u64; NUM_BUCKETS]; NUM_HISTOGRAMS],
+    histogram_sums: [u64; NUM_HISTOGRAMS],
 }
 
 impl Default for MetricsSnapshot {
@@ -264,6 +283,7 @@ impl Default for MetricsSnapshot {
             counters: [0; NUM_COUNTERS],
             gauges: [0; NUM_GAUGES],
             histograms: [[0; NUM_BUCKETS]; NUM_HISTOGRAMS],
+            histogram_sums: [0; NUM_HISTOGRAMS],
         }
     }
 }
@@ -288,6 +308,57 @@ impl MetricsSnapshot {
     /// Total number of observations recorded into one histogram.
     pub fn histogram_count(&self, histogram: Histogram) -> u64 {
         self.histograms[histogram as usize].iter().sum()
+    }
+
+    /// Exact sum of every value observed into one histogram (tracked
+    /// alongside the buckets, not reconstructed from them).
+    pub fn histogram_sum(&self, histogram: Histogram) -> u64 {
+        self.histogram_sums[histogram as usize]
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of one histogram from
+    /// its log₂ buckets, interpolating linearly inside the bucket that
+    /// holds the target rank. Bucket `b ≥ 1` spans `[2^(b-1), 2^b - 1]`;
+    /// bucket 0 is exactly 0. Returns 0.0 for an empty histogram.
+    ///
+    /// The estimate is deterministic (pure integer/f64 arithmetic on the
+    /// folded bucket counts) but coarse by construction: the true value is
+    /// somewhere within the matched power-of-two bucket.
+    pub fn histogram_quantile(&self, histogram: Histogram, q: f64) -> f64 {
+        let buckets = &self.histograms[histogram as usize];
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * count as f64;
+        let mut cumulative = 0u64;
+        for (b, &n) in buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if (next as f64) >= target {
+                if b == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (b - 1)) as f64;
+                let hi = ((1u64 << b) - 1) as f64;
+                let into = (target - cumulative as f64).max(0.0) / n as f64;
+                return lo + into * (hi - lo);
+            }
+            cumulative = next;
+        }
+        0.0
+    }
+
+    /// `(p50, p90, p99)` of one histogram, as estimated by
+    /// [`histogram_quantile`](Self::histogram_quantile).
+    pub fn histogram_percentiles(&self, histogram: Histogram) -> (f64, f64, f64) {
+        (
+            self.histogram_quantile(histogram, 0.50),
+            self.histogram_quantile(histogram, 0.90),
+            self.histogram_quantile(histogram, 0.99),
+        )
     }
 
     /// Whether every metric is zero (nothing was recorded).
@@ -422,5 +493,81 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), total);
         assert!(names.iter().all(|n| n.contains('.')));
+    }
+
+    #[test]
+    fn enum_labels_match_the_documented_registry_exactly() {
+        // The names module is the registry of record; the enums must
+        // export exactly that set, in the same order.
+        let exported: Vec<&str> = Counter::ALL
+            .iter()
+            .map(|c| c.name())
+            .chain(Gauge::ALL.iter().map(|g| g.name()))
+            .chain(Histogram::ALL.iter().map(|h| h.name()))
+            .collect();
+        assert_eq!(exported, names::ALL_METRIC_NAMES);
+    }
+
+    #[test]
+    fn histogram_sums_are_exact_and_fold_across_shards() {
+        let reg = Registry::default();
+        let a = reg.shard();
+        let b = reg.shard();
+        a.observe(Histogram::SearchMicros, 100);
+        a.observe(Histogram::SearchMicros, 23);
+        b.observe(Histogram::SearchMicros, 7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram_sum(Histogram::SearchMicros), 130);
+        assert_eq!(snap.histogram_sum(Histogram::ValidateMicros), 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        let reg = Registry::default();
+        let shard = reg.shard();
+        // Empty histogram: all quantiles are 0.
+        assert_eq!(
+            reg.snapshot()
+                .histogram_quantile(Histogram::SearchMicros, 0.5),
+            0.0
+        );
+        // 100 observations of exactly 64 (bucket 7 = [64, 127]): every
+        // quantile must land inside that bucket's range.
+        for _ in 0..100 {
+            shard.observe(Histogram::SearchMicros, 64);
+        }
+        let snap = reg.snapshot();
+        let (p50, p90, p99) = snap.histogram_percentiles(Histogram::SearchMicros);
+        for p in [p50, p90, p99] {
+            assert!((64.0..=127.0).contains(&p), "estimate {p} outside bucket");
+        }
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn quantiles_rank_across_buckets() {
+        let reg = Registry::default();
+        let shard = reg.shard();
+        // 90 small values (bucket 1, exactly 1) and 10 large (bucket 11,
+        // [1024, 2047]): p50 must sit in the small bucket, p99 in the
+        // large one.
+        for _ in 0..90 {
+            shard.observe(Histogram::SatConflictsPerCall, 1);
+        }
+        for _ in 0..10 {
+            shard.observe(Histogram::SatConflictsPerCall, 1500);
+        }
+        let snap = reg.snapshot();
+        let p50 = snap.histogram_quantile(Histogram::SatConflictsPerCall, 0.50);
+        let p99 = snap.histogram_quantile(Histogram::SatConflictsPerCall, 0.99);
+        assert_eq!(p50, 1.0, "bucket 1 holds only the value 1");
+        assert!((1024.0..=2047.0).contains(&p99), "p99 {p99} must be large");
+        // Zero-only histograms stay at 0 for every quantile.
+        shard.observe(Histogram::ValidateMicros, 0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.histogram_quantile(Histogram::ValidateMicros, 0.99),
+            0.0
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! # On-disk format
 //!
 //! A cache directory holds independent *segment* files named
-//! `seg-<counter:016x>-<pid>.ecc`. Each segment is:
+//! `seg-<counter:016x>-<pid>-<token:08x>.ecc`. Each segment is:
 //!
 //! ```text
 //! magic   7 bytes  b"SYECOCA"
@@ -24,8 +24,26 @@
 //!
 //! Segments are immutable once written: a commit writes every staged record
 //! to a fresh tempfile and renames it into place, so readers never observe
-//! a half-written segment and concurrent writers never clobber each other
-//! (distinct counters or distinct pids produce distinct names).
+//! a half-written segment.
+//!
+//! # Single writer per segment
+//!
+//! The concurrency invariant of the store is *single-writer-per-segment*:
+//! every segment file is produced by exactly one commit of one `Store` and
+//! never modified afterwards. Cross-*process* sharing was always safe (the
+//! pid in the name keeps writers apart); cross-*session* sharing within one
+//! process — many daemon jobs over one cache directory — needs one more
+//! disambiguator, because two in-process stores opened over the same
+//! directory observe the same `next_counter` and the same pid, and would
+//! otherwise rename onto the same segment path, silently discarding one
+//! commit. The guard is a process-global commit token
+//! (`NEXT_COMMIT_TOKEN`) folded into every segment (and tempfile) name:
+//! concurrent commits always land in distinct files, and the lexicographic
+//! scan order (counter, then pid, then token) keeps later-token commits
+//! overriding earlier ones deterministically when they carry the same key.
+//! A store never observes records committed by its neighbours after its own
+//! open — reuse across concurrent sessions is eventual (the next open sees
+//! everything), which the always-re-verify policy upstream makes safe.
 //!
 //! # Corruption is a miss, never an error
 //!
@@ -45,6 +63,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::sig::Sig128;
@@ -58,6 +77,12 @@ const RECORD_HEAD: usize = 1 + 16 + 4;
 /// Refuse to stage or trust absurd payloads (a corrupt len would otherwise
 /// ask for gigabytes).
 const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Process-global commit disambiguator: two stores opened over the same
+/// directory in one process share a pid and may share a counter, so each
+/// commit additionally claims a unique token to keep segment (and
+/// tempfile) names distinct. See "Single writer per segment" above.
+static NEXT_COMMIT_TOKEN: AtomicU64 = AtomicU64::new(0);
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
 /// computed at compile time.
@@ -311,8 +336,13 @@ impl Store {
             let crc = crc32(&bytes[at..]);
             bytes.extend_from_slice(&crc.to_le_bytes());
         }
-        let tmp = self.dir.join(format!(".tmp-{pid}-{counter:016x}"));
-        let fin = self.dir.join(format!("seg-{counter:016x}-{pid}.ecc"));
+        let token = NEXT_COMMIT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{pid}-{counter:016x}-{token:08x}"));
+        let fin = self
+            .dir
+            .join(format!("seg-{counter:016x}-{pid}-{token:08x}.ecc"));
         let (res, used) = self.retry.run(|| {
             // Retrying the pair from the top is safe: `write_file`
             // truncates, so a torn previous attempt is overwritten whole.

@@ -1,0 +1,117 @@
+//! Regression tests for concurrent read-write use of one cache directory
+//! by multiple in-process stores (the daemon's sharing shape, DESIGN.md
+//! §15). The invariant under test is *single-writer-per-segment*: commits
+//! from distinct store sessions must never rename onto the same segment
+//! path, even when the sessions were opened at the same `next_counter`
+//! inside the same process.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+use eco_cache::{fingerprint_words, Store};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("eco-cache-concurrent-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Two stores opened back-to-back observe the same segment counter; before
+/// the per-commit token their commits collided on one file name and the
+/// second rename silently discarded the first commit's records.
+#[test]
+fn same_counter_sessions_commit_to_distinct_segments() {
+    let dir = tmp_dir("samectr");
+    let k1 = fingerprint_words(&[1]);
+    let k2 = fingerprint_words(&[2]);
+    let mut a = Store::open(&dir, false).unwrap();
+    let mut b = Store::open(&dir, false).unwrap();
+    a.put(k1, 1, vec![0xA1; 8]);
+    b.put(k2, 1, vec![0xB2; 8]);
+    a.commit().unwrap();
+    b.commit().unwrap();
+    let segments = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(segments, 2, "each session's commit is its own segment");
+    let fresh = Store::open(&dir, true).unwrap();
+    assert_eq!(fresh.corrupt_segments(), 0);
+    assert_eq!(fresh.get(k1, 1), Some(&[0xA1; 8][..]));
+    assert_eq!(fresh.get(k2, 1), Some(&[0xB2; 8][..]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When two same-counter sessions write the *same* key, the scan order
+/// (counter, pid, commit token) makes the later commit win
+/// deterministically on the next open.
+#[test]
+fn same_key_overrides_resolve_by_commit_order() {
+    let dir = tmp_dir("override");
+    let k = fingerprint_words(&[7]);
+    let mut a = Store::open(&dir, false).unwrap();
+    let mut b = Store::open(&dir, false).unwrap();
+    a.put(k, 1, vec![0xAA]);
+    a.commit().unwrap();
+    b.put(k, 1, vec![0xBB]);
+    b.commit().unwrap();
+    let fresh = Store::open(&dir, true).unwrap();
+    assert_eq!(
+        fresh.get(k, 1),
+        Some(&[0xBB][..]),
+        "the later commit token must override"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Many writer threads, each with its own store session over one
+/// directory, commit concurrently while readers re-open the directory
+/// mid-flight. Every committed record must survive, no segment may be
+/// corrupt, and readers must never error.
+#[test]
+fn concurrent_sessions_share_one_directory_losslessly() {
+    const WRITERS: usize = 4;
+    const ROUNDS: usize = 5;
+    let dir = tmp_dir("threads");
+    Store::open(&dir, false).unwrap(); // create the directory once
+    let barrier = Arc::new(Barrier::new(WRITERS + 1));
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let dir = dir.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut store = Store::open(&dir, false).unwrap();
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let key = fingerprint_words(&[w as u64, round as u64]);
+                    store.put(key, 3, vec![w as u8; round + 1]);
+                    store.commit().unwrap();
+                }
+            });
+        }
+        // A reader racing the writers: opens must never fail and must
+        // never report corruption, whatever subset of segments exists.
+        let reader_dir = dir.clone();
+        let reader_barrier = Arc::clone(&barrier);
+        scope.spawn(move || {
+            reader_barrier.wait();
+            for _ in 0..10 {
+                let store = Store::open(&reader_dir, true).unwrap();
+                assert_eq!(store.corrupt_segments(), 0);
+                assert_eq!(store.io_errors(), 0);
+                std::thread::yield_now();
+            }
+        });
+    });
+    let fresh = Store::open(&dir, true).unwrap();
+    assert_eq!(fresh.corrupt_segments(), 0);
+    for w in 0..WRITERS {
+        for round in 0..ROUNDS {
+            let key = fingerprint_words(&[w as u64, round as u64]);
+            assert_eq!(
+                fresh.get(key, 3),
+                Some(&vec![w as u8; round + 1][..]),
+                "writer {w} round {round} record lost"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,6 +52,14 @@ impl CancelToken {
         Self::default()
     }
 
+    /// A token observing an externally owned flag, for bridging foreign
+    /// cancellation sources into a [`Budget`]. The daemon layer
+    /// ([`crate::serve`]) uses this to propagate a per-job cancel frame —
+    /// whoever stores `true` into the flag cancels the run.
+    pub fn from_shared(flag: Arc<AtomicBool>) -> Self {
+        CancelToken { flag }
+    }
+
     /// Requests cancellation. Idempotent; safe from any thread.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);

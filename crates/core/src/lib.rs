@@ -81,6 +81,7 @@ pub mod rectify;
 pub mod rewire_nets;
 pub mod sampling;
 mod schedule;
+pub mod service;
 mod session;
 pub mod validate;
 
@@ -101,6 +102,14 @@ pub use session::Session;
 /// store behind [`EcoOptions::cache_dir`]. See DESIGN.md §11.
 pub use eco_cache as cache;
 pub use eco_cache::CacheMode;
+
+/// The multi-tenant batch rectification service layer (re-export of the
+/// `eco-serve` crate): framed wire protocol, weighted-fair scheduler,
+/// daemon server, and OpenMetrics endpoint behind the `syseco-serve`
+/// binary. Plug the engine in with [`service::EngineRunner`]. See
+/// DESIGN.md §15.
+pub use eco_serve as serve;
+pub use service::EngineRunner;
 
 /// Structured tracing and metrics (re-export of the `eco-telemetry`
 /// crate): build a [`Telemetry`] hub, attach it with

@@ -1,0 +1,185 @@
+//! The engine side of the daemon (DESIGN.md §15): an
+//! [`eco_serve::JobRunner`] implementation that maps service jobs onto
+//! the [`Session`] API.
+//!
+//! The service crate is engine-agnostic — it ships opaque BLIF text and a
+//! cancel/deadline [`JobControl`] — so this bridge owns the translation:
+//! parse the netlist pair, derive per-job [`EcoOptions`] and a [`Budget`]
+//! from the control block, run the session, and fold the result into a
+//! wire-level [`JobOutcome`]. All jobs share the daemon's base options
+//! (cache directory, checkpoint directory, worker count per job) and its
+//! [`Telemetry`] registry, which is what makes cross-job cache reuse and
+//! the single `/metrics` endpoint work.
+
+use eco_netlist::{read_blif, write_blif};
+use eco_serve::{JobControl, JobOutcome, JobRequest, JobRunner, JobStatus};
+use eco_telemetry::Telemetry;
+
+use crate::budget::{Budget, CancelToken};
+use crate::options::EcoOptions;
+use crate::session::Session;
+
+/// Runs service jobs through the rectification engine.
+///
+/// One `EngineRunner` serves every job of a daemon: per-job state
+/// (options, budget, session) is derived fresh on each call, so the type
+/// is freely shared across worker threads.
+pub struct EngineRunner {
+    base: EcoOptions,
+    telemetry: Telemetry,
+}
+
+impl EngineRunner {
+    /// A runner deriving every job's options from `base` (which carries
+    /// the daemon-wide cache/checkpoint directories and per-job worker
+    /// count) and recording into `telemetry`.
+    pub fn new(base: EcoOptions, telemetry: Telemetry) -> EngineRunner {
+        EngineRunner { base, telemetry }
+    }
+
+    /// The options one job resolves to: the daemon base with the client's
+    /// seed and sample count applied.
+    pub fn job_options(&self, request: &JobRequest) -> EcoOptions {
+        let mut options = self.base.clone();
+        options.seed = request.seed;
+        if request.num_samples > 0 {
+            options.num_samples = request.num_samples as usize;
+        }
+        options
+    }
+}
+
+impl JobRunner for EngineRunner {
+    fn run(&self, request: &JobRequest, control: &JobControl) -> JobOutcome {
+        let implementation = match read_blif(&request.impl_blif) {
+            Ok(c) => c,
+            Err(e) => {
+                return JobOutcome::empty(JobStatus::Failed, format!("bad impl netlist: {e}"))
+            }
+        };
+        let spec = match read_blif(&request.spec_blif) {
+            Ok(c) => c,
+            Err(e) => {
+                return JobOutcome::empty(JobStatus::Failed, format!("bad spec netlist: {e}"))
+            }
+        };
+        let token = CancelToken::from_shared(control.cancel_flag());
+        let budget = match control.deadline() {
+            Some(at) => Budget::with_deadline_at(at),
+            None => Budget::unlimited(),
+        }
+        .with_cancel(&token);
+        let session = Session::new(self.job_options(request)).with_telemetry(&self.telemetry);
+        match session.run_with_budget(&implementation, &spec, &budget) {
+            Ok(result) => {
+                let degradations = &result.rectify.degradations;
+                // A cancelled job may still carry an honest (fully
+                // fallback-rectified) patch; it is reported as Cancelled
+                // for accounting but the patch is not discarded.
+                let status = if control.is_cancelled() {
+                    JobStatus::Cancelled
+                } else if degradations.is_empty() {
+                    JobStatus::Completed
+                } else {
+                    JobStatus::Degraded
+                };
+                let detail = match degradations.len() {
+                    0 => String::new(),
+                    n => format!("{n} degraded output(s); first: {}", degradations[0]),
+                };
+                JobOutcome {
+                    status,
+                    patch_blif: write_blif(&result.patched),
+                    degradations: degradations.len() as u32,
+                    detail,
+                }
+            }
+            Err(e) => JobOutcome::empty(JobStatus::Failed, e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration, Instant};
+
+    const IMPL: &str = ".model impl\n.inputs a b\n.outputs y\n.gate and w a b\n.assign y w\n.end\n";
+    const SPEC: &str = ".model spec\n.inputs a b\n.outputs y\n.gate or w a b\n.assign y w\n.end\n";
+
+    fn request() -> JobRequest {
+        let mut r = JobRequest::new("tenant", IMPL, SPEC);
+        r.seed = 3;
+        r
+    }
+
+    #[test]
+    fn clean_job_completes_with_the_cli_identical_patch() {
+        let runner = EngineRunner::new(EcoOptions::with_seed(3), Telemetry::disabled());
+        let outcome = runner.run(&request(), &JobControl::unbounded());
+        assert_eq!(outcome.status, JobStatus::Completed);
+        assert_eq!(outcome.degradations, 0);
+        // Byte-identity with the direct Session path (the CLI's).
+        let direct = Session::new(EcoOptions::with_seed(3))
+            .run(&read_blif(IMPL).unwrap(), &read_blif(SPEC).unwrap())
+            .unwrap();
+        assert_eq!(outcome.patch_blif, write_blif(&direct.patched));
+    }
+
+    #[test]
+    fn garbage_netlists_fail_without_panicking() {
+        let runner = EngineRunner::new(EcoOptions::default(), Telemetry::disabled());
+        let mut bad = request();
+        bad.impl_blif = "not blif at all".into();
+        let outcome = runner.run(&bad, &JobControl::unbounded());
+        assert_eq!(outcome.status, JobStatus::Failed);
+        assert!(outcome.detail.contains("bad impl netlist"));
+        let mut bad = request();
+        bad.spec_blif = ".model broken\n.names\n".into();
+        let outcome = runner.run(&bad, &JobControl::unbounded());
+        assert_eq!(outcome.status, JobStatus::Failed);
+    }
+
+    #[test]
+    fn pre_cancelled_control_reports_cancelled_with_an_honest_patch() {
+        let runner = EngineRunner::new(EcoOptions::with_seed(3), Telemetry::disabled());
+        let control = JobControl::unbounded();
+        control.cancel_flag().store(true, Ordering::Relaxed);
+        let outcome = runner.run(&request(), &control);
+        assert_eq!(outcome.status, JobStatus::Cancelled);
+        assert!(
+            outcome.degradations > 0,
+            "cancelled work degrades, honestly"
+        );
+        assert!(!outcome.patch_blif.is_empty(), "fallback patch still ships");
+    }
+
+    #[test]
+    fn expired_deadline_degrades_rather_than_hanging() {
+        let runner = EngineRunner::new(EcoOptions::with_seed(3), Telemetry::disabled());
+        let control = JobControl::new(
+            JobControl::unbounded().cancel_flag(),
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        let outcome = runner.run(&request(), &control);
+        assert_eq!(outcome.status, JobStatus::Degraded);
+        assert!(outcome.degradations > 0);
+    }
+
+    #[test]
+    fn client_seed_and_samples_override_the_base_options() {
+        let runner = EngineRunner::new(EcoOptions::with_seed(1), Telemetry::disabled());
+        let mut req = request();
+        req.seed = 99;
+        req.num_samples = 16;
+        let options = runner.job_options(&req);
+        assert_eq!(options.seed, 99);
+        assert_eq!(options.num_samples, 16);
+        req.num_samples = 0;
+        assert_eq!(
+            runner.job_options(&req).num_samples,
+            EcoOptions::default().num_samples
+        );
+    }
+}

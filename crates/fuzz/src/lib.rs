@@ -36,5 +36,5 @@ pub use oracle::{
     OutputPairMap, PortMap, SatOracle, SimOracle, Verdict,
 };
 pub use repro::{parse_repro, write_repro, Repro, REPRO_HEADER};
-pub use scenario::{generate, Scenario, ScenarioConfig};
+pub use scenario::{generate, generate_chain, Scenario, ScenarioConfig};
 pub use shrink::{gate_count, shrink_pair, ShrinkOutcome};

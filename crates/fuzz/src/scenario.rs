@@ -105,6 +105,54 @@ pub fn generate(seed: u64, config: &ScenarioConfig) -> Result<Scenario, FuzzErro
     })
 }
 
+/// Generates a *revision chain*: `len` scenarios sharing one
+/// implementation, whose specs accumulate mutations — revision `i+1`'s
+/// spec is revision `i`'s spec with fresh mutations applied.
+///
+/// This is the incremental-ECO workload shape (DESIGN.md §11): submitting
+/// the chain as consecutive jobs against one shared cache exercises
+/// cross-job reuse, because every revision re-presents the same
+/// implementation cones. Deterministic in `(seed, config, len)`.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_chain(
+    seed: u64,
+    config: &ScenarioConfig,
+    len: usize,
+) -> Result<Vec<Scenario>, FuzzError> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xEC0_C4A1);
+    let params = CaseParams {
+        id: (seed & 0xffff) as u32,
+        name: "fuzz-chain",
+        seed: rng.gen(),
+        input_words: range(&mut rng, config.input_words),
+        width: range(&mut rng, (config.width.0 as usize, config.width.1 as usize)) as u32,
+        logic_signals: range(&mut rng, config.logic_signals),
+        output_words: range(&mut rng, config.output_words),
+        revisions: Vec::new(),
+        heavy_optimization: config.heavy_optimization,
+        aggressive_optimization: false,
+    };
+    let implementation = build_base(&params)?;
+    let mut working = implementation.clone();
+    let mut chain = Vec::with_capacity(len);
+    for _ in 0..len {
+        let count = range(&mut rng, config.mutations);
+        let delta = mutate_n(&mut working, &mut rng, count)?;
+        working.sweep();
+        working.check_well_formed()?;
+        chain.push(Scenario {
+            seed,
+            implementation: implementation.clone(),
+            spec: working.clone(),
+            delta,
+        });
+    }
+    Ok(chain)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +189,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chains_share_the_implementation_and_accumulate_mutations() {
+        let config = ScenarioConfig::default();
+        let chain = generate_chain(5, &config, 4).unwrap();
+        assert_eq!(chain.len(), 4);
+        let impl_text = write_blif(&chain[0].implementation);
+        for revision in &chain {
+            assert_eq!(
+                write_blif(&revision.implementation),
+                impl_text,
+                "every revision re-presents the same implementation"
+            );
+            assert!(!revision.delta.is_empty());
+            revision.spec.check_well_formed().unwrap();
+        }
+        // Determinism: regeneration is byte-identical.
+        let again = generate_chain(5, &config, 4).unwrap();
+        for (a, b) in chain.iter().zip(&again) {
+            assert_eq!(write_blif(&a.spec), write_blif(&b.spec));
+        }
+        // Consecutive revisions differ (mutations accumulated).
+        assert_ne!(write_blif(&chain[0].spec), write_blif(&chain[1].spec));
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! A small blocking client for the framed protocol, used by the
+//! `syseco-load` generator, the CLI smoke tests, and embedders.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{self, FrameError, Message};
+use crate::job::{JobRequest, JobStatus, RejectReason};
+
+/// Client-side failure: transport/codec trouble or a protocol-order
+/// violation by the daemon. Admission rejections are *not* errors — they
+/// are the expected backpressure signal and surface as
+/// [`SubmitReply::Rejected`].
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Frame(FrameError),
+    /// The daemon sent a message that violates the protocol order.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Unexpected(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// Admission outcome of [`Client::submit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitReply {
+    /// Admitted under this job id.
+    Accepted(u64),
+    /// Refused; retry (on `Overloaded`) or give up.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// Daemon-provided detail.
+        detail: String,
+    },
+}
+
+/// Terminal job report as received over the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DoneReport {
+    /// Which job.
+    pub job_id: u64,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Degraded output count.
+    pub degradations: u32,
+    /// Engine wall-clock, µs.
+    pub runtime_us: u64,
+    /// Patch BLIF text.
+    pub patch_blif: String,
+    /// Status detail.
+    pub detail: String,
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one raw message.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        frame::write_message(&mut self.stream, msg)
+    }
+
+    /// Receives one raw message, blocking until a full frame arrives.
+    pub fn recv(&mut self) -> Result<Message, FrameError> {
+        frame::read_message(&mut self.stream)
+    }
+
+    /// Submits a job and waits for the admission reply, skipping any
+    /// interleaved progress frames.
+    pub fn submit(&mut self, request: &JobRequest) -> Result<SubmitReply, ClientError> {
+        self.send(&Message::Submit(request.clone()))?;
+        loop {
+            match self.recv()? {
+                Message::Accepted { job_id } => return Ok(SubmitReply::Accepted(job_id)),
+                Message::Rejected { reason, detail } => {
+                    return Ok(SubmitReply::Rejected { reason, detail })
+                }
+                Message::Progress { .. } => {}
+                other => {
+                    return Err(ClientError::Unexpected(format!(
+                        "kind {} while awaiting admission",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Requests cancellation of an accepted job.
+    pub fn cancel(&mut self, job_id: u64) -> io::Result<()> {
+        self.send(&Message::Cancel { job_id })
+    }
+
+    /// Waits for the `Done` frame of `job_id`, skipping progress frames.
+    ///
+    /// This assumes the connection is used for one job at a time (the
+    /// load generator's shape); a `Done` for a different id is a
+    /// protocol-order error.
+    pub fn wait_done(&mut self, job_id: u64) -> Result<DoneReport, ClientError> {
+        loop {
+            match self.recv()? {
+                Message::Progress { .. } => {}
+                Message::Done {
+                    job_id: done_id,
+                    status,
+                    degradations,
+                    runtime_us,
+                    patch_blif,
+                    detail,
+                } => {
+                    if done_id != job_id {
+                        return Err(ClientError::Unexpected(format!(
+                            "done for job {done_id} while awaiting {job_id}"
+                        )));
+                    }
+                    return Ok(DoneReport {
+                        job_id: done_id,
+                        status,
+                        degradations,
+                        runtime_us,
+                        patch_blif,
+                        detail,
+                    });
+                }
+                other => {
+                    return Err(ClientError::Unexpected(format!(
+                        "kind {} while awaiting done",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Sends a drain request (the frame-level equivalent of SIGTERM).
+    pub fn shutdown_daemon(&mut self) -> io::Result<()> {
+        self.send(&Message::Shutdown)?;
+        self.stream.flush()
+    }
+}

@@ -1,0 +1,609 @@
+//! The framed wire protocol: a length-prefixed, checksummed, versioned
+//! binary codec (DESIGN.md §15).
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame   := magic version kind len payload crc
+//! magic   := "SYES"                  (4 bytes)
+//! version := u8                      (currently 1)
+//! kind    := u8                      (message discriminant, see Message)
+//! len     := u32 LE                  (payload length, <= MAX_PAYLOAD)
+//! payload := len bytes               (kind-specific body)
+//! crc     := u32 LE                  (CRC-32/IEEE over version..payload)
+//! ```
+//!
+//! The checksum covers everything after the magic and before the crc
+//! itself, so a flipped bit anywhere in the header or body is caught.
+//! Inside payloads, integers are little-endian and strings are a `u32`
+//! byte length followed by UTF-8 bytes.
+//!
+//! Every decoding failure is a typed [`FrameError`]; the decoder never
+//! panics on arbitrary input (pinned by the proptests in
+//! `tests/frame_props.rs`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::job::{JobRequest, JobStatus, Priority, RejectReason};
+
+/// Leading frame magic.
+pub const MAGIC: [u8; 4] = *b"SYES";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Hard cap on a frame payload; larger `len` fields are rejected before
+/// any allocation, so a hostile header cannot balloon memory.
+pub const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+/// Fixed bytes before the payload: magic + version + kind + len.
+pub const HEADER_LEN: usize = 10;
+/// Trailing checksum bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// Typed decoding/transport failure. The codec guarantees arbitrary input
+/// maps to one of these — never a panic.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport error.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The buffer ends before the declared frame does.
+    Truncated,
+    /// First four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Version byte this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Checksum mismatch: the frame was corrupted in flight.
+    BadChecksum {
+        /// CRC recomputed over the received bytes.
+        expected: u32,
+        /// CRC carried by the frame trailer.
+        found: u32,
+    },
+    /// Unknown message discriminant.
+    UnknownKind(u8),
+    /// Structurally invalid payload for an otherwise well-formed frame.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v} (speaks {VERSION})")
+            }
+            FrameError::Oversized(n) => {
+                write!(f, "declared payload of {n} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+            FrameError::BadChecksum { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: computed {expected:08x}, frame says {found:08x}"
+                )
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            FrameError::BadPayload(why) => write!(f, "bad payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        FrameError::Io(e)
+    }
+}
+
+/// Every message of the protocol. Discriminants are the wire `kind`
+/// bytes; client→daemon kinds are 1–3, daemon→client kinds are 4–7.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Submit one rectification job (kind 1).
+    Submit(JobRequest),
+    /// Cancel a previously accepted job (kind 2). Idempotent; unknown ids
+    /// are ignored.
+    Cancel {
+        /// Id from the matching [`Message::Accepted`].
+        job_id: u64,
+    },
+    /// Administrative drain request (kind 3): equivalent to SIGTERM, for
+    /// platforms and tests where signals are awkward.
+    Shutdown,
+    /// The job was admitted (kind 4).
+    Accepted {
+        /// Daemon-assigned id, unique for the daemon's lifetime.
+        job_id: u64,
+    },
+    /// The job was refused at admission (kind 5).
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Lifecycle progress for an accepted job (kind 6).
+    Progress {
+        /// Which job.
+        job_id: u64,
+        /// Stage label (`queued`, `running`, ...).
+        stage: String,
+    },
+    /// Terminal outcome for an accepted job (kind 7).
+    Done {
+        /// Which job.
+        job_id: u64,
+        /// Terminal status.
+        status: JobStatus,
+        /// Degraded output count.
+        degradations: u32,
+        /// Engine wall-clock in microseconds (0 if the engine never ran).
+        runtime_us: u64,
+        /// Patch BLIF text (empty unless completed/degraded).
+        patch_blif: String,
+        /// Status detail.
+        detail: String,
+    },
+}
+
+impl Message {
+    /// Wire discriminant.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Submit(_) => 1,
+            Message::Cancel { .. } => 2,
+            Message::Shutdown => 3,
+            Message::Accepted { .. } => 4,
+            Message::Rejected { .. } => 5,
+            Message::Progress { .. } => 6,
+            Message::Done { .. } => 7,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32/IEEE (same polynomial as eco-cache's segment checksums)
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32/IEEE over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::BadPayload("payload ends early"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadPayload("string is not UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::BadPayload("trailing bytes after message"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message body codec
+// ---------------------------------------------------------------------
+
+fn encode_body(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::Submit(req) => {
+            put_str(&mut out, &req.client);
+            out.push(req.priority as u8);
+            put_u32(&mut out, req.weight);
+            put_u64(&mut out, req.deadline_ms);
+            put_u64(&mut out, req.seed);
+            put_u32(&mut out, req.num_samples);
+            put_str(&mut out, &req.impl_blif);
+            put_str(&mut out, &req.spec_blif);
+            put_str(&mut out, &req.tag);
+        }
+        Message::Cancel { job_id } => put_u64(&mut out, *job_id),
+        Message::Shutdown => {}
+        Message::Accepted { job_id } => put_u64(&mut out, *job_id),
+        Message::Rejected { reason, detail } => {
+            out.push(*reason as u8);
+            put_str(&mut out, detail);
+        }
+        Message::Progress { job_id, stage } => {
+            put_u64(&mut out, *job_id);
+            put_str(&mut out, stage);
+        }
+        Message::Done {
+            job_id,
+            status,
+            degradations,
+            runtime_us,
+            patch_blif,
+            detail,
+        } => {
+            put_u64(&mut out, *job_id);
+            out.push(*status as u8);
+            put_u32(&mut out, *degradations);
+            put_u64(&mut out, *runtime_us);
+            put_str(&mut out, patch_blif);
+            put_str(&mut out, detail);
+        }
+    }
+    out
+}
+
+fn decode_body(kind: u8, payload: &[u8]) -> Result<Message, FrameError> {
+    let mut r = Reader::new(payload);
+    let msg = match kind {
+        1 => {
+            let client = r.str()?;
+            let priority =
+                Priority::from_u8(r.u8()?).ok_or(FrameError::BadPayload("unknown priority"))?;
+            let weight = r.u32()?;
+            let deadline_ms = r.u64()?;
+            let seed = r.u64()?;
+            let num_samples = r.u32()?;
+            let impl_blif = r.str()?;
+            let spec_blif = r.str()?;
+            let tag = r.str()?;
+            Message::Submit(JobRequest {
+                client,
+                priority,
+                weight,
+                deadline_ms,
+                seed,
+                num_samples,
+                impl_blif,
+                spec_blif,
+                tag,
+            })
+        }
+        2 => Message::Cancel { job_id: r.u64()? },
+        3 => Message::Shutdown,
+        4 => Message::Accepted { job_id: r.u64()? },
+        5 => {
+            let reason = RejectReason::from_u8(r.u8()?)
+                .ok_or(FrameError::BadPayload("unknown reject reason"))?;
+            let detail = r.str()?;
+            Message::Rejected { reason, detail }
+        }
+        6 => {
+            let job_id = r.u64()?;
+            let stage = r.str()?;
+            Message::Progress { job_id, stage }
+        }
+        7 => {
+            let job_id = r.u64()?;
+            let status =
+                JobStatus::from_u8(r.u8()?).ok_or(FrameError::BadPayload("unknown job status"))?;
+            let degradations = r.u32()?;
+            let runtime_us = r.u64()?;
+            let patch_blif = r.str()?;
+            let detail = r.str()?;
+            Message::Done {
+                job_id,
+                status,
+                degradations,
+                runtime_us,
+                patch_blif,
+                detail,
+            }
+        }
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------
+
+/// Encodes one message as a complete frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let body = encode_body(msg);
+    debug_assert!(body.len() as u64 <= MAX_PAYLOAD as u64);
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(msg.kind());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// `Ok((msg, consumed))` on success. [`FrameError::Truncated`] means "keep
+/// reading" — the buffer holds a valid prefix of an incomplete frame.
+/// Every other error is fatal for the stream: framing is lost or the peer
+/// speaks a different protocol.
+pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), FrameError> {
+    if buf.len() < 4 {
+        if MAGIC.starts_with(buf) {
+            return Err(FrameError::Truncated);
+        }
+        let mut m = [0u8; 4];
+        m[..buf.len()].copy_from_slice(buf);
+        return Err(FrameError::BadMagic(m));
+    }
+    if buf[..4] != MAGIC {
+        return Err(FrameError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+    }
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated);
+    }
+    let version = buf[4];
+    if version != VERSION {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let kind = buf[5];
+    let len = u32::from_le_bytes([buf[6], buf[7], buf[8], buf[9]]);
+    // Oversize is checked before completeness so a hostile length field
+    // is refused without waiting for (or allocating) the claimed bytes.
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let crc_off = HEADER_LEN + len as usize;
+    let found = u32::from_le_bytes([
+        buf[crc_off],
+        buf[crc_off + 1],
+        buf[crc_off + 2],
+        buf[crc_off + 3],
+    ]);
+    let expected = crc32(&buf[4..crc_off]);
+    if expected != found {
+        return Err(FrameError::BadChecksum { expected, found });
+    }
+    let msg = decode_body(kind, &buf[HEADER_LEN..crc_off])?;
+    Ok((msg, total))
+}
+
+/// Writes one complete frame to `w`.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    w.write_all(&encode_frame(msg))?;
+    w.flush()
+}
+
+/// Reads exactly one frame from `r`, blocking until it is complete.
+///
+/// Returns [`FrameError::Closed`] on clean EOF at a frame boundary and
+/// [`FrameError::Truncated`] on EOF inside a frame.
+pub fn read_message(r: &mut impl Read) -> Result<Message, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Err(FrameError::Closed),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if header[..4] != MAGIC {
+        return Err(FrameError::BadMagic([
+            header[0], header[1], header[2], header[3],
+        ]));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::UnsupportedVersion(header[4]));
+    }
+    let len = u32::from_le_bytes([header[6], header[7], header[8], header[9]]);
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut rest = vec![0u8; len as usize + TRAILER_LEN];
+    r.read_exact(&mut rest).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    let mut frame = Vec::with_capacity(HEADER_LEN + rest.len());
+    frame.extend_from_slice(&header);
+    frame.extend_from_slice(&rest);
+    decode_frame(&frame).map(|(msg, _)| msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_submit() -> Message {
+        Message::Submit(JobRequest {
+            client: "tenant-a".into(),
+            priority: Priority::High,
+            weight: 3,
+            deadline_ms: 1500,
+            seed: 42,
+            num_samples: 64,
+            impl_blif: ".model a\n.end\n".into(),
+            spec_blif: ".model b\n.end\n".into(),
+            tag: "rev-7".into(),
+        })
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        let msgs = [
+            sample_submit(),
+            Message::Cancel { job_id: 9 },
+            Message::Shutdown,
+            Message::Accepted { job_id: 11 },
+            Message::Rejected {
+                reason: RejectReason::Overloaded,
+                detail: "lane full".into(),
+            },
+            Message::Progress {
+                job_id: 11,
+                stage: "running".into(),
+            },
+            Message::Done {
+                job_id: 11,
+                status: JobStatus::Degraded,
+                degradations: 2,
+                runtime_us: 12345,
+                patch_blif: ".model p\n.end\n".into(),
+                detail: "deadline".into(),
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_frame(&msg);
+            let (back, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(back, msg);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decode_consumes_one_frame_from_a_pipelined_buffer() {
+        let mut buf = encode_frame(&Message::Shutdown);
+        let first_len = buf.len();
+        buf.extend_from_slice(&encode_frame(&Message::Cancel { job_id: 1 }));
+        let (msg, used) = decode_frame(&buf).unwrap();
+        assert_eq!(msg, Message::Shutdown);
+        assert_eq!(used, first_len);
+        let (msg2, _) = decode_frame(&buf[used..]).unwrap();
+        assert_eq!(msg2, Message::Cancel { job_id: 1 });
+    }
+
+    #[test]
+    fn corrupted_byte_is_a_checksum_error() {
+        let mut bytes = encode_frame(&sample_submit());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match decode_frame(&bytes) {
+            Err(FrameError::BadChecksum { .. }) | Err(FrameError::BadPayload(_)) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_version_is_typed() {
+        let mut bytes = encode_frame(&Message::Shutdown);
+        bytes[4] = 2;
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_completeness() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(3);
+        bytes.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal HTTP/1.1 endpoint for observability: `GET /metrics`
+//! (OpenMetrics scrape of the shared registry) and `GET /healthz`.
+//!
+//! This is deliberately not a web server: one thread, one request per
+//! connection, `Connection: close`, a 4 KiB request cap, and only the two
+//! read-only routes a scraper and a liveness probe need.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use eco_telemetry::{export, Telemetry};
+
+use crate::sched::Scheduler;
+
+const MAX_REQUEST: usize = 4 * 1024;
+
+/// Accept loop: serves scrape/probe requests until `shutdown` is set.
+/// `listener` must already be non-blocking; `poll` bounds shutdown
+/// latency.
+pub fn serve(
+    listener: &TcpListener,
+    telemetry: &Telemetry,
+    scheduler: &Scheduler,
+    shutdown: &AtomicBool,
+    poll: Duration,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => handle(stream, telemetry, scheduler, poll),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(poll),
+        }
+    }
+}
+
+fn handle(mut stream: TcpStream, telemetry: &Telemetry, scheduler: &Scheduler, poll: Duration) {
+    if stream
+        .set_read_timeout(Some(poll.max(Duration::from_millis(100))))
+        .is_err()
+    {
+        return;
+    }
+    // Read until the header terminator (we never accept bodies).
+    let mut req = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&chunk[..n]);
+                if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > MAX_REQUEST {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = match std::str::from_utf8(&req) {
+        Ok(text) => text.lines().next().unwrap_or(""),
+        Err(_) => "",
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            export::openmetrics(&telemetry.snapshot()),
+        ),
+        ("GET", "/healthz") => {
+            let (queued, active) = scheduler.depth();
+            (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                format!(
+                    "ok queued={queued} active={active} draining={}\n",
+                    scheduler.is_draining()
+                ),
+            )
+        }
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET\n".into(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}

@@ -1,0 +1,278 @@
+//! The job model shared by the wire protocol, the scheduler, and the
+//! engine bridge.
+//!
+//! `eco-serve` is deliberately engine-agnostic: it knows nothing about
+//! netlists, SAT, or BDDs. A job is a pair of opaque BLIF strings plus
+//! service options; the engine is plugged in through the [`JobRunner`]
+//! trait, which `syseco` implements over its `Session` API. This keeps the
+//! dependency arrow pointing from the engine crate to the service crate
+//! (so `syseco::serve` can re-export this crate) rather than the reverse.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Scheduler lane a job is admitted into. Lower value = served first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive lane, always served first.
+    High = 0,
+    /// Default lane.
+    Normal = 1,
+    /// Batch lane; served when the others are empty, plus a guaranteed
+    /// anti-starvation share (see `sched`).
+    Low = 2,
+}
+
+impl Priority {
+    /// Decodes a wire byte.
+    pub fn from_u8(raw: u8) -> Option<Priority> {
+        match raw {
+            0 => Some(Priority::High),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// Lane index (0 = high, 2 = low).
+    pub fn lane(self) -> usize {
+        self as usize
+    }
+}
+
+/// Terminal state of a job. Every admitted job resolves to exactly one of
+/// these; the daemon's accounting invariant is
+/// `admitted = completed + degraded + cancelled + expired + failed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Clean rectification: every failing output patched, zero
+    /// degradations, patch verified.
+    Completed = 0,
+    /// Patch produced, but at least one output took a degradation
+    /// fallback (deadline pressure, cancellation mid-run, or overload
+    /// shedding). The patch is still honest — degraded outputs are
+    /// reported, not hidden.
+    Degraded = 1,
+    /// Cancelled by a client `Cancel` frame or by daemon drain before the
+    /// engine produced anything useful.
+    Cancelled = 2,
+    /// The client deadline passed while the job was still queued; the
+    /// engine never ran.
+    Expired = 3,
+    /// The engine returned an error (for example an unparsable netlist)
+    /// or panicked; the worker survives and reports the failure.
+    Failed = 4,
+}
+
+impl JobStatus {
+    /// Decodes a wire byte.
+    pub fn from_u8(raw: u8) -> Option<JobStatus> {
+        match raw {
+            0 => Some(JobStatus::Completed),
+            1 => Some(JobStatus::Degraded),
+            2 => Some(JobStatus::Cancelled),
+            3 => Some(JobStatus::Expired),
+            4 => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (used in `Done` detail strings and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Degraded => "degraded",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Expired => "expired",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Why an admission attempt was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The target lane's bounded queue is full; retry with backoff.
+    Overloaded = 0,
+    /// The daemon is draining and accepts no new work.
+    ShuttingDown = 1,
+    /// The request itself is malformed (empty netlist, zero weight after
+    /// clamping, unknown priority...).
+    Invalid = 2,
+}
+
+impl RejectReason {
+    /// Decodes a wire byte.
+    pub fn from_u8(raw: u8) -> Option<RejectReason> {
+        match raw {
+            0 => Some(RejectReason::Overloaded),
+            1 => Some(RejectReason::ShuttingDown),
+            2 => Some(RejectReason::Invalid),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::Overloaded => "overloaded",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::Invalid => "invalid",
+        }
+    }
+}
+
+/// One rectification job as submitted by a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Tenant identity; weighted fair queuing shares lane capacity across
+    /// distinct client names.
+    pub client: String,
+    /// Scheduler lane.
+    pub priority: Priority,
+    /// Fair-queuing weight, clamped to `1..=`[`MAX_WEIGHT`]. A client
+    /// with weight 2 receives twice the lane share of a weight-1 client.
+    pub weight: u32,
+    /// Client deadline in milliseconds from admission; `0` means "use the
+    /// daemon default". The engine budget is derived from this and may be
+    /// shrunk further by the overload-shedding ladder.
+    pub deadline_ms: u64,
+    /// Engine sampling seed.
+    pub seed: u64,
+    /// Engine sample count per failing output (`0` = engine default).
+    pub num_samples: u32,
+    /// The erroneous implementation netlist (BLIF text).
+    pub impl_blif: String,
+    /// The golden specification netlist (BLIF text).
+    pub spec_blif: String,
+    /// Free-form client tag echoed in progress/done frames (scenario id,
+    /// revision number...).
+    pub tag: String,
+}
+
+/// Upper bound for [`JobRequest::weight`]; larger values are clamped.
+pub const MAX_WEIGHT: u32 = 64;
+
+impl JobRequest {
+    /// A minimal valid request for `client` over the given netlist pair,
+    /// with normal priority, weight 1 and no explicit deadline.
+    pub fn new(
+        client: impl Into<String>,
+        impl_blif: impl Into<String>,
+        spec_blif: impl Into<String>,
+    ) -> JobRequest {
+        JobRequest {
+            client: client.into(),
+            priority: Priority::Normal,
+            weight: 1,
+            deadline_ms: 0,
+            seed: 1,
+            num_samples: 0,
+            impl_blif: impl_blif.into(),
+            spec_blif: spec_blif.into(),
+            tag: String::new(),
+        }
+    }
+
+    /// Weight after clamping to the documented `1..=`[`MAX_WEIGHT`] range.
+    pub fn effective_weight(&self) -> u32 {
+        self.weight.clamp(1, MAX_WEIGHT)
+    }
+
+    /// Cheap structural validation at admission; returns a reason string
+    /// on failure (mapped to `Rejected{Invalid}` by the server).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.client.is_empty() {
+            return Err("empty client name");
+        }
+        if self.impl_blif.is_empty() || self.spec_blif.is_empty() {
+            return Err("empty netlist");
+        }
+        Ok(())
+    }
+}
+
+/// Cancellation + deadline handle threaded from the scheduler into the
+/// engine bridge. The flag is shared with the admission-side cancel map,
+/// so a client `Cancel` frame (or drain) flips it while the engine runs.
+#[derive(Clone, Debug)]
+pub struct JobControl {
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl JobControl {
+    /// A control block over an existing shared flag.
+    pub fn new(cancel: Arc<AtomicBool>, deadline: Option<Instant>) -> JobControl {
+        JobControl { cancel, deadline }
+    }
+
+    /// A detached control block (tests, direct runner calls).
+    pub fn unbounded() -> JobControl {
+        JobControl {
+            cancel: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// The shared cancellation flag; the engine bridge adapts this into
+    /// its own cancel-token type.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// The (possibly shed-shrunk) absolute engine deadline.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// What the engine produced for one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// Terminal status.
+    pub status: JobStatus,
+    /// The rectification patch as BLIF text (empty unless `Completed` or
+    /// `Degraded`).
+    pub patch_blif: String,
+    /// Number of degraded outputs (0 for `Completed`).
+    pub degradations: u32,
+    /// Human-readable detail (error message, degradation reasons...).
+    pub detail: String,
+}
+
+impl JobOutcome {
+    /// An outcome with no patch, for non-running terminal states.
+    pub fn empty(status: JobStatus, detail: impl Into<String>) -> JobOutcome {
+        JobOutcome {
+            status,
+            patch_blif: String::new(),
+            degradations: 0,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The engine plug-in point. `syseco` implements this over its `Session`
+/// API; tests implement it with stubs (sleep loops, panics, echoes).
+///
+/// Contract: `run` must honor `control` — poll [`JobControl::is_cancelled`]
+/// and respect [`JobControl::deadline`] by degrading rather than running
+/// long — and must not panic for malformed input (return
+/// [`JobStatus::Failed`] instead). The server still wraps every call in a
+/// panic guard so one bad job can never take down a worker.
+pub trait JobRunner: Send + Sync + 'static {
+    /// Runs one rectification job to a terminal outcome.
+    fn run(&self, request: &JobRequest, control: &JobControl) -> JobOutcome;
+}

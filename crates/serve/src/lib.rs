@@ -1,0 +1,76 @@
+//! `eco-serve`: the multi-tenant batch rectification service layer
+//! (DESIGN.md §15), re-exported by the engine crate as `syseco::serve`.
+//!
+//! The daemon shape: clients speak a length-prefixed, checksummed,
+//! versioned binary protocol ([`frame`]) over TCP; admitted jobs flow
+//! through a bounded, weighted-fair, overload-shedding scheduler
+//! ([`sched`]); engine workers run them through the pluggable
+//! [`JobRunner`] and report terminal outcomes; one shared telemetry
+//! registry backs a `GET /metrics` OpenMetrics endpoint ([`http`]).
+//!
+//! The crate is engine-agnostic on purpose — it depends only on
+//! `eco-telemetry` — so the dependency arrow points from the engine to
+//! the service layer and the whole stack stays free of external
+//! dependencies. The engine crate plugs its `Session` API in through
+//! [`JobRunner`] and hosts the `syseco-serve` / `syseco-load` binaries.
+//!
+//! # Embedding example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use eco_serve::{
+//!     Client, JobControl, JobOutcome, JobRequest, JobRunner, JobStatus,
+//!     Server, ServerConfig, SubmitReply,
+//! };
+//!
+//! struct Echo;
+//! impl JobRunner for Echo {
+//!     fn run(&self, req: &JobRequest, _ctl: &JobControl) -> JobOutcome {
+//!         JobOutcome {
+//!             status: JobStatus::Completed,
+//!             patch_blif: req.impl_blif.clone(),
+//!             degradations: 0,
+//!             detail: String::new(),
+//!         }
+//!     }
+//! }
+//!
+//! let server = Server::bind(
+//!     ServerConfig::default(),
+//!     Arc::new(Echo),
+//!     eco_telemetry::Telemetry::enabled(),
+//! )
+//! .unwrap();
+//! let addr = server.addr().unwrap();
+//! let stop = server.shutdown_handle();
+//! let daemon = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let req = JobRequest::new("tenant", ".model a\n.end\n", ".model b\n.end\n");
+//! let SubmitReply::Accepted(id) = client.submit(&req).unwrap() else {
+//!     panic!("rejected");
+//! };
+//! let done = client.wait_done(id).unwrap();
+//! assert_eq!(done.status, JobStatus::Completed);
+//!
+//! stop.store(true, std::sync::atomic::Ordering::Relaxed);
+//! daemon.join().unwrap().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod http;
+mod job;
+pub mod sched;
+mod server;
+
+mod client;
+
+pub use client::{Client, ClientError, DoneReport, SubmitReply};
+pub use frame::{FrameError, Message};
+pub use job::{
+    JobControl, JobOutcome, JobRequest, JobRunner, JobStatus, Priority, RejectReason, MAX_WEIGHT,
+};
+pub use sched::{ReplySink, Scheduler, SchedulerConfig};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,231 @@
+//! Property tests for the frame codec (ISSUE 9 satellite): roundtrip,
+//! truncation, oversized lengths, checksum corruption, and cross-version
+//! headers all resolve to typed [`FrameError`]s — never a panic, never a
+//! silently wrong message.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use eco_serve::frame::{
+    crc32, decode_frame, encode_frame, FrameError, HEADER_LEN, MAGIC, MAX_PAYLOAD, TRAILER_LEN,
+    VERSION,
+};
+use eco_serve::{JobRequest, JobStatus, Message, Priority, RejectReason};
+
+fn arb_string() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..64).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| char::from(b'a' + (b % 26)))
+            .collect()
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = JobRequest> {
+    (
+        (arb_string(), 0u8..3),
+        (any::<u32>(), any::<u64>()),
+        (any::<u64>(), 0u32..1024),
+        arb_string(),
+        arb_string(),
+        arb_string(),
+    )
+        .prop_map(
+            |((client, pri), (weight, deadline_ms), (seed, num_samples), imp, spec, tag)| {
+                JobRequest {
+                    client,
+                    priority: Priority::from_u8(pri).unwrap(),
+                    weight,
+                    deadline_ms,
+                    seed,
+                    num_samples,
+                    impl_blif: imp,
+                    spec_blif: spec,
+                    tag,
+                }
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_request().prop_map(Message::Submit),
+        any::<u64>().prop_map(|job_id| Message::Cancel { job_id }),
+        Just(Message::Shutdown),
+        any::<u64>().prop_map(|job_id| Message::Accepted { job_id }),
+        (0u8..3, arb_string()).prop_map(|(r, detail)| Message::Rejected {
+            reason: RejectReason::from_u8(r).unwrap(),
+            detail,
+        }),
+        (any::<u64>(), arb_string())
+            .prop_map(|(job_id, stage)| Message::Progress { job_id, stage }),
+        (
+            any::<u64>(),
+            0u8..5,
+            any::<u32>(),
+            any::<u64>(),
+            arb_string(),
+            arb_string()
+        )
+            .prop_map(
+                |(job_id, status, degradations, runtime_us, patch_blif, detail)| {
+                    Message::Done {
+                        job_id,
+                        status: JobStatus::from_u8(status).unwrap(),
+                        degradations,
+                        runtime_us,
+                        patch_blif,
+                        detail,
+                    }
+                }
+            ),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity and consumes exactly the frame.
+    #[test]
+    fn roundtrip_is_identity(msg in arb_message()) {
+        let bytes = encode_frame(&msg);
+        let (back, used) = decode_frame(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` (keep reading),
+    /// except sub-magic prefixes that cannot yet prove themselves frames.
+    #[test]
+    fn every_prefix_is_truncated(msg in arb_message(), cut in 0usize..4096) {
+        let bytes = encode_frame(&msg);
+        let cut = cut % bytes.len();
+        match decode_frame(&bytes[..cut]) {
+            Err(FrameError::Truncated) => {}
+            Err(FrameError::BadMagic(_)) => prop_assert!(
+                cut < MAGIC.len(),
+                "BadMagic is only allowed before the magic completes (cut={})", cut
+            ),
+            other => {
+                return Err(format!("prefix of len {cut} gave {other:?}"));
+            }
+        }
+    }
+
+    /// A length field beyond the cap is refused before the payload is
+    /// awaited (or allocated), whatever the rest of the bytes say.
+    #[test]
+    fn oversized_length_is_refused(kind in any::<u8>(), extra in any::<u32>()) {
+        let len = MAX_PAYLOAD + 1 + (extra % 1024);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(kind);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        prop_assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Oversized(n)) if n == len
+        ));
+    }
+
+    /// Flipping any bit after the magic is caught: checksum, payload
+    /// validation, or a typed header error — never an accepted frame with
+    /// different content, never a panic.
+    #[test]
+    fn corruption_never_yields_a_different_message(
+        msg in arb_message(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let clean = encode_frame(&msg);
+        let mut bytes = clean.clone();
+        let pos = MAGIC.len() + pos % (bytes.len() - MAGIC.len());
+        bytes[pos] ^= 1 << bit;
+        match decode_frame(&bytes) {
+            Ok((back, _)) => prop_assert_eq!(
+                back, msg,
+                "corrupt frame decoded to a different message"
+            ),
+            Err(
+                FrameError::BadChecksum { .. }
+                | FrameError::Truncated
+                | FrameError::Oversized(_)
+                | FrameError::UnsupportedVersion(_)
+                | FrameError::UnknownKind(_)
+                | FrameError::BadPayload(_),
+            ) => {}
+            Err(other) => {
+                return Err(format!("unexpected error class {other:?}"));
+            }
+        }
+    }
+
+    /// Any foreign version byte is `UnsupportedVersion`, reported before
+    /// the checksum is even consulted.
+    #[test]
+    fn cross_version_header_is_typed(msg in arb_message(), version in any::<u8>()) {
+        let mut bytes = encode_frame(&msg);
+        bytes[4] = version;
+        if version == VERSION {
+            prop_assert!(decode_frame(&bytes).is_ok());
+        } else {
+            prop_assert!(matches!(
+                decode_frame(&bytes),
+                Err(FrameError::UnsupportedVersion(v)) if v == version
+            ));
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder; and garbage that
+    /// happens to start with the magic still resolves to a typed error or
+    /// a valid frame.
+    #[test]
+    fn garbage_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&bytes);
+        let mut framed = MAGIC.to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = decode_frame(&framed);
+    }
+
+    /// A frame whose checksum field is rewritten to a wrong value is a
+    /// `BadChecksum` carrying both sides of the mismatch.
+    #[test]
+    fn garbage_checksum_is_reported_with_both_values(
+        msg in arb_message(),
+        wrong in any::<u32>(),
+    ) {
+        let mut bytes = encode_frame(&msg);
+        let crc_off = bytes.len() - TRAILER_LEN;
+        let real = crc32(&bytes[4..crc_off]);
+        let wrong = if wrong == real { wrong.wrapping_add(1) } else { wrong };
+        bytes[crc_off..].copy_from_slice(&wrong.to_le_bytes());
+        prop_assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::BadChecksum { expected, found })
+                if expected == real && found == wrong
+        ));
+    }
+
+    /// Pipelined frames decode one at a time with exact consumption.
+    #[test]
+    fn pipelined_frames_split_exactly(
+        first in arb_message(),
+        second in arb_message(),
+    ) {
+        let mut buf = encode_frame(&first);
+        let first_len = buf.len();
+        buf.extend_from_slice(&encode_frame(&second));
+        let (a, used_a) = decode_frame(&buf).unwrap();
+        prop_assert_eq!(a, first);
+        prop_assert_eq!(used_a, first_len);
+        let (b, used_b) = decode_frame(&buf[used_a..]).unwrap();
+        prop_assert_eq!(b, second);
+        prop_assert_eq!(used_a + used_b, buf.len());
+    }
+}
+
+/// Non-property pin: header/trailer arithmetic stays in sync with the
+/// constants the buffered reader relies on.
+#[test]
+fn frame_overhead_is_constant() {
+    let bytes = encode_frame(&Message::Shutdown);
+    assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
+}

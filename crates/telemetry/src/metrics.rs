@@ -102,6 +102,24 @@ metric_enum! {
         CheckpointWrites => names::CHECKPOINT_WRITE,
         /// Faults fired by an active fault-injection plan.
         FaultInjections => names::FAULT_INJECTED,
+        /// Jobs submitted to the rectification daemon.
+        ServeSubmitted => names::SERVE_SUBMITTED,
+        /// Jobs admitted into a scheduler lane.
+        ServeAdmitted => names::SERVE_ADMITTED,
+        /// Jobs rejected at admission.
+        ServeRejected => names::SERVE_REJECTED,
+        /// Jobs finished with a clean, undegraded patch.
+        ServeCompleted => names::SERVE_COMPLETED,
+        /// Jobs finished with at least one degraded output.
+        ServeDegraded => names::SERVE_DEGRADED,
+        /// Jobs cancelled by a client or by daemon drain.
+        ServeCancelled => names::SERVE_CANCELLED,
+        /// Jobs whose deadline passed before dispatch.
+        ServeExpired => names::SERVE_EXPIRED,
+        /// Jobs that errored before producing a patch.
+        ServeFailed => names::SERVE_FAILED,
+        /// Dispatches shrunk by the overload-shedding ladder.
+        ServeShed => names::SERVE_SHED,
     }
 }
 
@@ -112,6 +130,10 @@ metric_enum! {
         BddPeakNodes => names::BDD_PEAK_NODES,
         /// Peak unique-table size over every BDD manager of the run.
         BddUniqueEntries => names::BDD_UNIQUE_ENTRIES,
+        /// Peak number of jobs queued across all scheduler lanes.
+        ServeQueueDepth => names::SERVE_QUEUE_DEPTH,
+        /// Peak number of jobs running concurrently on daemon workers.
+        ServeActiveJobs => names::SERVE_ACTIVE_JOBS,
     }
 }
 
@@ -124,6 +146,14 @@ metric_enum! {
         ValidateMicros => names::VALIDATE_US,
         /// SAT conflicts spent per validation call.
         SatConflictsPerCall => names::SAT_CONFLICTS_PER_CALL,
+        /// Queue wait of jobs dispatched from the high-priority lane, µs.
+        ServeWaitHighMicros => names::SERVE_WAIT_HIGH_US,
+        /// Queue wait of jobs dispatched from the normal-priority lane, µs.
+        ServeWaitNormalMicros => names::SERVE_WAIT_NORMAL_US,
+        /// Queue wait of jobs dispatched from the low-priority lane, µs.
+        ServeWaitLowMicros => names::SERVE_WAIT_LOW_US,
+        /// End-to-end service time of one daemon job, µs.
+        ServeJobMicros => names::SERVE_JOB_US,
     }
 }
 

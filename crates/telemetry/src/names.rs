@@ -79,6 +79,24 @@ pub const CHECKPOINT_HIT: &str = "checkpoint.hit";
 pub const CHECKPOINT_WRITE: &str = "checkpoint.write";
 /// Faults fired by an active fault-injection plan.
 pub const FAULT_INJECTED: &str = "fault.injected";
+/// Jobs submitted to the rectification daemon (admission attempts).
+pub const SERVE_SUBMITTED: &str = "serve.submitted";
+/// Jobs admitted into a scheduler lane.
+pub const SERVE_ADMITTED: &str = "serve.admitted";
+/// Jobs rejected at admission (overload, shutdown, or invalid request).
+pub const SERVE_REJECTED: &str = "serve.rejected";
+/// Jobs that finished with a clean, undegraded patch.
+pub const SERVE_COMPLETED: &str = "serve.completed";
+/// Jobs that finished with at least one degraded output.
+pub const SERVE_DEGRADED: &str = "serve.degraded";
+/// Jobs cancelled by a client cancel frame or by daemon drain.
+pub const SERVE_CANCELLED: &str = "serve.cancelled";
+/// Jobs whose deadline passed before dispatch (never ran the engine).
+pub const SERVE_EXPIRED: &str = "serve.expired";
+/// Jobs that errored before producing a patch (e.g. unparsable netlists).
+pub const SERVE_FAILED: &str = "serve.failed";
+/// Dispatches whose budget was shrunk by the overload-shedding ladder.
+pub const SERVE_SHED: &str = "serve.shed";
 
 // ---------------------------------------------------------------------
 // Gauges
@@ -88,6 +106,10 @@ pub const FAULT_INJECTED: &str = "fault.injected";
 pub const BDD_PEAK_NODES: &str = "bdd.peak_nodes";
 /// Peak unique-table size over every BDD manager of the run.
 pub const BDD_UNIQUE_ENTRIES: &str = "bdd.unique_entries";
+/// Peak number of jobs queued across all scheduler lanes.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Peak number of jobs running concurrently on daemon workers.
+pub const SERVE_ACTIVE_JOBS: &str = "serve.active_jobs";
 
 // ---------------------------------------------------------------------
 // Histograms
@@ -99,6 +121,14 @@ pub const SEARCH_US: &str = "search.us";
 pub const VALIDATE_US: &str = "validate.us";
 /// SAT conflicts spent per validation call.
 pub const SAT_CONFLICTS_PER_CALL: &str = "sat.conflicts_per_call";
+/// Queue wait of jobs dispatched from the high-priority lane, µs.
+pub const SERVE_WAIT_HIGH_US: &str = "serve.wait.high_us";
+/// Queue wait of jobs dispatched from the normal-priority lane, µs.
+pub const SERVE_WAIT_NORMAL_US: &str = "serve.wait.normal_us";
+/// Queue wait of jobs dispatched from the low-priority lane, µs.
+pub const SERVE_WAIT_LOW_US: &str = "serve.wait.low_us";
+/// End-to-end service time of one daemon job (dispatch to outcome), µs.
+pub const SERVE_JOB_US: &str = "serve.job_us";
 
 /// Every documented metric name — counters, gauges, histograms — in export
 /// order. A metrics snapshot can never contain a key outside this set; the
@@ -138,13 +168,28 @@ pub const ALL_METRIC_NAMES: &[&str] = &[
     CHECKPOINT_HIT,
     CHECKPOINT_WRITE,
     FAULT_INJECTED,
+    SERVE_SUBMITTED,
+    SERVE_ADMITTED,
+    SERVE_REJECTED,
+    SERVE_COMPLETED,
+    SERVE_DEGRADED,
+    SERVE_CANCELLED,
+    SERVE_EXPIRED,
+    SERVE_FAILED,
+    SERVE_SHED,
     // gauges
     BDD_PEAK_NODES,
     BDD_UNIQUE_ENTRIES,
+    SERVE_QUEUE_DEPTH,
+    SERVE_ACTIVE_JOBS,
     // histograms
     SEARCH_US,
     VALIDATE_US,
     SAT_CONFLICTS_PER_CALL,
+    SERVE_WAIT_HIGH_US,
+    SERVE_WAIT_NORMAL_US,
+    SERVE_WAIT_LOW_US,
+    SERVE_JOB_US,
 ];
 
 // ---------------------------------------------------------------------

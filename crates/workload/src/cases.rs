@@ -263,6 +263,58 @@ pub fn chain_cases() -> Vec<EcoCase> {
     chain_params().iter().map(build_case).collect()
 }
 
+/// Parameters of the three service-calibration cases behind
+/// `syseco-load` (DESIGN.md §15): deliberately small jobs — sub-second
+/// even in debug builds — spanning a 1:2:4 size ladder, so the load
+/// generator can measure daemon capacity and then drive controlled 1x/2x/4x
+/// overload without a single job dominating the queue.
+pub fn serve_params() -> Vec<CaseParams> {
+    use RevisionKind as R;
+    vec![
+        CaseParams {
+            id: 20,
+            name: "serve-s",
+            seed: 0x2020,
+            input_words: 2,
+            width: 2,
+            logic_signals: 6,
+            output_words: 2,
+            revisions: vec![(0, R::PolarityFlip)],
+            heavy_optimization: false,
+            aggressive_optimization: false,
+        },
+        CaseParams {
+            id: 21,
+            name: "serve-m",
+            seed: 0x2121,
+            input_words: 3,
+            width: 2,
+            logic_signals: 12,
+            output_words: 3,
+            revisions: vec![(0, R::ConstantChange), (1, R::PolarityFlip)],
+            heavy_optimization: false,
+            aggressive_optimization: false,
+        },
+        CaseParams {
+            id: 22,
+            name: "serve-l",
+            seed: 0x2222,
+            input_words: 4,
+            width: 3,
+            logic_signals: 24,
+            output_words: 4,
+            revisions: vec![(0, R::ConditionFlip), (2, R::ConstantChange)],
+            heavy_optimization: true,
+            aggressive_optimization: false,
+        },
+    ]
+}
+
+/// Builds the service-calibration cases of [`serve_params`].
+pub fn serve_cases() -> Vec<EcoCase> {
+    serve_params().iter().map(build_case).collect()
+}
+
 /// Builds the 11 ECO cases of Tables 1 and 2.
 pub fn table1_cases() -> Vec<EcoCase> {
     table1_params().iter().map(build_case).collect()

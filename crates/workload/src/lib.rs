@@ -31,8 +31,8 @@ mod generator;
 mod revision;
 
 pub use cases::{
-    chain_cases, chain_params, scaling_case, scaling_params, table1_cases, table1_params,
-    timing_cases, timing_params,
+    chain_cases, chain_params, scaling_case, scaling_params, serve_cases, serve_params,
+    table1_cases, table1_params, timing_cases, timing_params,
 };
 pub use generator::{build_base, build_case, try_build_case, CaseParams, EcoCase, GeneratorError};
 pub use revision::RevisionKind;

@@ -22,6 +22,10 @@ pub enum BddError {
     DeadlineExceeded,
     /// The manager's cooperative interrupt flag was set mid-computation.
     Cancelled,
+    /// An event hook vetoed a garbage collection or reorder pass. Emitted
+    /// only through hooks installed with `set_event_hook`; the
+    /// fault-injection harness uses it to abort at deterministic points.
+    Aborted,
 }
 
 impl fmt::Display for BddError {
@@ -33,6 +37,7 @@ impl fmt::Display for BddError {
             BddError::UnknownVar { var } => write!(f, "unknown bdd variable {var}"),
             BddError::DeadlineExceeded => write!(f, "bdd deadline exceeded"),
             BddError::Cancelled => write!(f, "bdd computation cancelled"),
+            BddError::Aborted => write!(f, "bdd event aborted by hook"),
         }
     }
 }

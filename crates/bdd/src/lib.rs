@@ -6,18 +6,30 @@
 //! BDDs. This crate provides a self-contained BDD package in the spirit of
 //! the paper's in-house implementation:
 //!
-//! * a [`BddManager`] with a unique table and memoized apply/ITE,
+//! * a [`BddManager`] storing complement-tagged edges in a dense `u32`
+//!   arena with an open-addressed unique table — negation is a tag flip,
+//!   a function and its complement share every node,
 //! * Boolean connectives, cofactors, and `∃`/`∀` quantification over
-//!   variable cubes,
+//!   variable cubes, memoized through sized generational operation
+//!   caches (direct-mapped, epoch-invalidated),
 //! * assignment counting ([`BddManager::sat_count`]) and satisfying-cube /
 //!   **prime-cube** enumeration ([`BddManager::sat_cubes`],
 //!   [`BddManager::prime_cubes`]) used to seed candidate rectification
 //!   point-sets,
+//! * mark-and-sweep garbage collection over an explicit root set
+//!   ([`BddManager::gc`], [`BddManager::maybe_gc`]) — surviving handles
+//!   keep their indices,
+//! * dynamic variable reordering by sifting ([`BddManager::reorder`],
+//!   [`BddManager::maybe_reorder`]) that rewrites nodes in place so
+//!   handles keep denoting the same functions,
 //! * a configurable node limit so domain computations stay
-//!   resource-bounded ([`BddError::NodeLimit`]).
+//!   resource-bounded ([`BddError::NodeLimit`]), plus deadlines, a
+//!   cooperative interrupt, and a pre-event hook ([`BddEvent`]) used by
+//!   the fault-injection harness.
 //!
-//! Variable order is fixed at allocation time; callers allocate variables in
-//! the order they want them in the diagram (syseco uses `c < t < y < z`).
+//! Variables enter the order at allocation time; callers allocate them in
+//! the order they want them in the diagram (syseco uses `c < t < y < z`),
+//! and sifting may later permute levels without changing any semantics.
 //!
 //! # Example
 //!
@@ -36,10 +48,14 @@
 //! # }
 //! ```
 
+mod arena;
 mod cubes;
 mod error;
 mod manager;
+mod opcache;
+mod reorder;
+mod unique;
 
 pub use cubes::Cube;
 pub use error::BddError;
-pub use manager::{Bdd, BddCounters, BddManager, OpCacheSizes};
+pub use manager::{Bdd, BddCounters, BddEvent, BddManager, EventHook, OpCacheSizes};

@@ -1,38 +1,79 @@
 //! The BDD node store and core operations.
+//!
+//! # Engine layout
+//!
+//! The manager is an arena engine with **complement edges**:
+//!
+//! * Nodes live in a flat [`Arena`](crate::arena) indexed by `u32`; a
+//!   [`Bdd`] handle is an *edge* `(node_index << 1) | complement_bit`.
+//! * There is a single terminal node (index 0, the constant one); the
+//!   constant false is its complement edge. Negation is therefore a tag
+//!   flip — no recursion, no nodes, no cache.
+//! * Canonical form: the `hi` edge of every stored node is regular. Any
+//!   function and its complement share one node, so equality of handles
+//!   is still equality of functions.
+//! * The unique table is open-addressed over node indices
+//!   ([`unique`](crate::unique)); operation caches are sized,
+//!   direct-mapped, and invalidated generationally
+//!   ([`opcache`](crate::opcache)).
+//! * Mark-and-sweep garbage collection ([`BddManager::gc`]) frees nodes
+//!   unreachable from the caller-supplied roots and the
+//!   [`protect`](BddManager::protect)ed set; node indices of survivors
+//!   never move, so live handles stay valid.
+//! * Dynamic variable reordering by sifting lives in
+//!   [`reorder`](BddManager::reorder); it rewrites nodes in place, so
+//!   every outstanding handle keeps denoting the same function.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::arena::{Arena, TERMINAL_VAR};
+use crate::opcache::DirectCache;
+use crate::unique::UniqueTable;
 use crate::BddError;
 
 /// Handle to a BDD function owned by a [`BddManager`].
 ///
-/// Handles are plain indices; they are cheap to copy and remain valid for
-/// the lifetime of the manager (no garbage collection invalidates them).
-/// Using a handle with a different manager is a logic error and yields
-/// unspecified functions (but no undefined behaviour).
+/// Handles are complement-tagged edges into the manager's node arena;
+/// they are cheap to copy. A handle stays valid as long as it is
+/// reachable from a [`protect`](BddManager::protect)ed root at every
+/// [`gc`](BddManager::gc) — managers without garbage collection enabled
+/// (the default) never invalidate handles. Using a handle with a
+/// different manager is a logic error and yields unspecified functions
+/// (but no undefined behaviour).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(pub(crate) u32);
 
-const FALSE: Bdd = Bdd(0);
-const TRUE: Bdd = Bdd(1);
-const TERMINAL_VAR: u32 = u32::MAX;
+/// Edge constants: the terminal node is index 0 and denotes *one*; the
+/// constant false is its complement edge.
+const E_TRUE: u32 = 0;
+const E_FALSE: u32 = 1;
+/// Level value reported for terminals: below every variable.
+const TERMINAL_LEVEL: u32 = u32::MAX;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct Node {
-    var: u32,
-    lo: u32,
-    hi: u32,
+const OP_AND: u32 = 0;
+const OP_XOR: u32 = 1;
+
+/// Manager lifecycle events observable through
+/// [`BddManager::set_event_hook`].
+///
+/// The hook fires *before* the event's work runs; returning an error
+/// aborts the event (and the operation that triggered it) without
+/// mutating the diagram. This is the deterministic seam used by the
+/// fault-injection harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddEvent {
+    /// A mark-and-sweep garbage collection is about to run.
+    Gc,
+    /// A sifting-based variable reordering is about to run.
+    Reorder,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Op {
-    And,
-    Or,
-    Xor,
-}
+/// Observer callback installed by [`BddManager::set_event_hook`].
+pub type EventHook = Box<dyn FnMut(BddEvent) -> Result<(), BddError> + Send>;
 
 /// Operation-cache hit/miss counters of a [`BddManager`].
 ///
@@ -44,7 +85,7 @@ enum Op {
 /// managers is therefore order-insensitive.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BddCounters {
-    /// Apply-cache (AND/OR/XOR) hits.
+    /// Apply-cache (AND/XOR; OR and IFF derive via complement) hits.
     pub apply_hits: u64,
     /// Apply-cache misses.
     pub apply_misses: u64,
@@ -52,19 +93,30 @@ pub struct BddCounters {
     pub ite_hits: u64,
     /// ITE-cache misses.
     pub ite_misses: u64,
-    /// NOT-cache hits.
+    /// NOT-cache hits. Always zero since the complement-edge rewrite —
+    /// negation is a tag flip and no longer touches any cache. The field
+    /// is retained so counter snapshots keep their shape.
     pub not_hits: u64,
-    /// NOT-cache misses.
+    /// NOT-cache misses. Always zero (see [`not_hits`](Self::not_hits)).
     pub not_misses: u64,
     /// Quantification-cache hits.
     pub quant_hits: u64,
     /// Quantification-cache misses.
     pub quant_misses: u64,
     /// Unique-table resize (rehash) events: inserts that grew the table's
-    /// allocated capacity.
+    /// allocated capacity. Rebuilds after garbage collection don't count.
     pub unique_resizes: u64,
-    /// Operation-cache entries dropped by [`BddManager::clear_caches`].
+    /// Operation-cache entries dropped: by [`BddManager::clear_caches`],
+    /// by garbage collection, or overwritten on a direct-mapped collision.
     pub evictions: u64,
+    /// Garbage-collection passes run.
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection.
+    pub gc_freed_nodes: u64,
+    /// Sifting reorder passes run.
+    pub reorders: u64,
+    /// Adjacent-level swaps performed across all reorder passes.
+    pub reorder_swaps: u64,
 }
 
 impl BddCounters {
@@ -91,17 +143,21 @@ impl std::ops::AddAssign for BddCounters {
         self.quant_misses += rhs.quant_misses;
         self.unique_resizes += rhs.unique_resizes;
         self.evictions += rhs.evictions;
+        self.gc_runs += rhs.gc_runs;
+        self.gc_freed_nodes += rhs.gc_freed_nodes;
+        self.reorders += rhs.reorders;
+        self.reorder_swaps += rhs.reorder_swaps;
     }
 }
 
 /// Entry counts of a [`BddManager`]'s operation caches at one instant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OpCacheSizes {
-    /// Apply-cache (AND/OR/XOR) entries.
+    /// Apply-cache (AND/XOR) entries.
     pub apply: usize,
     /// ITE-cache entries.
     pub ite: usize,
-    /// NOT-cache entries.
+    /// NOT-cache entries. Always zero since the complement-edge rewrite.
     pub not: usize,
     /// Quantification-cache entries.
     pub quant: usize,
@@ -114,24 +170,44 @@ impl OpCacheSizes {
     }
 }
 
-/// An ROBDD manager: unique table, operation caches, and a node budget.
+/// An ROBDD manager: arena node store, open-addressed unique table,
+/// generational operation caches, optional garbage collection and
+/// variable reordering, and a node budget.
 ///
 /// See the [crate-level documentation](crate) for an overview and example.
-#[derive(Debug)]
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    apply_cache: HashMap<(Op, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), u32>,
-    not_cache: HashMap<u32, u32>,
-    quant_cache: HashMap<(u32, u32, bool), u32>,
+    arena: Arena,
+    unique: UniqueTable,
+    apply_cache: DirectCache,
+    ite_cache: DirectCache,
+    quant_cache: DirectCache,
     num_vars: u32,
+    var2level: Vec<u32>,
+    level2var: Vec<u32>,
     node_limit: usize,
     deadline: Option<Instant>,
     interrupt: Option<Arc<AtomicBool>>,
     op_tick: u64,
     counters: BddCounters,
-    peak_nodes: usize,
+    resizes_offset: u64,
+    protected: HashMap<u32, u32>,
+    gc_threshold: Option<usize>,
+    gc_initial_threshold: usize,
+    pub(crate) reorder_threshold: Option<usize>,
+    pub(crate) reorder_initial_threshold: usize,
+    hook: Option<EventHook>,
+}
+
+impl std::fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BddManager")
+            .field("live_nodes", &self.arena.live())
+            .field("num_vars", &self.num_vars)
+            .field("node_limit", &self.node_limit)
+            .field("gc_threshold", &self.gc_threshold)
+            .field("reorder_threshold", &self.reorder_threshold)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for BddManager {
@@ -152,51 +228,51 @@ impl BddManager {
 
     /// Creates a manager with an explicit node budget.
     pub fn with_node_limit(node_limit: usize) -> Self {
-        let mut m = BddManager {
-            nodes: Vec::with_capacity(1024),
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            ite_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            quant_cache: HashMap::new(),
+        BddManager {
+            arena: Arena::new(),
+            unique: UniqueTable::new(),
+            // Ceilings sized for the par16 profile: the quantification-heavy
+            // point-set builds push millions of distinct keys through the
+            // ite/quant caches, and a 2^16 ceiling measurably thrashes
+            // (sub-50% hit rates from collision evictions alone). Growth is
+            // demand-driven, so small managers never pay for these maxima.
+            apply_cache: DirectCache::new(1 << 12, 1 << 22),
+            ite_cache: DirectCache::new(1 << 10, 1 << 20),
+            quant_cache: DirectCache::new(1 << 10, 1 << 21),
             num_vars: 0,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
             node_limit,
             deadline: None,
             interrupt: None,
             op_tick: 0,
             counters: BddCounters::default(),
-            peak_nodes: 0,
-        };
-        m.nodes.push(Node {
-            var: TERMINAL_VAR,
-            lo: 0,
-            hi: 0,
-        }); // false
-        m.nodes.push(Node {
-            var: TERMINAL_VAR,
-            lo: 1,
-            hi: 1,
-        }); // true
-        m.peak_nodes = m.nodes.len();
-        m
+            resizes_offset: 0,
+            protected: HashMap::new(),
+            gc_threshold: None,
+            gc_initial_threshold: 0,
+            reorder_threshold: None,
+            reorder_initial_threshold: 0,
+            hook: None,
+        }
     }
 
     /// The constant-false function.
     #[inline]
     pub fn zero(&self) -> Bdd {
-        FALSE
+        Bdd(E_FALSE)
     }
 
     /// The constant-true function.
     #[inline]
     pub fn one(&self) -> Bdd {
-        TRUE
+        Bdd(E_TRUE)
     }
 
-    /// Number of live nodes (terminals included).
+    /// Number of live nodes (the terminal included).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.arena.live()
     }
 
     /// Number of allocated variables.
@@ -205,45 +281,56 @@ impl BddManager {
         self.num_vars
     }
 
-    /// Returns the function of variable `index`, allocating variables up to
-    /// and including it. Variable index doubles as diagram level: lower
-    /// indices are nearer the root.
-    pub fn var(&mut self, index: u32) -> Bdd {
+    fn ensure_var(&mut self, index: u32) {
         if index >= self.num_vars {
             self.num_vars = index + 1;
         }
-        // var nodes cannot exceed the limit meaningfully; ignore budget here.
-        Bdd(self.mk(index, 0, 1))
+        while (self.var2level.len() as u32) < self.num_vars {
+            // New variables enter at the bottom level, which preserves the
+            // relative order of everything already placed (identity order
+            // until the first reorder).
+            let level = self.var2level.len() as u32;
+            self.var2level.push(level);
+            self.level2var.push(level);
+        }
+    }
+
+    /// Returns the function of variable `index`, allocating variables up to
+    /// and including it. Until the first [`reorder`](BddManager::reorder),
+    /// variable index doubles as diagram level: lower indices are nearer
+    /// the root.
+    pub fn var(&mut self, index: u32) -> Bdd {
+        self.ensure_var(index);
+        Bdd(self.mk(index, E_FALSE, E_TRUE))
     }
 
     /// Returns the negated variable `index`.
     pub fn nvar(&mut self, index: u32) -> Bdd {
-        if index >= self.num_vars {
-            self.num_vars = index + 1;
-        }
-        Bdd(self.mk(index, 1, 0))
+        self.ensure_var(index);
+        Bdd(self.mk(index, E_FALSE, E_TRUE) ^ 1)
     }
 
-    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+    /// Find-or-create for `(var, lo, hi)` edges, normalizing to the
+    /// canonical hi-regular form.
+    pub(crate) fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
         if lo == hi {
             return lo;
         }
-        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
-            return id;
+        if hi & 1 == 1 {
+            // Keep the hi edge regular: ¬mk(v, ¬lo, ¬hi).
+            return self.mk_regular(var, lo ^ 1, hi ^ 1) ^ 1;
         }
-        let id = self.nodes.len() as u32;
-        self.nodes.push(Node { var, lo, hi });
-        let capacity_before = self.unique.capacity();
-        self.unique.insert((var, lo, hi), id);
-        if self.unique.capacity() > capacity_before {
-            self.counters.unique_resizes += 1;
+        self.mk_regular(var, lo, hi)
+    }
+
+    #[inline]
+    fn mk_regular(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if let Some(idx) = self.unique.find(&self.arena, var, lo, hi) {
+            return idx << 1;
         }
-        // Nodes are never reclaimed today, but peak tracking must survive a
-        // future garbage-collection pass, so it is maintained explicitly.
-        if self.nodes.len() > self.peak_nodes {
-            self.peak_nodes = self.nodes.len();
-        }
-        id
+        let idx = self.arena.alloc(var, lo, hi);
+        self.unique.insert(&self.arena, idx, var, lo, hi);
+        idx << 1
     }
 
     /// Sets an absolute wall-clock deadline; `None` removes it. Operations
@@ -260,9 +347,24 @@ impl BddManager {
         self.interrupt = interrupt;
     }
 
+    /// Installs an observer for garbage-collection and reordering events;
+    /// `None` removes it. The hook runs *before* the event's work; an
+    /// error return aborts the event and propagates to the caller. Used by
+    /// the fault-injection harness.
+    pub fn set_event_hook(&mut self, hook: Option<EventHook>) {
+        self.hook = hook;
+    }
+
+    pub(crate) fn fire_event(&mut self, event: BddEvent) -> Result<(), BddError> {
+        if let Some(h) = self.hook.as_mut() {
+            h(event)?;
+        }
+        Ok(())
+    }
+
     #[inline]
     fn check_budget(&mut self) -> Result<(), BddError> {
-        if self.nodes.len() > self.node_limit {
+        if self.arena.live() > self.node_limit {
             return Err(BddError::NodeLimit {
                 limit: self.node_limit,
             });
@@ -288,30 +390,39 @@ impl BddManager {
         Ok(())
     }
 
-    #[inline]
-    fn level(&self, f: u32) -> u32 {
-        self.nodes[f as usize].var
-    }
-
-    #[inline]
-    pub(crate) fn cofactors(&self, f: u32, at_var: u32) -> (u32, u32) {
-        let n = self.nodes[f as usize];
-        if n.var == at_var {
-            (n.lo, n.hi)
+    /// Diagram level of an edge (terminals sit below every variable).
+    #[inline(always)]
+    pub(crate) fn level_of(&self, edge: u32) -> u32 {
+        let v = self.arena.var(edge >> 1);
+        if v == TERMINAL_VAR {
+            TERMINAL_LEVEL
         } else {
-            (f, f)
+            self.var2level[v as usize]
         }
     }
 
-    /// Whether `f` is one of the two terminals.
-    #[inline]
-    pub fn is_const(&self, f: Bdd) -> bool {
-        f.0 <= 1
+    /// Cofactors of `edge` at `level`, complement bit pushed into the
+    /// children.
+    #[inline(always)]
+    pub(crate) fn cofactors_at(&self, edge: u32, level: u32) -> (u32, u32) {
+        let n = self.arena.node(edge >> 1);
+        if n.var != TERMINAL_VAR && self.var2level[n.var as usize] == level {
+            let c = edge & 1;
+            (n.lo ^ c, n.hi ^ c)
+        } else {
+            (edge, edge)
+        }
     }
 
-    /// The root variable of `f`, if `f` is not a terminal.
+    /// Whether `f` is one of the two constants.
+    #[inline]
+    pub fn is_const(&self, f: Bdd) -> bool {
+        f.0 >> 1 == 0
+    }
+
+    /// The root variable of `f`, if `f` is not a constant.
     pub fn root_var(&self, f: Bdd) -> Option<u32> {
-        let v = self.level(f.0);
+        let v = self.arena.var(f.0 >> 1);
         if v == TERMINAL_VAR {
             None
         } else {
@@ -319,48 +430,33 @@ impl BddManager {
         }
     }
 
-    /// Low (`var = 0`) child of a non-terminal node.
+    /// Low (`var = 0`) child of a non-constant function. The complement
+    /// tag of `f` is pushed into the returned edge, so the child denotes
+    /// the actual cofactor `f|var=0`.
     pub fn low(&self, f: Bdd) -> Bdd {
-        Bdd(self.nodes[f.0 as usize].lo)
+        let n = self.arena.node(f.0 >> 1);
+        Bdd(n.lo ^ (f.0 & 1))
     }
 
-    /// High (`var = 1`) child of a non-terminal node.
+    /// High (`var = 1`) child of a non-constant function (see
+    /// [`low`](BddManager::low)).
     pub fn high(&self, f: Bdd) -> Bdd {
-        Bdd(self.nodes[f.0 as usize].hi)
+        let n = self.arena.node(f.0 >> 1);
+        Bdd(n.hi ^ (f.0 & 1))
     }
 
     // ------------------------------------------------------------------
     // Connectives
     // ------------------------------------------------------------------
 
-    /// Negation.
+    /// Negation: a complement-tag flip. Never fails and never allocates;
+    /// the `Result` is kept for signature stability.
     ///
     /// # Errors
     ///
-    /// [`BddError::NodeLimit`] when the node budget is exhausted.
+    /// Never.
     pub fn not(&mut self, f: Bdd) -> Result<Bdd, BddError> {
-        Ok(Bdd(self.not_rec(f.0)?))
-    }
-
-    fn not_rec(&mut self, f: u32) -> Result<u32, BddError> {
-        if f == 0 {
-            return Ok(1);
-        }
-        if f == 1 {
-            return Ok(0);
-        }
-        if let Some(&r) = self.not_cache.get(&f) {
-            self.counters.not_hits += 1;
-            return Ok(r);
-        }
-        self.counters.not_misses += 1;
-        self.check_budget()?;
-        let n = self.nodes[f as usize];
-        let lo = self.not_rec(n.lo)?;
-        let hi = self.not_rec(n.hi)?;
-        let r = self.mk(n.var, lo, hi);
-        self.not_cache.insert(f, r);
-        Ok(r)
+        Ok(Bdd(f.0 ^ 1))
     }
 
     /// Conjunction.
@@ -369,16 +465,16 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn and(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
-        Ok(Bdd(self.apply(Op::And, f.0, g.0)?))
+        Ok(Bdd(self.and_rec(f.0, g.0)?))
     }
 
-    /// Disjunction.
+    /// Disjunction (via De Morgan on the AND cache).
     ///
     /// # Errors
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
-        Ok(Bdd(self.apply(Op::Or, f.0, g.0)?))
+        Ok(Bdd(self.and_rec(f.0 ^ 1, g.0 ^ 1)? ^ 1))
     }
 
     /// Exclusive or.
@@ -387,7 +483,7 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
-        Ok(Bdd(self.apply(Op::Xor, f.0, g.0)?))
+        Ok(Bdd(self.xor_rec(f.0, g.0)?))
     }
 
     /// Equivalence `f ≡ g`.
@@ -396,8 +492,7 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn iff(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
-        let x = self.xor(f, g)?;
-        self.not(x)
+        Ok(Bdd(self.xor_rec(f.0, g.0)? ^ 1))
     }
 
     /// Implication `f → g`.
@@ -406,8 +501,7 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn implies(&mut self, f: Bdd, g: Bdd) -> Result<Bdd, BddError> {
-        let nf = self.not(f)?;
-        self.or(nf, g)
+        Ok(Bdd(self.and_rec(f.0, g.0 ^ 1)? ^ 1))
     }
 
     /// If-then-else `i ? t : e`.
@@ -419,101 +513,106 @@ impl BddManager {
         Ok(Bdd(self.ite_rec(i.0, t.0, e.0)?))
     }
 
-    fn apply(&mut self, op: Op, f: u32, g: u32) -> Result<u32, BddError> {
-        // Terminal cases.
-        match op {
-            Op::And => {
-                if f == 0 || g == 0 {
-                    return Ok(0);
-                }
-                if f == 1 {
-                    return Ok(g);
-                }
-                if g == 1 {
-                    return Ok(f);
-                }
-                if f == g {
-                    return Ok(f);
-                }
-            }
-            Op::Or => {
-                if f == 1 || g == 1 {
-                    return Ok(1);
-                }
-                if f == 0 {
-                    return Ok(g);
-                }
-                if g == 0 {
-                    return Ok(f);
-                }
-                if f == g {
-                    return Ok(f);
-                }
-            }
-            Op::Xor => {
-                if f == 0 {
-                    return Ok(g);
-                }
-                if g == 0 {
-                    return Ok(f);
-                }
-                if f == g {
-                    return Ok(0);
-                }
-                if f == 1 {
-                    return self.not_rec(g);
-                }
-                if g == 1 {
-                    return self.not_rec(f);
-                }
-            }
+    fn and_rec(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        if f == E_FALSE || g == E_FALSE || f == g ^ 1 {
+            return Ok(E_FALSE);
+        }
+        if f == E_TRUE {
+            return Ok(g);
+        }
+        if g == E_TRUE || f == g {
+            return Ok(f);
         }
         // Commutative: canonicalize operand order.
         let (f, g) = if f <= g { (f, g) } else { (g, f) };
-        if let Some(&r) = self.apply_cache.get(&(op, f, g)) {
+        if let Some(r) = self.apply_cache.lookup(f, g, OP_AND) {
             self.counters.apply_hits += 1;
             return Ok(r);
         }
         self.counters.apply_misses += 1;
         self.check_budget()?;
-        let v = self.level(f).min(self.level(g));
-        let (f0, f1) = self.cofactors(f, v);
-        let (g0, g1) = self.cofactors(g, v);
-        let lo = self.apply(op, f0, g0)?;
-        let hi = self.apply(op, f1, g1)?;
-        let r = self.mk(v, lo, hi);
-        self.apply_cache.insert((op, f, g), r);
+        let level = self.level_of(f).min(self.level_of(g));
+        let (f0, f1) = self.cofactors_at(f, level);
+        let (g0, g1) = self.cofactors_at(g, level);
+        let lo = self.and_rec(f0, g0)?;
+        let hi = self.and_rec(f1, g1)?;
+        let r = self.mk(self.level2var[level as usize], lo, hi);
+        self.counters.evictions += self.apply_cache.insert(f, g, OP_AND, r);
         Ok(r)
     }
 
-    fn ite_rec(&mut self, i: u32, t: u32, e: u32) -> Result<u32, BddError> {
-        if i == 1 {
+    fn xor_rec(&mut self, f: u32, g: u32) -> Result<u32, BddError> {
+        // XOR absorbs complements: strip them and re-apply to the result,
+        // which quarters the cache's key space.
+        let sign = (f ^ g) & 1;
+        let (f, g) = (f & !1u32, g & !1u32);
+        if f == g {
+            return Ok(E_FALSE ^ sign);
+        }
+        if f == E_TRUE {
+            return Ok(g ^ 1 ^ sign);
+        }
+        if g == E_TRUE {
+            return Ok(f ^ 1 ^ sign);
+        }
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(r) = self.apply_cache.lookup(f, g, OP_XOR) {
+            self.counters.apply_hits += 1;
+            return Ok(r ^ sign);
+        }
+        self.counters.apply_misses += 1;
+        self.check_budget()?;
+        let level = self.level_of(f).min(self.level_of(g));
+        let (f0, f1) = self.cofactors_at(f, level);
+        let (g0, g1) = self.cofactors_at(g, level);
+        let lo = self.xor_rec(f0, g0)?;
+        let hi = self.xor_rec(f1, g1)?;
+        let r = self.mk(self.level2var[level as usize], lo, hi);
+        self.counters.evictions += self.apply_cache.insert(f, g, OP_XOR, r);
+        Ok(r ^ sign)
+    }
+
+    fn ite_rec(&mut self, mut i: u32, mut t: u32, mut e: u32) -> Result<u32, BddError> {
+        if i == E_TRUE {
             return Ok(t);
         }
-        if i == 0 {
+        if i == E_FALSE {
             return Ok(e);
         }
         if t == e {
             return Ok(t);
         }
-        if t == 1 && e == 0 {
+        if t == E_TRUE && e == E_FALSE {
             return Ok(i);
         }
-        if let Some(&r) = self.ite_cache.get(&(i, t, e)) {
+        if t == E_FALSE && e == E_TRUE {
+            return Ok(i ^ 1);
+        }
+        // Canonicalize: regular condition, then regular then-branch.
+        if i & 1 == 1 {
+            i ^= 1;
+            std::mem::swap(&mut t, &mut e);
+        }
+        let sign = t & 1;
+        if sign == 1 {
+            t ^= 1;
+            e ^= 1;
+        }
+        if let Some(r) = self.ite_cache.lookup(i, t, e) {
             self.counters.ite_hits += 1;
-            return Ok(r);
+            return Ok(r ^ sign);
         }
         self.counters.ite_misses += 1;
         self.check_budget()?;
-        let v = self.level(i).min(self.level(t)).min(self.level(e));
-        let (i0, i1) = self.cofactors(i, v);
-        let (t0, t1) = self.cofactors(t, v);
-        let (e0, e1) = self.cofactors(e, v);
+        let level = self.level_of(i).min(self.level_of(t)).min(self.level_of(e));
+        let (i0, i1) = self.cofactors_at(i, level);
+        let (t0, t1) = self.cofactors_at(t, level);
+        let (e0, e1) = self.cofactors_at(e, level);
         let lo = self.ite_rec(i0, t0, e0)?;
         let hi = self.ite_rec(i1, t1, e1)?;
-        let r = self.mk(v, lo, hi);
-        self.ite_cache.insert((i, t, e), r);
-        Ok(r)
+        let r = self.mk(self.level2var[level as usize], lo, hi);
+        self.counters.evictions += self.ite_cache.insert(i, t, e, r);
+        Ok(r ^ sign)
     }
 
     // ------------------------------------------------------------------
@@ -526,22 +625,27 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn restrict(&mut self, f: Bdd, var: u32, value: bool) -> Result<Bdd, BddError> {
+        if (var as usize) >= self.var2level.len() {
+            return Ok(f);
+        }
         Ok(Bdd(self.restrict_rec(f.0, var, value)?))
     }
 
     fn restrict_rec(&mut self, f: u32, var: u32, value: bool) -> Result<u32, BddError> {
-        let v = self.level(f);
-        if v == TERMINAL_VAR || v > var {
+        let flevel = self.level_of(f);
+        let target = self.var2level[var as usize];
+        if flevel > target {
             return Ok(f);
         }
         self.check_budget()?;
-        let n = self.nodes[f as usize];
-        if v == var {
-            return Ok(if value { n.hi } else { n.lo });
+        let c = f & 1;
+        let n = self.arena.node(f >> 1);
+        if flevel == target {
+            return Ok(if value { n.hi ^ c } else { n.lo ^ c });
         }
-        let lo = self.restrict_rec(n.lo, var, value)?;
-        let hi = self.restrict_rec(n.hi, var, value)?;
-        Ok(self.mk(v, lo, hi))
+        let lo = self.restrict_rec(n.lo ^ c, var, value)?;
+        let hi = self.restrict_rec(n.hi ^ c, var, value)?;
+        Ok(self.mk(n.var, lo, hi))
     }
 
     /// Builds the positive cube `⋀ vars` used as a quantification scope.
@@ -553,7 +657,12 @@ impl BddManager {
         let mut sorted = vars.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut cube = TRUE;
+        for &v in &sorted {
+            self.ensure_var(v);
+        }
+        // Build bottom-up in diagram order so each AND is a single mk.
+        sorted.sort_unstable_by_key(|&v| self.var2level[v as usize]);
+        let mut cube = self.one();
         for &v in sorted.iter().rev() {
             let lit = self.var(v);
             cube = self.and(lit, cube)?;
@@ -568,52 +677,56 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn exists(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd, BddError> {
-        Ok(Bdd(self.quant_rec(f.0, cube.0, true)?))
+        Ok(Bdd(self.exists_rec(f.0, cube.0)?))
     }
 
-    /// Universal quantification `∀ vars . f`.
+    /// Universal quantification `∀ vars . f` (via `¬∃¬`, sharing the
+    /// existential cache).
     ///
     /// # Errors
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn forall(&mut self, f: Bdd, cube: Bdd) -> Result<Bdd, BddError> {
-        Ok(Bdd(self.quant_rec(f.0, cube.0, false)?))
+        Ok(Bdd(self.exists_rec(f.0 ^ 1, cube.0)? ^ 1))
     }
 
-    fn quant_rec(&mut self, f: u32, cube: u32, existential: bool) -> Result<u32, BddError> {
-        if f <= 1 || cube == 1 {
+    fn exists_rec(&mut self, f: u32, cube: u32) -> Result<u32, BddError> {
+        if f >> 1 == 0 || cube == E_TRUE {
             return Ok(f);
         }
-        if let Some(&r) = self.quant_cache.get(&(f, cube, existential)) {
+        if let Some(r) = self.quant_cache.lookup(f, cube, 0) {
             self.counters.quant_hits += 1;
             return Ok(r);
         }
         self.counters.quant_misses += 1;
         self.check_budget()?;
-        let fv = self.level(f);
-        let cv = self.level(cube);
-        let r = if cv < fv {
-            // Quantified variable does not appear in f at this level.
-            let next = self.nodes[cube as usize].hi;
-            self.quant_rec(f, next, existential)?
+        let flevel = self.level_of(f);
+        let clevel = self.level_of(cube);
+        let r = if clevel < flevel {
+            // Quantified variable does not appear in f at this level. The
+            // cube is a positive conjunction, so its hi edge is the rest.
+            let next = self.arena.node(cube >> 1).hi;
+            self.exists_rec(f, next)?
         } else {
-            let n = self.nodes[f as usize];
-            if fv == cv {
-                let next = self.nodes[cube as usize].hi;
-                let lo = self.quant_rec(n.lo, next, existential)?;
-                let hi = self.quant_rec(n.hi, next, existential)?;
-                if existential {
-                    self.apply(Op::Or, lo, hi)?
+            let c = f & 1;
+            let n = self.arena.node(f >> 1);
+            let (f0, f1) = (n.lo ^ c, n.hi ^ c);
+            if flevel == clevel {
+                let next = self.arena.node(cube >> 1).hi;
+                let lo = self.exists_rec(f0, next)?;
+                if lo == E_TRUE {
+                    E_TRUE
                 } else {
-                    self.apply(Op::And, lo, hi)?
+                    let hi = self.exists_rec(f1, next)?;
+                    self.and_rec(lo ^ 1, hi ^ 1)? ^ 1
                 }
             } else {
-                let lo = self.quant_rec(n.lo, cube, existential)?;
-                let hi = self.quant_rec(n.hi, cube, existential)?;
-                self.mk(fv, lo, hi)
+                let lo = self.exists_rec(f0, cube)?;
+                let hi = self.exists_rec(f1, cube)?;
+                self.mk(n.var, lo, hi)
             }
         };
-        self.quant_cache.insert((f, cube, existential), r);
+        self.counters.evictions += self.quant_cache.insert(f, cube, 0, r);
         Ok(r)
     }
 
@@ -625,17 +738,17 @@ impl BddManager {
     ///
     /// Variables beyond `assignment.len()` evaluate as `false`.
     pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
-        let mut cur = f.0;
+        let mut edge = f.0;
+        let mut negated = false;
         loop {
-            if cur == 0 {
-                return false;
+            negated ^= edge & 1 == 1;
+            let idx = edge >> 1;
+            if idx == 0 {
+                return !negated;
             }
-            if cur == 1 {
-                return true;
-            }
-            let n = self.nodes[cur as usize];
+            let n = self.arena.node(idx);
             let v = assignment.get(n.var as usize).copied().unwrap_or(false);
-            cur = if v { n.hi } else { n.lo };
+            edge = if v { n.hi } else { n.lo };
         }
     }
 
@@ -646,51 +759,35 @@ impl BddManager {
     ///
     /// [`BddError::NodeLimit`] when the node budget is exhausted.
     pub fn implies_check(&mut self, f: Bdd, g: Bdd) -> Result<bool, BddError> {
-        let ng = self.not(g)?;
-        let bad = self.and(f, ng)?;
-        Ok(bad == FALSE)
+        Ok(self.and_rec(f.0, g.0 ^ 1)? == E_FALSE)
     }
 
     /// Number of satisfying assignments of `f` over variables `0..num_vars`.
     ///
-    /// Returned as `f64` to stay robust for wide variable scopes.
+    /// Returned as `f64` to stay robust for wide variable scopes. The
+    /// computation is a density recursion (`p(node) = (p(lo)+p(hi))/2`),
+    /// which is independent of the variable order.
     pub fn sat_count(&self, f: Bdd, num_vars: u32) -> f64 {
-        let mut memo: HashMap<u32, f64> = HashMap::new();
-        // count(f) = assignments over vars level(f)..num_vars; scale at root.
-        fn rec(m: &BddManager, f: u32, num_vars: u32, memo: &mut HashMap<u32, f64>) -> f64 {
-            if f == 0 {
-                return 0.0;
-            }
-            if f == 1 {
+        fn density(m: &BddManager, idx: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+            if idx == 0 {
                 return 1.0;
             }
-            if let Some(&c) = memo.get(&f) {
-                return c;
+            if let Some(&p) = memo.get(&idx) {
+                return p;
             }
-            let n = m.nodes[f as usize];
-            let lo_level = if m.nodes[n.lo as usize].var == TERMINAL_VAR {
-                num_vars
-            } else {
-                m.nodes[n.lo as usize].var
-            };
-            let hi_level = if m.nodes[n.hi as usize].var == TERMINAL_VAR {
-                num_vars
-            } else {
-                m.nodes[n.hi as usize].var
-            };
-            let lo = rec(m, n.lo, num_vars, memo) * 2f64.powi((lo_level - n.var - 1) as i32);
-            let hi = rec(m, n.hi, num_vars, memo) * 2f64.powi((hi_level - n.var - 1) as i32);
-            let c = lo + hi;
-            memo.insert(f, c);
-            c
+            let n = m.arena.node(idx);
+            let lo = density(m, n.lo >> 1, memo);
+            let lo = if n.lo & 1 == 1 { 1.0 - lo } else { lo };
+            let hi = density(m, n.hi >> 1, memo);
+            let hi = if n.hi & 1 == 1 { 1.0 - hi } else { hi };
+            let p = 0.5 * (lo + hi);
+            memo.insert(idx, p);
+            p
         }
-        let top = rec(self, f.0, num_vars, &mut memo);
-        let root_level = if self.nodes[f.0 as usize].var == TERMINAL_VAR {
-            num_vars
-        } else {
-            self.nodes[f.0 as usize].var
-        };
-        top * 2f64.powi(root_level as i32)
+        let mut memo = HashMap::new();
+        let p = density(self, f.0 >> 1, &mut memo);
+        let p = if f.0 & 1 == 1 { 1.0 - p } else { p };
+        p * 2f64.powi(num_vars as i32)
     }
 
     /// Clears operation caches (unique table and nodes are kept).
@@ -699,14 +796,126 @@ impl BddManager {
     /// Hit/miss [`counters`](BddManager::counters) are cumulative and are
     /// *not* reset — use [`reset_counters`](BddManager::reset_counters).
     pub fn clear_caches(&mut self) {
-        self.counters.evictions += (self.apply_cache.len()
-            + self.ite_cache.len()
-            + self.not_cache.len()
-            + self.quant_cache.len()) as u64;
-        self.apply_cache.clear();
-        self.ite_cache.clear();
-        self.not_cache.clear();
-        self.quant_cache.clear();
+        self.counters.evictions +=
+            self.apply_cache.clear() + self.ite_cache.clear() + self.quant_cache.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Pins `f` (and everything it reaches) as a garbage-collection root.
+    /// Protection is refcounted: `n` protects require `n` unprotects.
+    pub fn protect(&mut self, f: Bdd) {
+        let idx = f.0 >> 1;
+        if idx != 0 {
+            *self.protected.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one protection of `f` (no-op if `f` is not protected).
+    pub fn unprotect(&mut self, f: Bdd) {
+        let idx = f.0 >> 1;
+        if let Some(count) = self.protected.get_mut(&idx) {
+            *count -= 1;
+            if *count == 0 {
+                self.protected.remove(&idx);
+            }
+        }
+    }
+
+    /// Enables automatic collection through
+    /// [`maybe_gc`](BddManager::maybe_gc) once the live node count exceeds
+    /// `threshold`; `None` disables it (the default). After each
+    /// collection the threshold adapts to `max(threshold, 2 × live)`.
+    pub fn set_gc_threshold(&mut self, threshold: Option<usize>) {
+        self.gc_threshold = threshold;
+        self.gc_initial_threshold = threshold.unwrap_or(0);
+    }
+
+    /// Enables automatic reordering through
+    /// [`maybe_reorder`](BddManager::maybe_reorder) once the live node
+    /// count exceeds `threshold`; `None` disables it (the default). After
+    /// each pass the threshold adapts to `max(threshold, 4 × live)`.
+    pub fn set_reorder_threshold(&mut self, threshold: Option<usize>) {
+        self.reorder_threshold = threshold;
+        self.reorder_initial_threshold = threshold.unwrap_or(0);
+    }
+
+    /// Runs mark-and-sweep garbage collection now and returns the number
+    /// of nodes freed. Live are: the terminal, everything reachable from
+    /// `roots`, and everything reachable from the
+    /// [`protect`](BddManager::protect)ed set. Operation caches are
+    /// invalidated; surviving nodes keep their indices, so every handle
+    /// rooted in the live set stays valid.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed [event hook](BddManager::set_event_hook)
+    /// returns; the diagram is untouched in that case.
+    pub fn gc(&mut self, roots: &[Bdd]) -> Result<usize, BddError> {
+        self.fire_event(BddEvent::Gc)?;
+        Ok(self.collect(roots))
+    }
+
+    /// Collects when garbage collection is enabled and the live node count
+    /// exceeds the adaptive threshold; returns whether it ran.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed [event hook](BddManager::set_event_hook)
+    /// returns.
+    pub fn maybe_gc(&mut self, roots: &[Bdd]) -> Result<bool, BddError> {
+        match self.gc_threshold {
+            Some(t) if self.arena.live() > t => {
+                self.gc(roots)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn collect(&mut self, roots: &[Bdd]) -> usize {
+        let freed = self.sweep(roots);
+        self.counters.gc_runs += 1;
+        self.counters.gc_freed_nodes += freed as u64;
+        if self.gc_threshold.is_some() {
+            self.gc_threshold = Some((self.arena.live() * 2).max(self.gc_initial_threshold));
+        }
+        freed
+    }
+
+    /// Mark-and-sweep without counter or threshold side effects; shared
+    /// between [`gc`](BddManager::gc) and the pre-sift cleanup in
+    /// [`reorder`](BddManager::reorder).
+    pub(crate) fn sweep(&mut self, roots: &[Bdd]) -> usize {
+        let mut marked = vec![false; self.arena.capacity()];
+        marked[0] = true;
+        let mut stack: Vec<u32> = roots.iter().map(|f| f.0 >> 1).collect();
+        stack.extend(self.protected.keys().copied());
+        while let Some(idx) = stack.pop() {
+            if marked[idx as usize] {
+                continue;
+            }
+            marked[idx as usize] = true;
+            let n = self.arena.node(idx);
+            stack.push(n.lo >> 1);
+            stack.push(n.hi >> 1);
+        }
+        let dead: Vec<u32> = self
+            .arena
+            .live_indices()
+            .filter(|&idx| !marked[idx as usize])
+            .collect();
+        let freed = dead.len();
+        for idx in dead {
+            self.arena.release(idx);
+        }
+        self.unique.rebuild(&self.arena);
+        // Cached results may reference freed nodes; drop every generation.
+        self.counters.evictions +=
+            self.apply_cache.clear() + self.ite_cache.clear() + self.quant_cache.clear();
+        freed
     }
 
     // ------------------------------------------------------------------
@@ -716,21 +925,25 @@ impl BddManager {
     /// Cumulative operation-cache hit/miss counters.
     #[inline]
     pub fn counters(&self) -> BddCounters {
-        self.counters
+        BddCounters {
+            unique_resizes: self.unique.resizes() - self.resizes_offset,
+            ..self.counters
+        }
     }
 
     /// Resets the hit/miss counters to zero (caches are untouched).
     pub fn reset_counters(&mut self) {
         self.counters = BddCounters::default();
+        self.resizes_offset = self.unique.resizes();
     }
 
-    /// High-water mark of the node store (terminals included).
+    /// High-water mark of the live node count (the terminal included).
     #[inline]
     pub fn peak_num_nodes(&self) -> usize {
-        self.peak_nodes
+        self.arena.peak()
     }
 
-    /// Number of entries in the unique table (terminals excluded).
+    /// Number of entries in the unique table (the terminal excluded).
     #[inline]
     pub fn unique_table_len(&self) -> usize {
         self.unique.len()
@@ -741,22 +954,26 @@ impl BddManager {
         OpCacheSizes {
             apply: self.apply_cache.len(),
             ite: self.ite_cache.len(),
-            not: self.not_cache.len(),
+            not: 0,
             quant: self.quant_cache.len(),
         }
     }
 
-    /// Live node count per variable level: index `v` holds the number of
-    /// nodes labelled with variable `v` (terminals excluded). The vector
-    /// has [`num_vars`](BddManager::num_vars) entries.
+    /// Live node count per variable: index `v` holds the number of live
+    /// nodes labelled with variable `v` (the terminal excluded). The
+    /// vector has [`num_vars`](BddManager::num_vars) entries.
     pub fn nodes_per_level(&self) -> Vec<usize> {
         let mut levels = vec![0usize; self.num_vars as usize];
-        for node in &self.nodes {
-            if node.var != TERMINAL_VAR {
-                levels[node.var as usize] += 1;
-            }
+        for idx in self.arena.live_indices() {
+            levels[self.arena.var(idx) as usize] += 1;
         }
         levels
+    }
+
+    /// The current variable order, top level first. Identity until the
+    /// first [`reorder`](BddManager::reorder).
+    pub fn current_order(&self) -> Vec<u32> {
+        self.level2var.clone()
     }
 
     /// Functional composition `f[var := g]`.
@@ -775,62 +992,99 @@ impl BddManager {
     pub fn support(&self, f: Bdd) -> Vec<u32> {
         let mut vars = std::collections::BTreeSet::new();
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f.0];
-        while let Some(n) = stack.pop() {
-            if n <= 1 || !seen.insert(n) {
+        let mut stack = vec![f.0 >> 1];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 || !seen.insert(idx) {
                 continue;
             }
-            let node = self.nodes[n as usize];
+            let node = self.arena.node(idx);
             vars.insert(node.var);
-            stack.push(node.lo);
-            stack.push(node.hi);
+            stack.push(node.lo >> 1);
+            stack.push(node.hi >> 1);
         }
         vars.into_iter().collect()
     }
 
-    /// Number of distinct nodes in the DAG rooted at `f` (terminals
-    /// excluded).
+    /// Number of distinct nodes in the DAG rooted at `f` (the terminal
+    /// excluded). A function and its complement share every node.
     pub fn dag_size(&self, f: Bdd) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f.0];
-        while let Some(n) = stack.pop() {
-            if n <= 1 || !seen.insert(n) {
+        let mut stack = vec![f.0 >> 1];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 || !seen.insert(idx) {
                 continue;
             }
-            let node = self.nodes[n as usize];
-            stack.push(node.lo);
-            stack.push(node.hi);
+            let node = self.arena.node(idx);
+            stack.push(node.lo >> 1);
+            stack.push(node.hi >> 1);
         }
         seen.len()
     }
 
-    /// Renders `f` in Graphviz dot format (solid = high edge, dashed = low).
+    /// Renders `f` in Graphviz dot format (solid = high edge, dashed =
+    /// low edge, `odot` arrowhead = complemented edge).
     pub fn to_dot(&self, f: Bdd, name: &str) -> String {
         use std::fmt::Write;
         let mut out = format!("digraph \"{name}\" {{\n");
-        out.push_str("  n0 [shape=box,label=\"0\"];\n");
-        out.push_str("  n1 [shape=box,label=\"1\"];\n");
+        out.push_str("  n0 [shape=box,label=\"1\"];\n");
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f.0];
-        while let Some(n) = stack.pop() {
-            if n <= 1 || !seen.insert(n) {
+        let mut stack = vec![f.0 >> 1];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 || !seen.insert(idx) {
                 continue;
             }
-            let node = self.nodes[n as usize];
-            let _ = writeln!(out, "  n{n} [label=\"x{}\"];", node.var);
-            let _ = writeln!(out, "  n{n} -> n{} [style=dashed];", node.lo);
-            let _ = writeln!(out, "  n{n} -> n{};", node.hi);
-            stack.push(node.lo);
-            stack.push(node.hi);
+            let node = self.arena.node(idx);
+            let _ = writeln!(out, "  n{idx} [label=\"x{}\"];", node.var);
+            let lo_tag = if node.lo & 1 == 1 {
+                ",arrowhead=odot"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  n{idx} -> n{} [style=dashed{lo_tag}];", node.lo >> 1);
+            let _ = writeln!(out, "  n{idx} -> n{};", node.hi >> 1);
+            stack.push(node.lo >> 1);
+            stack.push(node.hi >> 1);
         }
-        let _ = writeln!(out, "  root -> n{} [style=bold];", f.0);
+        let root_tag = if f.0 & 1 == 1 { ",arrowhead=odot" } else { "" };
+        let _ = writeln!(out, "  root -> n{} [style=bold{root_tag}];", f.0 >> 1);
         out.push_str("}\n");
         out
+    }
+
+    // Internal accessors shared with the reorder module.
+    pub(crate) fn arena(&self) -> &Arena {
+        &self.arena
+    }
+    pub(crate) fn split_for_swap(
+        &mut self,
+    ) -> (&mut Arena, &mut UniqueTable, &mut Vec<u32>, &mut Vec<u32>) {
+        (
+            &mut self.arena,
+            &mut self.unique,
+            &mut self.var2level,
+            &mut self.level2var,
+        )
+    }
+    pub(crate) fn bump_reorder_counters(&mut self, swaps: u64) {
+        self.counters.reorders += 1;
+        self.counters.reorder_swaps += swaps;
+    }
+    pub(crate) fn var_level(&self, var: u32) -> u32 {
+        self.var2level[var as usize]
+    }
+    pub(crate) fn var_at_level(&self, level: usize) -> u32 {
+        self.level2var[level]
+    }
+    pub(crate) fn protected_roots(&self) -> Vec<u32> {
+        let mut roots: Vec<u32> = self.protected.keys().copied().collect();
+        roots.sort_unstable();
+        roots
     }
 }
 
 // The rectification scheduler moves a manager into each worker thread, so
-// `Send` is load-bearing: keep the store free of `Rc`/raw-pointer state.
+// `Send` is load-bearing: keep the store free of `Rc`/raw-pointer state
+// (the event hook is constrained to `Send` closures).
 const _: () = {
     const fn assert_send<T: Send>() {}
     const fn assert_send_sync<T: Send + Sync>() {}
@@ -861,26 +1115,47 @@ mod tests {
         assert!(after.apply_hits > before.apply_hits);
         assert_eq!(after.apply_misses, before.apply_misses);
 
+        // Negation is a tag flip: no cache traffic, no allocation.
+        let nodes_before = m.num_nodes();
         let n = m.not(first).unwrap();
-        let miss = m.counters();
-        assert!(miss.not_misses >= 1);
         assert_eq!(m.not(first).unwrap(), n);
-        assert!(m.counters().not_hits > miss.not_hits);
+        assert_eq!(m.num_nodes(), nodes_before);
+        assert_eq!(m.counters().not_hits, 0);
+        assert_eq!(m.counters().not_misses, 0);
 
         m.reset_counters();
         assert_eq!(m.counters(), BddCounters::default());
     }
 
     #[test]
+    fn complement_pairs_share_one_node() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b).unwrap();
+        let nf = m.not(f).unwrap();
+        assert_ne!(f, nf);
+        assert_eq!(m.dag_size(f), m.dag_size(nf));
+        let back = m.not(nf).unwrap();
+        assert_eq!(back, f, "double negation is the identity");
+        // The negated variable shares the variable's node.
+        let nodes = m.num_nodes();
+        let na = m.nvar(0);
+        assert_eq!(m.num_nodes(), nodes);
+        let na2 = m.not(a).unwrap();
+        assert_eq!(na, na2);
+    }
+
+    #[test]
     fn peak_nodes_and_unique_table_track_growth() {
         let mut m = mgr();
-        assert_eq!(m.peak_num_nodes(), 2); // the two terminals
+        assert_eq!(m.peak_num_nodes(), 1); // the shared terminal
         assert_eq!(m.unique_table_len(), 0);
         let a = m.var(0);
         let b = m.var(1);
         let _ = m.xor(a, b).unwrap();
         assert_eq!(m.peak_num_nodes(), m.num_nodes());
-        assert_eq!(m.unique_table_len(), m.num_nodes() - 2);
+        assert_eq!(m.unique_table_len(), m.num_nodes() - 1);
         let peak = m.peak_num_nodes();
         m.clear_caches();
         assert_eq!(m.peak_num_nodes(), peak);
@@ -910,16 +1185,25 @@ mod tests {
     #[test]
     fn unique_resizes_are_counted() {
         let mut m = mgr();
-        // Build a function with enough distinct nodes to force the unique
-        // table through several capacity doublings.
-        let mut f = m.zero();
-        for i in 0..64 {
-            let v = m.var(i);
-            f = m.xor(f, v).unwrap();
+        // Build enough distinct nodes to force the unique table through
+        // several capacity doublings (initial capacity is 1024 slots).
+        let mut funcs = Vec::new();
+        for i in 0..40u32 {
+            for j in (i + 1)..40u32 {
+                let a = m.var(i);
+                let b = m.var(j);
+                let f = m.and(a, b).unwrap();
+                funcs.push(f);
+            }
+        }
+        let mut acc = m.zero();
+        for f in funcs {
+            acc = m.xor(acc, f).unwrap();
         }
         assert!(
             m.counters().unique_resizes > 0,
-            "64-variable parity must grow the unique table"
+            "the unique table must grow: {} entries",
+            m.unique_table_len()
         );
         assert!(m.counters().unique_resizes < m.unique_table_len() as u64);
     }
@@ -934,7 +1218,7 @@ mod tests {
         let _ = m.or(ab, c).unwrap();
         let levels = m.nodes_per_level();
         assert_eq!(levels.len(), 3);
-        assert_eq!(levels.iter().sum::<usize>(), m.num_nodes() - 2);
+        assert_eq!(levels.iter().sum::<usize>(), m.num_nodes() - 1);
         assert!(levels.iter().all(|&c| c > 0));
     }
 
@@ -949,11 +1233,19 @@ mod tests {
         total += BddCounters {
             apply_hits: 10,
             quant_misses: 3,
+            gc_runs: 2,
+            gc_freed_nodes: 7,
+            reorders: 1,
+            reorder_swaps: 5,
             ..BddCounters::default()
         };
         assert_eq!(total.apply_hits, 11);
         assert_eq!(total.apply_misses, 2);
         assert_eq!(total.quant_misses, 3);
+        assert_eq!(total.gc_runs, 2);
+        assert_eq!(total.gc_freed_nodes, 7);
+        assert_eq!(total.reorders, 1);
+        assert_eq!(total.reorder_swaps, 5);
         assert_eq!(total.total_hits(), 11);
         assert_eq!(total.total_misses(), 5);
     }
@@ -1005,7 +1297,7 @@ mod tests {
         let na = m.not(a).unwrap();
         let nb = m.not(b).unwrap();
         let rhs = m.or(na, nb).unwrap();
-        assert_eq!(lhs, rhs, "canonicity: equal functions share a node");
+        assert_eq!(lhs, rhs, "canonicity: equal functions share a handle");
     }
 
     #[test]
@@ -1083,17 +1375,26 @@ mod tests {
     #[test]
     fn node_limit_enforced() {
         let mut m = BddManager::with_node_limit(16);
-        // Build a function whose BDD needs many nodes: parity of 20 vars is
-        // fine, but the budget is tiny.
-        let mut f = m.zero();
+        // Build functions needing many distinct nodes against a tiny budget.
         let mut r = Ok(());
-        for i in 0..20 {
-            let v = m.var(i);
-            match m.xor(f, v) {
-                Ok(g) => f = g,
-                Err(e) => {
-                    r = Err(e);
-                    break;
+        let mut acc = m.zero();
+        'outer: for i in 0..20 {
+            for j in (i + 1)..20 {
+                let a = m.var(i);
+                let b = m.var(j);
+                let f = match m.and(a, b) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        r = Err(e);
+                        break 'outer;
+                    }
+                };
+                match m.xor(acc, f) {
+                    Ok(g) => acc = g,
+                    Err(e) => {
+                        r = Err(e);
+                        break 'outer;
+                    }
                 }
             }
         }
@@ -1207,7 +1508,9 @@ mod tests {
         let a = m.var(0);
         let b = m.var(1);
         let f = m.xor(a, b).unwrap();
-        assert_eq!(m.dag_size(f), 3); // root + two b-children
+        // With complement edges, xor needs just two nodes: the root and
+        // one shared child for b/¬b.
+        assert_eq!(m.dag_size(f), 2);
         assert_eq!(m.dag_size(m.zero()), 0);
     }
 
@@ -1226,16 +1529,108 @@ mod tests {
 
     #[test]
     fn parity_chain_is_linear() {
-        // Parity has a linear-size BDD under any order; sanity-check growth.
+        // Parity has a linear-size BDD under any order; with complement
+        // edges it is one node per level.
         let mut m = mgr();
         let mut f = m.zero();
         for i in 0..64 {
             let v = m.var(i);
             f = m.xor(f, v).unwrap();
         }
-        // Final parity BDD is linear (2 nodes per level); the store also
-        // retains intermediates of the accumulation, so bound quadratically.
-        assert!(m.num_nodes() < 2 + 2 * 64 * 64);
+        assert_eq!(m.dag_size(f), 64);
         assert_eq!(m.sat_count(f, 64), 2f64.powi(63));
+    }
+
+    #[test]
+    fn gc_frees_dead_nodes_and_keeps_roots() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let keep = m.xor(a, b).unwrap();
+        // Build garbage: a large parity accumulation we drop entirely.
+        let mut junk = m.one();
+        for i in 2..20 {
+            let v = m.var(i);
+            junk = m.xor(junk, v).unwrap();
+        }
+        let before = m.num_nodes();
+        // Roots must name every handle we keep using: `keep`'s DAG does
+        // not contain the single-variable node `a` (complement sharing),
+        // so it must be listed explicitly.
+        let freed = m.gc(&[keep, a, b]).unwrap();
+        assert!(freed > 0);
+        assert_eq!(m.num_nodes(), before - freed);
+        assert_eq!(m.unique_table_len(), m.num_nodes() - 1);
+        assert_eq!(m.counters().gc_runs, 1);
+        assert_eq!(m.counters().gc_freed_nodes, freed as u64);
+        // The kept function still works and is still canonical.
+        assert!(m.eval(keep, &[true, false]));
+        assert!(!m.eval(keep, &[true, true]));
+        let rebuilt = m.xor(a, b).unwrap();
+        assert_eq!(rebuilt, keep);
+        assert!(m.peak_num_nodes() >= before);
+    }
+
+    #[test]
+    fn protect_pins_nodes_across_gc() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b).unwrap();
+        m.protect(f);
+        let freed_protected = m.gc(&[]).unwrap();
+        assert!(m.eval(f, &[true, true]));
+        m.unprotect(f);
+        let freed_after = m.gc(&[]).unwrap();
+        assert!(
+            freed_after > 0,
+            "unprotected function is collected (protected pass freed {freed_protected})"
+        );
+        assert_eq!(m.num_nodes(), 1);
+    }
+
+    #[test]
+    fn maybe_gc_respects_threshold_and_adapts() {
+        let mut m = mgr();
+        m.set_gc_threshold(Some(8));
+        let a = m.var(0);
+        let b = m.var(1);
+        assert!(!m.maybe_gc(&[a, b]).unwrap(), "below threshold: no gc");
+        let mut junk = m.one();
+        for i in 0..32 {
+            let v = m.var(i);
+            junk = m.xor(junk, v).unwrap();
+        }
+        let keep = m.and(a, b).unwrap();
+        assert!(m.maybe_gc(&[keep]).unwrap());
+        assert!(m.counters().gc_runs >= 1);
+        assert!(m.eval(keep, &[true, true]));
+        // Disabled managers never collect.
+        m.set_gc_threshold(None);
+        let mut junk2 = m.one();
+        for i in 0..32 {
+            let v = m.var(i);
+            junk2 = m.xor(junk2, v).unwrap();
+        }
+        let n = m.num_nodes();
+        assert!(!m.maybe_gc(&[]).unwrap());
+        assert_eq!(m.num_nodes(), n);
+    }
+
+    #[test]
+    fn event_hook_can_abort_gc() {
+        let mut m = mgr();
+        let a = m.var(0);
+        let b = m.var(1);
+        let _f = m.and(a, b).unwrap();
+        let nodes = m.num_nodes();
+        m.set_event_hook(Some(Box::new(|event| {
+            assert_eq!(event, BddEvent::Gc);
+            Err(BddError::Cancelled)
+        })));
+        assert_eq!(m.gc(&[]), Err(BddError::Cancelled));
+        assert_eq!(m.num_nodes(), nodes, "aborted gc must not mutate");
+        m.set_event_hook(None);
+        assert!(m.gc(&[]).is_ok());
     }
 }

@@ -1,0 +1,456 @@
+//! Dynamic variable reordering by sifting.
+//!
+//! Each variable in turn is moved through the order with adjacent-level
+//! swaps and parked at the position that minimizes the live node count.
+//! Swaps rewrite affected nodes *in place*: a node keeps its arena index
+//! (and therefore every outstanding handle) while its `(var, lo, hi)`
+//! contents change, so handles denote the same boolean function before
+//! and after a reorder — the diagram shape changes, the semantics don't.
+//!
+//! Like garbage collection, reordering takes an explicit root set: nodes
+//! unreachable from `roots` and the protected set are reclaimed eagerly
+//! during swaps (exact refcounts make the sift size metric honest).
+//! Handles outside the root set may dangle afterwards, exactly as with
+//! [`BddManager::gc`].
+//!
+//! The adjacent swap preserves the canonical-form invariants. For an
+//! affected node `n = (x, f0, f1)` with `y` the level below, the rewrite
+//! is `n ← (y, B, A)` where `A = mk(x, f01, f11)` and `B = mk(x, f00,
+//! f10)`. `f11` is always a regular edge (the `hi` edge of a stored node
+//! is regular, and cofactoring a regular edge keeps it regular), so `A`
+//! is regular whether or not `mk` collapses it — the stored `hi` edge
+//! stays regular. `A == B` would mean `n` does not depend on `y`, which
+//! contradicts `n` having a `y`-child under canonicity, so `n` never
+//! collapses and its identity is safe to preserve.
+
+use crate::arena::Arena;
+use crate::manager::{Bdd, BddEvent, BddManager};
+use crate::BddError;
+
+/// Sifting is applied to at most this many variables per pass, largest
+/// level first; the tail contributes little and costs the same.
+const MAX_SIFT_VARS: usize = 32;
+
+/// Cofactors of `edge` with respect to variable `v`, complement bit
+/// pushed into the children.
+#[inline]
+fn cofactor(arena: &Arena, edge: u32, v: u32) -> (u32, u32) {
+    let idx = edge >> 1;
+    if arena.var(idx) == v {
+        let n = arena.node(idx);
+        let c = edge & 1;
+        (n.lo ^ c, n.hi ^ c)
+    } else {
+        (edge, edge)
+    }
+}
+
+impl BddManager {
+    /// Runs one sifting pass now and returns the number of adjacent-level
+    /// swaps performed. Semantics of every node reachable from `roots`
+    /// (or [`protect`](BddManager::protect)ed) are preserved — handles
+    /// keep denoting the same functions, at the same arena indices.
+    /// Unreachable nodes are reclaimed; operation caches are invalidated.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed [event hook](BddManager::set_event_hook)
+    /// returns; the diagram is untouched in that case.
+    pub fn reorder(&mut self, roots: &[Bdd]) -> Result<usize, BddError> {
+        self.fire_event(BddEvent::Reorder)?;
+        // Drop garbage first so refcounts and the sift metric see only
+        // reachable nodes.
+        self.sweep(roots);
+        let swaps = self.sift_all(roots);
+        self.bump_reorder_counters(swaps);
+        Ok(swaps as usize)
+    }
+
+    /// Reorders when automatic reordering is enabled
+    /// ([`set_reorder_threshold`](BddManager::set_reorder_threshold)) and
+    /// the live node count exceeds the adaptive threshold; returns
+    /// whether it ran. After a pass the threshold adapts to
+    /// `max(threshold, 4 × live)` so a diagram that stays large does not
+    /// re-sift on every check.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed [event hook](BddManager::set_event_hook)
+    /// returns.
+    pub fn maybe_reorder(&mut self, roots: &[Bdd]) -> Result<bool, BddError> {
+        match self.reorder_threshold {
+            Some(t) if self.num_nodes() > t => {
+                self.reorder(roots)?;
+                let adapted = t
+                    .max(self.num_nodes() * 4)
+                    .max(self.reorder_initial_threshold);
+                self.reorder_threshold = Some(adapted);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn sift_all(&mut self, roots: &[Bdd]) -> u64 {
+        let nlevels = self.num_vars() as usize;
+        if nlevels < 2 {
+            return 0;
+        }
+        // Exact reference counts over the post-sweep live set. External
+        // references (roots + protected) pin nodes the DAG alone doesn't.
+        let mut refs: Vec<u32> = vec![0; self.arena().capacity()];
+        refs[0] = 1;
+        for idx in self.arena().live_indices() {
+            let n = self.arena().node(idx);
+            refs[(n.lo >> 1) as usize] += 1;
+            refs[(n.hi >> 1) as usize] += 1;
+        }
+        for f in roots {
+            refs[(f.0 >> 1) as usize] += 1;
+        }
+        for idx in self.protected_roots() {
+            refs[idx as usize] += 1;
+        }
+        // Per-variable node lists; entries can go stale (node freed or
+        // relabelled) and are filtered by a var check on use.
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); nlevels];
+        for idx in self.arena().live_indices() {
+            lists[self.arena().var(idx) as usize].push(idx);
+        }
+        // Largest level first; ties broken by variable index so the pass
+        // is deterministic.
+        let mut order: Vec<u32> = (0..nlevels as u32).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(lists[v as usize].len()), v));
+        order.truncate(MAX_SIFT_VARS);
+
+        let start_total = self.num_nodes();
+        let mut swaps = 0u64;
+        for v in order {
+            swaps += self.sift_var(v, &mut lists, &mut refs);
+            if self.num_nodes() > start_total.saturating_mul(2) {
+                // Runaway growth across the whole pass: stop sifting.
+                break;
+            }
+        }
+        swaps
+    }
+
+    /// Moves variable `v` to its locally best level: sweep toward the
+    /// nearer end of the order first, then the other end, then settle at
+    /// the smallest diagram seen.
+    fn sift_var(&mut self, v: u32, lists: &mut [Vec<u32>], refs: &mut Vec<u32>) -> u64 {
+        let nlevels = lists.len();
+        let start = self.var_level(v) as usize;
+        let mut best_size = self.num_nodes();
+        let mut best_level = start;
+        let mut swaps = 0u64;
+        if start * 2 < nlevels {
+            swaps += self.sweep_dir(v, true, lists, refs, &mut best_size, &mut best_level);
+            swaps += self.sweep_dir(v, false, lists, refs, &mut best_size, &mut best_level);
+        } else {
+            swaps += self.sweep_dir(v, false, lists, refs, &mut best_size, &mut best_level);
+            swaps += self.sweep_dir(v, true, lists, refs, &mut best_size, &mut best_level);
+        }
+        while (self.var_level(v) as usize) < best_level {
+            let upper = self.var_level(v) as usize;
+            self.swap_adjacent(upper, lists, refs);
+            swaps += 1;
+        }
+        while (self.var_level(v) as usize) > best_level {
+            let upper = self.var_level(v) as usize - 1;
+            self.swap_adjacent(upper, lists, refs);
+            swaps += 1;
+        }
+        swaps
+    }
+
+    /// Sweeps `v` to the top (`up`) or bottom of the order, recording the
+    /// best size/level seen; aborts the direction early once the diagram
+    /// grows 20% past the best.
+    fn sweep_dir(
+        &mut self,
+        v: u32,
+        up: bool,
+        lists: &mut [Vec<u32>],
+        refs: &mut Vec<u32>,
+        best_size: &mut usize,
+        best_level: &mut usize,
+    ) -> u64 {
+        let nlevels = lists.len();
+        let mut swaps = 0u64;
+        loop {
+            let level = self.var_level(v) as usize;
+            let upper = if up {
+                if level == 0 {
+                    break;
+                }
+                level - 1
+            } else {
+                if level + 1 >= nlevels {
+                    break;
+                }
+                level
+            };
+            self.swap_adjacent(upper, lists, refs);
+            swaps += 1;
+            let size = self.num_nodes();
+            if size < *best_size {
+                *best_size = size;
+                *best_level = self.var_level(v) as usize;
+            } else if size * 10 > *best_size * 12 + 20 {
+                break;
+            }
+        }
+        swaps
+    }
+
+    /// Swaps the variables at `upper` and `upper + 1`, rewriting affected
+    /// nodes in place and keeping `refs` exact (orphaned nodes are freed
+    /// immediately).
+    fn swap_adjacent(&mut self, upper: usize, lists: &mut [Vec<u32>], refs: &mut Vec<u32>) {
+        let vu = self.var_at_level(upper);
+        let vl = self.var_at_level(upper + 1);
+        // Nodes labelled `vu` with a `vl` child are the only ones the swap
+        // touches; everything else keeps its label and children.
+        let mut affected: Vec<u32> = Vec::new();
+        {
+            let arena = self.arena();
+            for &idx in &lists[vu as usize] {
+                let n = arena.node(idx);
+                if n.var != vu {
+                    continue; // stale list entry: freed or relabelled
+                }
+                if arena.var(n.lo >> 1) == vl || arena.var(n.hi >> 1) == vl {
+                    affected.push(idx);
+                }
+            }
+        }
+        // Slot reuse can put the same index in a list twice.
+        affected.sort_unstable();
+        affected.dedup();
+        // Detach the keys first so `mk` can never resolve to a node whose
+        // contents are about to change.
+        {
+            let (arena, unique, _, _) = self.split_for_swap();
+            for &idx in affected.iter() {
+                unique.remove(arena, idx);
+            }
+        }
+        for &idx in affected.iter() {
+            let n = self.arena().node(idx);
+            let (f0, f1) = (n.lo, n.hi);
+            let (f00, f01) = cofactor(self.arena(), f0, vl);
+            let (f10, f11) = cofactor(self.arena(), f1, vl);
+            let a = self.mk_tracked(vu, f01, f11, lists, refs);
+            let b = self.mk_tracked(vu, f00, f10, lists, refs);
+            debug_assert_eq!(a & 1, 0, "hi edge of a swapped node must stay regular");
+            refs[(a >> 1) as usize] += 1;
+            refs[(b >> 1) as usize] += 1;
+            {
+                let (arena, unique, _, _) = self.split_for_swap();
+                arena.rewrite(idx, vl, b, a);
+                unique.insert(arena, idx, vl, b, a);
+            }
+            self.drop_ref(f0, refs);
+            self.drop_ref(f1, refs);
+        }
+        {
+            let arena = self.arena();
+            lists[vu as usize].retain(|&i| arena.var(i) == vu);
+            lists[vl as usize].retain(|&i| arena.var(i) == vl);
+        }
+        lists[vl as usize].extend_from_slice(&affected);
+        let (_, _, var2level, level2var) = self.split_for_swap();
+        var2level[vu as usize] = (upper + 1) as u32;
+        var2level[vl as usize] = upper as u32;
+        level2var[upper] = vl;
+        level2var[upper + 1] = vu;
+    }
+
+    /// `mk` that keeps `refs` and the per-variable lists in sync when a
+    /// node is freshly allocated (a found node is already accounted for).
+    fn mk_tracked(
+        &mut self,
+        var: u32,
+        lo: u32,
+        hi: u32,
+        lists: &mut [Vec<u32>],
+        refs: &mut Vec<u32>,
+    ) -> u32 {
+        let before = self.arena().allocs();
+        let e = self.mk(var, lo, hi);
+        if self.arena().allocs() != before {
+            let idx = e >> 1;
+            if refs.len() < self.arena().capacity() {
+                refs.resize(self.arena().capacity(), 0);
+            }
+            refs[idx as usize] = 0;
+            // Complement normalization inside `mk` flips edges, not node
+            // indices, so counting `lo >> 1` / `hi >> 1` is exact either way.
+            refs[(lo >> 1) as usize] += 1;
+            refs[(hi >> 1) as usize] += 1;
+            lists[var as usize].push(idx);
+        }
+        e
+    }
+
+    /// Releases one reference to `edge`'s node, freeing it (and cascading
+    /// into its children) when the count reaches zero.
+    fn drop_ref(&mut self, edge: u32, refs: &mut [u32]) {
+        let mut stack = vec![edge >> 1];
+        while let Some(idx) = stack.pop() {
+            if idx == 0 {
+                continue; // the terminal is permanent
+            }
+            debug_assert!(refs[idx as usize] > 0, "refcount underflow on node {idx}");
+            refs[idx as usize] -= 1;
+            if refs[idx as usize] == 0 {
+                let n = self.arena().node(idx);
+                stack.push(n.lo >> 1);
+                stack.push(n.hi >> 1);
+                let (arena, unique, _, _) = self.split_for_swap();
+                unique.remove(arena, idx);
+                arena.release(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f = (x0 ∧ x3) ∨ (x1 ∧ x4) ∨ (x2 ∧ x5): the classic interleaving
+    /// benchmark — quadratic under the `a a a b b b` order, linear under
+    /// `a b a b a b`.
+    fn disjoint_ands(m: &mut BddManager) -> Bdd {
+        let mut f = m.zero();
+        for i in 0..3 {
+            let a = m.var(i);
+            let b = m.var(3 + i);
+            let t = m.and(a, b).unwrap();
+            f = m.or(f, t).unwrap();
+        }
+        f
+    }
+
+    fn all_assignments(n: u32) -> impl Iterator<Item = Vec<bool>> {
+        (0..1u32 << n).map(move |bits| (0..n).map(|i| bits >> i & 1 == 1).collect())
+    }
+
+    #[test]
+    fn sifting_shrinks_a_badly_ordered_function() {
+        let mut m = BddManager::new();
+        let f = disjoint_ands(&mut m);
+        let before_size = m.dag_size(f);
+        let truth: Vec<bool> = all_assignments(6).map(|a| m.eval(f, &a)).collect();
+        let sat_before = m.sat_count(f, 6);
+
+        let swaps = m.reorder(&[f]).unwrap();
+        assert!(swaps > 0, "sifting must actually move variables");
+        assert!(
+            m.dag_size(f) < before_size,
+            "interleaving must shrink the diagram: {} -> {}",
+            before_size,
+            m.dag_size(f)
+        );
+        assert_ne!(
+            m.current_order(),
+            (0..6).collect::<Vec<u32>>(),
+            "the order must have changed"
+        );
+        let truth_after: Vec<bool> = all_assignments(6).map(|a| m.eval(f, &a)).collect();
+        assert_eq!(truth, truth_after, "reorder must preserve semantics");
+        assert_eq!(m.sat_count(f, 6), sat_before);
+        let c = m.counters();
+        assert_eq!(c.reorders, 1);
+        assert_eq!(c.reorder_swaps, swaps as u64);
+    }
+
+    #[test]
+    fn reorder_preserves_canonicity_and_handle_identity() {
+        let mut m = BddManager::new();
+        let f = disjoint_ands(&mut m);
+        m.reorder(&[f]).unwrap();
+        // Rebuilding the same function must find the same handle.
+        let g = disjoint_ands(&mut m);
+        assert_eq!(f, g, "canonical handle identity survives reordering");
+        // Unique table and arena agree after the rewrite storm.
+        assert_eq!(m.unique_table_len(), m.num_nodes() - 1);
+        // nodes_per_level stays var-indexed and totals the live count.
+        let total: usize = m.nodes_per_level().iter().sum();
+        assert_eq!(total, m.num_nodes() - 1);
+    }
+
+    #[test]
+    fn reorder_reclaims_unrooted_garbage() {
+        let mut m = BddManager::new();
+        let f = disjoint_ands(&mut m);
+        let a = m.var(0);
+        let b = m.var(1);
+        let junk = m.xor(a, b).unwrap();
+        assert!(!m.is_const(junk));
+        let before = m.num_nodes();
+        m.reorder(&[f]).unwrap();
+        assert!(
+            m.num_nodes() < before,
+            "nodes outside the root set are reclaimed"
+        );
+    }
+
+    #[test]
+    fn maybe_reorder_honours_and_adapts_threshold() {
+        let mut m = BddManager::new();
+        let f = disjoint_ands(&mut m);
+        assert!(!m.maybe_reorder(&[f]).unwrap(), "disabled by default");
+        m.set_reorder_threshold(Some(2));
+        assert!(m.maybe_reorder(&[f]).unwrap());
+        assert!(
+            !m.maybe_reorder(&[f]).unwrap(),
+            "adapted threshold suppresses an immediate re-sift"
+        );
+        m.set_reorder_threshold(None);
+        assert!(!m.maybe_reorder(&[f]).unwrap());
+    }
+
+    #[test]
+    fn event_hook_aborts_reorder_without_mutation() {
+        let mut m = BddManager::new();
+        let f = disjoint_ands(&mut m);
+        let size = m.dag_size(f);
+        let order = m.current_order();
+        m.set_event_hook(Some(Box::new(|e| {
+            if e == BddEvent::Reorder {
+                Err(BddError::Cancelled)
+            } else {
+                Ok(())
+            }
+        })));
+        assert!(matches!(m.reorder(&[f]), Err(BddError::Cancelled)));
+        assert_eq!(m.current_order(), order, "aborted reorder leaves order");
+        assert_eq!(m.dag_size(f), size);
+        assert_eq!(m.counters().reorders, 0);
+        m.set_event_hook(None);
+        assert!(m.reorder(&[f]).is_ok());
+    }
+
+    #[test]
+    fn repeated_reorders_stay_semantically_stable() {
+        let mut m = BddManager::new();
+        // A parity chain: already order-invariant in size, so sifting
+        // mostly churns — a good stress for swap bookkeeping.
+        let mut f = m.zero();
+        for i in 0..8 {
+            let v = m.var(i);
+            f = m.xor(f, v).unwrap();
+        }
+        let truth: Vec<bool> = all_assignments(8).map(|a| m.eval(f, &a)).collect();
+        for _ in 0..3 {
+            m.reorder(&[f]).unwrap();
+            let now: Vec<bool> = all_assignments(8).map(|a| m.eval(f, &a)).collect();
+            assert_eq!(truth, now);
+            assert_eq!(m.unique_table_len(), m.num_nodes() - 1);
+        }
+        assert_eq!(m.sat_count(f, 8), (1u64 << 7) as f64);
+    }
+}

@@ -57,15 +57,25 @@ fn bench_point_set_enumeration(c: &mut Criterion) {
             let pins = candidate_pins(&circuit, root, 0, 24);
             let sel = Selection::new(0, 2, pins.len());
             let y_base = sel.num_t_vars();
-            let dom = SamplingDomain::new(samples.clone(), y_base + 4).unwrap();
-            let g = dom.input_functions(&mut m, circuit.num_inputs()).unwrap();
             // Target: a deliberately wrong f' (negated output) to make H(t)
             // non-trivial.
-            let vals = eval_all_bdd(&circuit, &mut m, &g).unwrap();
-            let fprime = m.not(vals[root.index()]).unwrap();
+            let fprime_bits: Vec<bool> = samples
+                .iter()
+                .map(|x| !circuit.eval_nets(x).unwrap()[root.index()])
+                .collect();
             std::hint::black_box(
                 feasible_point_sets(
-                    &circuit, &mut m, &g, fprime, root, 0, &pins, &sel, y_base, 8, 4,
+                    &circuit,
+                    &mut m,
+                    &samples,
+                    &fprime_bits,
+                    root,
+                    0,
+                    &pins,
+                    &sel,
+                    y_base,
+                    8,
+                    4,
                 )
                 .unwrap(),
             )

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <current.json> [--tol RATIO]
-//!            [--metric-tol KEY=RATIO ...]
+//!            [--metric-tol KEY=RATIO ...] [--metric-dir KEY=DIR ...]
 //! bench_diff --self-test
 //! ```
 //!
@@ -10,6 +10,9 @@
 //! time-like keys regress upward, rate-like keys regress downward,
 //! counters only drift. The default tolerance is ±20%; `--tol` changes
 //! it globally and `--metric-tol key=0.05` pins one key.
+//! `--metric-dir key=lower|higher|info` overrides a key's direction —
+//! the way CI turns informational node counts (`direct_build.peak_nodes`)
+//! into lower-is-better gates.
 //!
 //! Exit codes: 0 no regressions, 1 at least one regression, 2 usage or
 //! parse error. `--self-test` seeds a >20% wall-clock regression into a
@@ -19,12 +22,13 @@
 
 use std::process::ExitCode;
 
-use syseco_bench::diff::{compare_texts, DiffReport, Tolerances};
+use syseco_bench::diff::{compare_texts, DiffReport, Direction, Tolerances};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bench_diff <baseline.json> <current.json> [--tol RATIO]\n             \
-         [--metric-tol KEY=RATIO ...]\n  bench_diff --self-test"
+         [--metric-tol KEY=RATIO ...] [--metric-dir KEY=lower|higher|info ...]\n  \
+         bench_diff --self-test"
     );
     ExitCode::from(2)
 }
@@ -68,6 +72,23 @@ fn main() -> ExitCode {
                     }
                     _ => {
                         eprintln!("error: bad tolerance in {value:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--metric-dir" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Some((key, dir)) = value.split_once('=') else {
+                    eprintln!("error: --metric-dir wants KEY=lower|higher|info, got {value:?}");
+                    return ExitCode::from(2);
+                };
+                match Direction::parse(dir) {
+                    Ok(d) => tolerances.per_metric_direction.push((key.to_string(), d)),
+                    Err(e) => {
+                        eprintln!("error: {e}");
                         return ExitCode::from(2);
                     }
                 }
@@ -139,6 +160,32 @@ fn self_test() -> ExitCode {
         keys,
         ["wall_clock_s"],
         "self-test: the seeded +25% wall-clock regression must be the only flag"
+    );
+    // A direction override must be able to gate an informational counter.
+    let counter_bloat = base.replace("100", "150");
+    let gated = Tolerances {
+        per_metric_direction: vec![(
+            "counters.sat.conflicts".to_string(),
+            Direction::LowerIsBetter,
+        )],
+        ..Tolerances::default()
+    };
+    let ungated =
+        compare_texts(base, &counter_bloat, &Tolerances::default()).expect("self-test parse");
+    assert!(
+        ungated.regressions().is_empty(),
+        "self-test: counter drift must pass without a direction override"
+    );
+    let dir_report = compare_texts(base, &counter_bloat, &gated).expect("self-test parse");
+    let dir_keys: Vec<&str> = dir_report
+        .regressions()
+        .iter()
+        .map(|r| r.key.as_str())
+        .collect();
+    assert_eq!(
+        dir_keys,
+        ["counters.sat.conflicts"],
+        "self-test: --metric-dir lower must gate the +50% counter"
     );
     println!("self-test: seeded +25% wall_clock_s regression, expecting exit 1\n");
     finish(&report)

@@ -17,7 +17,9 @@
 //! The default tolerance is deliberately loose ([`DEFAULT_TOLERANCE`],
 //! ±20%): benchmark hosts jitter, and the CI perf gate built on this is a
 //! soft signal, not a merge blocker. Per-metric overrides tighten or
-//! loosen individual keys.
+//! loosen individual keys, and per-metric *direction* overrides promote
+//! informational counters (e.g. `direct_build.peak_nodes`) into
+//! lower-is-better gates so structural wins stay locked in.
 
 use std::fmt::Write as _;
 
@@ -60,13 +62,40 @@ pub fn direction(key: &str) -> Direction {
     }
 }
 
+impl Direction {
+    /// Parses a CLI/CI direction name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token when it is not one of
+    /// `lower` | `higher` | `info`.
+    pub fn parse(s: &str) -> Result<Direction, String> {
+        match s {
+            "lower" => Ok(Direction::LowerIsBetter),
+            "higher" => Ok(Direction::HigherIsBetter),
+            "info" => Ok(Direction::Informational),
+            other => Err(format!(
+                "unknown direction {other:?} (expected lower|higher|info)"
+            )),
+        }
+    }
+}
+
 /// Tolerances for [`compare`]: a default plus per-metric overrides.
+///
+/// Direction overrides make otherwise-informational counters gate-worthy
+/// (`direct_build.peak_nodes=lower` turns node-count growth into a
+/// regression) or silence a directional key whose unit heuristic
+/// misclassifies it; they take precedence over [`direction`]'s key-based
+/// classification.
 #[derive(Debug, Clone)]
 pub struct Tolerances {
     /// Relative tolerance applied to every directional metric.
     pub default: f64,
     /// `(key, tolerance)` overrides; exact flattened-key match.
     pub per_metric: Vec<(String, f64)>,
+    /// `(key, direction)` overrides; exact flattened-key match.
+    pub per_metric_direction: Vec<(String, Direction)>,
 }
 
 impl Default for Tolerances {
@@ -74,6 +103,7 @@ impl Default for Tolerances {
         Tolerances {
             default: DEFAULT_TOLERANCE,
             per_metric: Vec::new(),
+            per_metric_direction: Vec::new(),
         }
     }
 }
@@ -85,6 +115,14 @@ impl Tolerances {
             .find(|(k, _)| k == key)
             .map(|(_, t)| *t)
             .unwrap_or(self.default)
+    }
+
+    fn direction_for(&self, key: &str) -> Direction {
+        self.per_metric_direction
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, d)| *d)
+            .unwrap_or_else(|| direction(key))
     }
 }
 
@@ -225,7 +263,7 @@ pub fn compare(base: &Value, current: &Value, tolerances: &Tolerances) -> DiffRe
             report.missing_in_current.push(key.clone());
             continue;
         };
-        let direction = direction(key);
+        let direction = tolerances.direction_for(key);
         let tolerance = tolerances.for_key(key);
         let change = if *base_value == 0.0 {
             if *current_value == 0.0 {
@@ -358,8 +396,62 @@ mod tests {
     fn per_metric_override_tightens_one_key() {
         let current = BASE.replace("10.0", "10.8"); // +8%
         let tolerances = Tolerances {
-            default: DEFAULT_TOLERANCE,
             per_metric: vec![("wall_clock_s".to_string(), 0.05)],
+            ..Tolerances::default()
+        };
+        let report = compare_texts(BASE, &current, &tolerances).unwrap();
+        assert_eq!(report.regressions().len(), 1);
+    }
+
+    #[test]
+    fn direction_parse_round_trips_and_rejects_junk() {
+        assert_eq!(Direction::parse("lower"), Ok(Direction::LowerIsBetter));
+        assert_eq!(Direction::parse("higher"), Ok(Direction::HigherIsBetter));
+        assert_eq!(Direction::parse("info"), Ok(Direction::Informational));
+        assert!(Direction::parse("sideways").is_err());
+    }
+
+    #[test]
+    fn direction_override_gates_an_informational_counter() {
+        // `metrics.sat.conflicts` classifies Informational; a lower-is-better
+        // override turns its 9x growth into a regression.
+        let current = BASE.replace("100", "900");
+        let tolerances = Tolerances {
+            per_metric_direction: vec![(
+                "metrics.sat.conflicts".to_string(),
+                Direction::LowerIsBetter,
+            )],
+            ..Tolerances::default()
+        };
+        let report = compare_texts(BASE, &current, &tolerances).unwrap();
+        let regressions = report.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].key, "metrics.sat.conflicts");
+        assert_eq!(regressions[0].direction, Direction::LowerIsBetter);
+    }
+
+    #[test]
+    fn direction_override_silences_a_directional_key() {
+        let current = BASE.replace("10.0", "30.0"); // 3x wall clock
+        let tolerances = Tolerances {
+            per_metric_direction: vec![("wall_clock_s".to_string(), Direction::Informational)],
+            ..Tolerances::default()
+        };
+        let report = compare_texts(BASE, &current, &tolerances).unwrap();
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn direction_override_composes_with_tolerance_override() {
+        // Gate the counter AND tighten it: +8% crosses a 5% tolerance.
+        let current = BASE.replace("100", "108");
+        let tolerances = Tolerances {
+            per_metric: vec![("metrics.sat.conflicts".to_string(), 0.05)],
+            per_metric_direction: vec![(
+                "metrics.sat.conflicts".to_string(),
+                Direction::LowerIsBetter,
+            )],
+            ..Tolerances::default()
         };
         let report = compare_texts(BASE, &current, &tolerances).unwrap();
         assert_eq!(report.regressions().len(), 1);

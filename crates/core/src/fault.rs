@@ -135,6 +135,11 @@ pub struct FaultPolicy {
     pub sat_exhaust_from: Option<u64>,
     /// Panic inside the Nth per-output search (exactly once).
     pub panic_at: Option<u64>,
+    /// Abort (veto through the BDD event hook) from the Nth garbage
+    /// collection pass onwards, in any manager armed by this budget.
+    pub bdd_gc_abort_from: Option<u64>,
+    /// Abort from the Nth sifting reorder pass onwards, likewise.
+    pub bdd_reorder_abort_from: Option<u64>,
 }
 
 /// A complete, named, replayable fault schedule for one run.
@@ -177,6 +182,8 @@ impl FaultPlan {
             "bdd-node-limit".to_string(),
             "sat-exhaust".to_string(),
             "search-panic".to_string(),
+            "bdd-gc".to_string(),
+            "bdd-reorder".to_string(),
         ];
         for p in SpanPoint::ALL {
             names.push(format!("cancel:{}", p.name()));
@@ -239,6 +246,8 @@ impl FaultPlan {
                 "bdd-node-limit" => plan.policy.bdd_node_limit_from = Some(count),
                 "sat-exhaust" => plan.policy.sat_exhaust_from = Some(count),
                 "search-panic" => plan.policy.panic_at = Some(count),
+                "bdd-gc" => plan.policy.bdd_gc_abort_from = Some(count),
+                "bdd-reorder" => plan.policy.bdd_reorder_abort_from = Some(count),
                 "cache-read-error" => plan.cache_io.read_error_at = window,
                 "cache-short-write" => plan.cache_io.short_write_at = window,
                 "cache-rename-error" => plan.cache_io.rename_error_at = window,
@@ -263,6 +272,12 @@ impl FaultPlan {
         }
         if let Some(n) = self.policy.panic_at {
             tokens.push(format!("search-panic@{n}"));
+        }
+        if let Some(n) = self.policy.bdd_gc_abort_from {
+            tokens.push(format!("bdd-gc@{n}"));
+        }
+        if let Some(n) = self.policy.bdd_reorder_abort_from {
+            tokens.push(format!("bdd-reorder@{n}"));
         }
         if let Some((p, n)) = self.cancel_at {
             tokens.push(format!("cancel:{}@{n}", p.name()));
@@ -299,9 +314,14 @@ pub(crate) struct FaultState {
     pub(crate) bdd_attempts: std::sync::atomic::AtomicU64,
     pub(crate) sat_validations: std::sync::atomic::AtomicU64,
     pub(crate) searches: std::sync::atomic::AtomicU64,
+    /// GC / reorder passes observed across every manager this budget armed;
+    /// `Arc` because the counting happens inside event-hook closures that
+    /// outlive the borrow of the budget.
+    pub(crate) bdd_gc_events: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    pub(crate) bdd_reorder_events: std::sync::Arc<std::sync::atomic::AtomicU64>,
     pub(crate) spans: [std::sync::atomic::AtomicU64; SpanPoint::ALL.len()],
     pub(crate) cancelled: std::sync::atomic::AtomicBool,
-    pub(crate) injected: std::sync::atomic::AtomicU64,
+    pub(crate) injected: std::sync::Arc<std::sync::atomic::AtomicU64>,
     pub(crate) cache_vfs: std::sync::OnceLock<std::sync::Arc<eco_cache::FaultVfs>>,
     pub(crate) checkpoint_vfs: std::sync::OnceLock<std::sync::Arc<eco_cache::FaultVfs>>,
 }
@@ -333,7 +353,7 @@ mod tests {
             assert_eq!(plan.spec(), spec, "{name} spec must roundtrip");
             assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
         }
-        assert_eq!(FaultPlan::point_names().len(), 3 + 22 + 12);
+        assert_eq!(FaultPlan::point_names().len(), 5 + 22 + 12);
     }
 
     #[test]

@@ -79,6 +79,15 @@ pub struct EcoOptions {
     pub seed: u64,
     /// Node budget of the per-output BDD manager.
     pub bdd_node_limit: usize,
+    /// Live-node threshold that triggers a BDD mark-and-sweep pass at the
+    /// next point-set boundary of a search (`None` disables automatic
+    /// collection). Adapts upward after each pass so a genuinely large
+    /// working set is not thrashed.
+    pub bdd_gc_threshold: Option<usize>,
+    /// Live-node threshold that triggers a sifting reorder pass at the
+    /// next point-set boundary (`None` disables automatic reordering).
+    /// Also adapts upward after each pass.
+    pub bdd_reorder_threshold: Option<usize>,
     /// Wall-clock budget for the whole rectification run. When it expires,
     /// outputs still unrectified degrade to the output-rewire fallback and
     /// the cut is recorded in [`RectifyStats::degradations`].
@@ -130,6 +139,8 @@ impl Default for EcoOptions {
             level_driven: false,
             seed: 0xEC0,
             bdd_node_limit: 2_000_000,
+            bdd_gc_threshold: Some(1 << 16),
+            bdd_reorder_threshold: Some(1 << 17),
             timeout: None,
             jobs: 0,
             cache_dir: None,
@@ -227,6 +238,10 @@ impl EcoOptionsBuilder {
         seed: u64,
         /// Sets [`EcoOptions::bdd_node_limit`].
         bdd_node_limit: usize,
+        /// Sets [`EcoOptions::bdd_gc_threshold`].
+        bdd_gc_threshold: Option<usize>,
+        /// Sets [`EcoOptions::bdd_reorder_threshold`].
+        bdd_reorder_threshold: Option<usize>,
         /// Sets [`EcoOptions::jobs`] (`0` = available parallelism).
         jobs: usize,
         /// Sets [`EcoOptions::cache_mode`].

@@ -1,0 +1,207 @@
+//! Bit-parallel simulation pre-filter for rewiring candidates.
+//!
+//! Before a candidate consumes one of the per-output SAT-validation slots,
+//! a cheap screen applies its rewires to a scratch copy of the
+//! implementation and compares the patched target output against the
+//! specification over the accumulated *sample bank* with 64-wide parallel
+//! simulation. The bank is strictly larger than the sampling domain the
+//! candidate was endorsed by — it also holds refinement counterexamples
+//! and assignments learned while searching other outputs — so the screen
+//! rejects candidates the domain was too coarse to see through, without
+//! paying for SAT.
+//!
+//! The screen is *sound*: a [`Validation::Valid`](crate::validate::Validation)
+//! patch must agree with the specification on the target output for every
+//! input assignment, in particular on every banked one, so any mismatch
+//! proves the candidate invalid and SAT would have rejected it too. A
+//! structurally infeasible rewire (one that would create a cycle) is
+//! screened for the same reason — validation maps it to `Infeasible`.
+//! Candidates that pass still go through full SAT validation; the screen
+//! never admits anything, it only refuses provably dead candidates early.
+
+use std::collections::HashMap;
+
+use eco_netlist::{sim, Circuit, NetId, NetlistError};
+
+use crate::correspond::{Correspondence, OutputPair};
+use crate::validate::{apply_rewires, CandidateRewire};
+use crate::EcoError;
+
+/// Verdict of the simulation screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Screen {
+    /// The candidate disagrees with the specification on at least one
+    /// banked assignment, or is structurally infeasible: provably not
+    /// valid, so it must not consume a SAT-validation slot.
+    Screened,
+    /// The candidate matches the specification on every banked
+    /// assignment. SAT validation must still confirm it — the bank is
+    /// finite, so passing is necessary but not sufficient.
+    Pass,
+}
+
+/// The specification's reference bits over one output's sample bank,
+/// computed once per domain attempt and reused for every candidate screen.
+#[derive(Debug)]
+pub struct PrefilterBank {
+    /// The banked input assignments, in implementation input order.
+    bank: Vec<Vec<bool>>,
+    /// Specification value of the target output per 64-sample block,
+    /// tail bits of the last block already masked to zero.
+    spec_bits: Vec<u64>,
+}
+
+impl PrefilterBank {
+    /// Simulates the specification's target output over `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EcoError`] from specification simulation.
+    pub fn build(
+        spec: &Circuit,
+        corr: &Correspondence,
+        pair: &OutputPair,
+        bank: &[Vec<bool>],
+    ) -> Result<Self, EcoError> {
+        let spec_root = spec.outputs()[pair.spec_index as usize].net();
+        let spec_bank: Vec<Vec<bool>> = bank.iter().map(|s| corr.spec_assignment(s)).collect();
+        let blocks = sim::simulate_patterns(spec, &spec_bank).map_err(EcoError::from)?;
+        let spec_bits = mask_tail(
+            blocks.iter().map(|b| b[spec_root.index()]).collect(),
+            bank.len(),
+        );
+        Ok(PrefilterBank {
+            bank: bank.to_vec(),
+            spec_bits,
+        })
+    }
+
+    /// Screens one candidate: applies its rewires to a scratch copy of
+    /// `base` and compares the patched target output against the banked
+    /// specification bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EcoError`] on malformed netlist references;
+    /// `WouldCycle` is a verdict ([`Screen::Screened`]), not an error.
+    pub fn screen(
+        &self,
+        base: &Circuit,
+        spec: &Circuit,
+        rewires: &[CandidateRewire],
+        pair: &OutputPair,
+    ) -> Result<Screen, EcoError> {
+        if self.bank.is_empty() {
+            return Ok(Screen::Pass);
+        }
+        let mut patched = base.clone();
+        let mut clones: HashMap<NetId, NetId> = HashMap::new();
+        match apply_rewires(&mut patched, spec, rewires, &mut clones) {
+            Ok(_) => {}
+            Err(NetlistError::WouldCycle { .. }) => return Ok(Screen::Screened),
+            Err(e) => return Err(EcoError::from(e)),
+        }
+        let blocks = sim::simulate_patterns(&patched, &self.bank).map_err(EcoError::from)?;
+        // Read the target net *after* apply: an output-pin rewire changes it.
+        let target = patched.outputs()[pair.impl_index as usize].net();
+        let got = mask_tail(
+            blocks.iter().map(|b| b[target.index()]).collect(),
+            self.bank.len(),
+        );
+        if got == self.spec_bits {
+            Ok(Screen::Pass)
+        } else {
+            Ok(Screen::Screened)
+        }
+    }
+}
+
+/// Zeroes the bits of the last block beyond `len` assignments — they
+/// simulate the all-zero padding pattern, not a real banked sample.
+fn mask_tail(mut blocks: Vec<u64>, len: usize) -> Vec<u64> {
+    let nblocks = blocks.len();
+    if let Some(last) = blocks.last_mut() {
+        let rem = len - (nblocks - 1) * 64;
+        if rem < 64 {
+            *last &= (1u64 << rem) - 1;
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewire_nets::RewireCandidate;
+    use eco_netlist::{GateKind, Pin};
+
+    /// impl: y = a AND b; spec: y = a OR b — distinguishable on (0,1).
+    fn pairs() -> (Circuit, Circuit, Correspondence, OutputPair) {
+        let mut im = Circuit::new("impl");
+        let a = im.add_input("a");
+        let b = im.add_input("b");
+        let g = im.add_gate(GateKind::And, &[a, b]).unwrap();
+        im.add_output("y", g);
+
+        let mut sp = Circuit::new("spec");
+        let a = sp.add_input("a");
+        let b = sp.add_input("b");
+        let g = sp.add_gate(GateKind::Or, &[a, b]).unwrap();
+        sp.add_output("y", g);
+
+        let corr = Correspondence::build(&im, &sp).unwrap();
+        let pair = corr.outputs[0].clone();
+        (im, sp, corr, pair)
+    }
+
+    #[test]
+    fn mismatching_candidate_is_screened_and_agreeing_candidate_passes() {
+        let (im, sp, corr, pair) = pairs();
+        let bank = vec![
+            vec![false, true], // spec 1, impl(AND) 0: distinguishing
+            vec![true, true],
+        ];
+        let pf = PrefilterBank::build(&sp, &corr, &pair, &bank).unwrap();
+
+        // Rewire the AND gate's input 0 to net b (index 1): y = b AND b = b.
+        // On (0,1): b=1 matches spec OR=1; on (1,1): 1 == 1. Passes.
+        let to_b = CandidateRewire {
+            pin: Pin::Gate {
+                node: im.outputs()[0].net().source(),
+                pos: 0,
+            },
+            candidate: RewireCandidate {
+                net: NetId::from_index(1),
+                from_spec: false,
+                utility: 0.0,
+                arrival: 0.0,
+            },
+        };
+        let verdict = pf
+            .screen(&im, &sp, std::slice::from_ref(&to_b), &pair)
+            .unwrap();
+        assert_eq!(verdict, Screen::Pass);
+
+        // Rewire input 0 to net a (identity on this pin): y stays a AND b,
+        // which mismatches the spec on the first banked sample — screened.
+        let to_a = CandidateRewire {
+            pin: to_b.pin,
+            candidate: RewireCandidate {
+                net: NetId::from_index(0),
+                from_spec: false,
+                utility: 0.0,
+                arrival: 0.0,
+            },
+        };
+        let verdict = pf.screen(&im, &sp, &[to_a], &pair).unwrap();
+        assert_eq!(verdict, Screen::Screened);
+    }
+
+    #[test]
+    fn empty_bank_passes_everything() {
+        let (im, sp, corr, pair) = pairs();
+        let pf = PrefilterBank::build(&sp, &corr, &pair, &[]).unwrap();
+        let verdict = pf.screen(&im, &sp, &[], &pair).unwrap();
+        assert_eq!(verdict, Screen::Pass);
+    }
+}

@@ -33,7 +33,7 @@ use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use eco_bdd::{BddCounters, BddError, BddManager};
+use eco_bdd::{Bdd, BddCounters, BddError, BddManager};
 use eco_netlist::{topo, Circuit, NetId, Pin};
 use eco_sat::SolverStats;
 use eco_telemetry::{
@@ -56,6 +56,7 @@ use crate::memo::{CacheSession, OutputEntry, WarmStart};
 use crate::options::EcoOptions;
 use crate::patch::Patch;
 use crate::points::{candidate_pins, feasible_point_sets, Selection};
+use crate::prefilter;
 use crate::progress::{emit, OutputAction, ProgressCallback, ProgressEvent};
 use crate::rewire_nets::{candidates_for_pin, RewireCandidate, RewireNetContext};
 use crate::sampling::{eval_all_bdd, SamplingDomain};
@@ -102,6 +103,12 @@ pub struct RectifyStats {
     pub point_sets_tried: usize,
     /// Rewiring choices examined.
     pub choices_tried: usize,
+    /// Candidates the bit-parallel simulation pre-filter proved invalid
+    /// before they could consume a SAT-validation slot.
+    pub prefilter_screened: usize,
+    /// Candidates that survived the pre-filter and went on to SAT
+    /// validation.
+    pub prefilter_passed: usize,
     /// Outputs whose search was cut short (budget exhaustion, resource
     /// limits, panics), with the recovery taken for each. Empty on a clean
     /// run; every listed output is still rectified, just less thoroughly
@@ -190,6 +197,8 @@ struct SearchStats {
     validations: usize,
     point_sets_tried: usize,
     choices_tried: usize,
+    prefilter_screened: usize,
+    prefilter_passed: usize,
     sat: SolverStats,
     bdd: BddCounters,
     bdd_peak_nodes: usize,
@@ -387,10 +396,15 @@ fn flush_search_metrics(shard: &MetricsShard, s: &SearchStats, search: Duration)
     shard.add(Counter::BddQuantMisses, s.bdd.quant_misses);
     shard.add(Counter::BddUniqueResizes, s.bdd.unique_resizes);
     shard.add(Counter::BddEvictions, s.bdd.evictions);
+    shard.add(Counter::BddGcRuns, s.bdd.gc_runs);
+    shard.add(Counter::BddGcFreed, s.bdd.gc_freed_nodes);
+    shard.add(Counter::BddReorders, s.bdd.reorders);
     shard.add(Counter::RectifyRefinements, s.refinements as u64);
     shard.add(Counter::RectifyValidations, s.validations as u64);
     shard.add(Counter::RectifyPointSets, s.point_sets_tried as u64);
     shard.add(Counter::RectifyChoices, s.choices_tried as u64);
+    shard.add(Counter::PrefilterScreened, s.prefilter_screened as u64);
+    shard.add(Counter::PrefilterPassed, s.prefilter_passed as u64);
     shard.add(Counter::CacheHits, s.cache_hits);
     shard.add(Counter::CacheVerifyRejects, s.cache_verify_rejects);
     shard.gauge_max(Gauge::BddPeakNodes, s.bdd_peak_nodes as u64);
@@ -638,6 +652,7 @@ pub(crate) fn rewire_rectify_with(
                 ("validations", ArgValue::U64(local.validations as u64)),
                 ("point_sets", ArgValue::U64(local.point_sets_tried as u64)),
                 ("choices", ArgValue::U64(local.choices_tried as u64)),
+                ("screened", ArgValue::U64(local.prefilter_screened as u64)),
                 ("sat_conflicts", ArgValue::U64(local.sat.conflicts)),
                 (
                     "proposal",
@@ -668,6 +683,8 @@ pub(crate) fn rewire_rectify_with(
         stats.validations += r.stats.validations;
         stats.point_sets_tried += r.stats.point_sets_tried;
         stats.choices_tried += r.stats.choices_tried;
+        stats.prefilter_screened += r.stats.prefilter_screened;
+        stats.prefilter_passed += r.stats.prefilter_passed;
         stats.sat_conflicts += r.stats.sat.conflicts;
         stats.sat_decisions += r.stats.sat.decisions;
         stats.sat_propagations += r.stats.sat.propagations;
@@ -1322,6 +1339,11 @@ fn bdd_cut(e: BddError) -> Result<Attempt, EcoError> {
         BddError::NodeLimit { .. } => Ok(Attempt::NodeLimit),
         BddError::DeadlineExceeded => Ok(Attempt::BudgetOut(DegradeReason::DeadlineExceeded)),
         BddError::Cancelled => Ok(Attempt::BudgetOut(DegradeReason::Cancelled)),
+        // An armed bdd-gc/bdd-reorder fault point vetoed the pass through
+        // the event hook: simulate a hard crash, exactly like an abort:
+        // span fault — the run must be resumable from its checkpoints.
+        #[cfg(any(test, feature = "fault-injection"))]
+        BddError::Aborted => Err(EcoError::InjectedAbort),
         other => Err(EcoError::from(other)),
     }
 }
@@ -1356,6 +1378,11 @@ fn attempt_with_domain(
         options.bdd_node_limit
     };
     let mut m = BddManager::with_node_limit(node_limit);
+    // Automatic triggers for collection and sifting, checked at point-set
+    // boundaries. Fault arming may lower these to force the machinery
+    // under test.
+    m.set_gc_threshold(options.bdd_gc_threshold);
+    m.set_reorder_threshold(options.bdd_reorder_threshold);
     budget.arm_bdd(&mut m);
     let result = attempt_in_manager(
         &mut m,
@@ -1422,9 +1449,26 @@ fn attempt_in_manager(
         Err(e) => return bdd_cut(e),
     };
     let fprime = spec_vals[spec_root.index()];
+    // The revised output value per sample — the constants the sample-wise
+    // H(t) construction compares each restricted cone against.
+    let fprime_bits: Vec<bool> = (0..domain.len())
+        .map(|k| m.eval(fprime, &domain.code_assignment(k)))
+        .collect();
 
     let pins = candidate_pins(base, root, pair.impl_index, pin_cap);
     let ctx = RewireNetContext::build(base, spec, corr, spec_root, samples)?;
+    // Reference bits for the candidate screen, over the full sample bank
+    // (a strict superset of this attempt's sampling domain): one spec
+    // simulation per attempt, reused by every screen below.
+    let pf_bank = prefilter::PrefilterBank::build(spec, corr, pair, sample_bank)?;
+    // Handles the search must keep across GC/reorder boundaries: the
+    // per-input domain functions and every evaluated net of both circuits
+    // (`fprime` and `g_spec` entries are aliases into these).
+    let mut search_roots: Vec<Bdd> =
+        Vec::with_capacity(g_impl.len() + impl_vals.len() + spec_vals.len());
+    search_roots.extend_from_slice(&g_impl);
+    search_roots.extend_from_slice(&impl_vals);
+    search_roots.extend_from_slice(&spec_vals);
     // Searches run against the pristine base circuit, so candidate cost is
     // estimated without cross-output clone sharing; the merge phase dedups
     // actual clones via its shared map.
@@ -1479,8 +1523,8 @@ fn attempt_in_manager(
         let sets = match feasible_point_sets(
             base,
             m,
-            &g_impl,
-            fprime,
+            samples,
+            &fprime_bits,
             root,
             pair.impl_index,
             &pins,
@@ -1515,6 +1559,16 @@ fn attempt_in_manager(
                 break 'outer;
             }
             stats.point_sets_tried += 1;
+            // Point-set boundary: the previous iteration's H(t) and choice
+            // intermediates are garbage now. Give the manager a chance to
+            // collect and re-sift against the handles still needed; both
+            // are no-ops until their automatic thresholds trip.
+            let boundary = m
+                .maybe_gc(&search_roots)
+                .and_then(|_| m.maybe_reorder(&search_roots));
+            if let Err(e) = boundary {
+                return bdd_cut(e);
+            }
             trace!(
                 "  m={m_points} point-set: {:?}",
                 point_set.iter().map(|p| p.to_string()).collect::<Vec<_>>()
@@ -1614,6 +1668,17 @@ fn attempt_in_manager(
                     }
                     cut = Some(reason);
                     break 'outer;
+                }
+                // Bit-parallel simulation screen (sound: any banked
+                // mismatch proves the candidate invalid) — provably dead
+                // candidates never consume a validation slot; every passed
+                // candidate goes straight to SAT validation.
+                match pf_bank.screen(base, spec, &rewires, pair)? {
+                    prefilter::Screen::Screened => {
+                        stats.prefilter_screened += 1;
+                        continue;
+                    }
+                    prefilter::Screen::Pass => stats.prefilter_passed += 1,
                 }
                 validations_left -= 1;
                 stats.validations += 1;

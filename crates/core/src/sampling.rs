@@ -70,6 +70,18 @@ impl SamplingDomain {
         &self.samples[k % self.samples.len()]
     }
 
+    /// The total `z` assignment selecting code `k`: a vector indexed by
+    /// BDD variable (false below `z_base`), suitable for
+    /// [`BddManager::eval`] of any function over this domain's `z` block.
+    pub fn code_assignment(&self, k: usize) -> Vec<bool> {
+        let bits = self.num_z_vars();
+        let mut assign = vec![false; (self.z_base + bits) as usize];
+        for b in 0..bits {
+            assign[(self.z_base + b) as usize] = (k >> (bits - 1 - b)) & 1 == 1;
+        }
+        assign
+    }
+
     /// Builds the minterm `z^k` ("big-endian" bit order as in §4.1).
     ///
     /// # Errors

@@ -68,6 +68,12 @@ metric_enum! {
         BddUniqueResizes => names::BDD_UNIQUE_RESIZES,
         /// BDD operation-cache entries dropped by explicit clears.
         BddEvictions => names::BDD_EVICTIONS,
+        /// BDD mark-and-sweep garbage-collection passes.
+        BddGcRuns => names::BDD_GC_RUNS,
+        /// BDD nodes reclaimed by garbage collection.
+        BddGcFreed => names::BDD_GC_FREED,
+        /// BDD variable-reorder (sifting) passes.
+        BddReorders => names::BDD_REORDERS,
         /// Sampling-domain refinements (false positives fed back).
         RectifyRefinements => names::RECTIFY_REFINEMENTS,
         /// SAT validation calls.
@@ -76,6 +82,10 @@ metric_enum! {
         RectifyPointSets => names::RECTIFY_POINT_SETS,
         /// Rewiring choices examined.
         RectifyChoices => names::RECTIFY_CHOICES,
+        /// Candidates rejected by the bit-parallel simulation pre-filter.
+        PrefilterScreened => names::PREFILTER_SCREENED,
+        /// Candidates that survived the simulation pre-filter.
+        PrefilterPassed => names::PREFILTER_PASSED,
         /// Outputs that took the output-rewire fallback.
         RectifyFallbacks => names::RECTIFY_FALLBACKS,
         /// Outputs rectified through non-trivial rewiring.

@@ -45,6 +45,12 @@ pub const BDD_QUANT_MISSES: &str = "bdd.quant.misses";
 pub const BDD_UNIQUE_RESIZES: &str = "bdd.unique.resizes";
 /// BDD operation-cache entries dropped by explicit cache clears.
 pub const BDD_EVICTIONS: &str = "bdd.evictions";
+/// BDD mark-and-sweep garbage-collection passes.
+pub const BDD_GC_RUNS: &str = "bdd.gc.runs";
+/// BDD nodes reclaimed by garbage collection.
+pub const BDD_GC_FREED: &str = "bdd.gc.freed";
+/// BDD variable-reorder (sifting) passes.
+pub const BDD_REORDERS: &str = "bdd.reorders";
 /// Sampling-domain refinements (false positives fed back).
 pub const RECTIFY_REFINEMENTS: &str = "rectify.refinements";
 /// SAT validation calls.
@@ -53,6 +59,10 @@ pub const RECTIFY_VALIDATIONS: &str = "rectify.validations";
 pub const RECTIFY_POINT_SETS: &str = "rectify.point_sets";
 /// Rewiring choices examined.
 pub const RECTIFY_CHOICES: &str = "rectify.choices";
+/// Candidates rejected by the bit-parallel simulation pre-filter.
+pub const PREFILTER_SCREENED: &str = "prefilter.screened";
+/// Candidates that survived the simulation pre-filter.
+pub const PREFILTER_PASSED: &str = "prefilter.passed";
 /// Outputs that took the output-rewire fallback.
 pub const RECTIFY_FALLBACKS: &str = "rectify.fallbacks";
 /// Outputs rectified through non-trivial rewiring.
@@ -151,10 +161,15 @@ pub const ALL_METRIC_NAMES: &[&str] = &[
     BDD_QUANT_MISSES,
     BDD_UNIQUE_RESIZES,
     BDD_EVICTIONS,
+    BDD_GC_RUNS,
+    BDD_GC_FREED,
+    BDD_REORDERS,
     RECTIFY_REFINEMENTS,
     RECTIFY_VALIDATIONS,
     RECTIFY_POINT_SETS,
     RECTIFY_CHOICES,
+    PREFILTER_SCREENED,
+    PREFILTER_PASSED,
     RECTIFY_FALLBACKS,
     RECTIFY_REWIRED,
     RECTIFY_MERGE_CONFLICTS,

@@ -96,6 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let spec_vals = eval_all_bdd(&spec, &mut m, &g_spec)?;
     let fprime = spec_vals[spec.outputs()[0].net().index()];
+    let fprime_bits: Vec<bool> = (0..domain.len())
+        .map(|k| m.eval(fprime, &domain.code_assignment(k)))
+        .collect();
 
     // §4.2 — the parameterized selection and H(t).
     let root = impl_c.outputs()[0].net();
@@ -112,7 +115,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             selection.bits_per_block
         );
         let sets = feasible_point_sets(
-            &impl_c, &mut m, &g, fprime, root, 0, &pins, &selection, Y_BASE, 8, 4,
+            &impl_c,
+            &mut m,
+            domain.samples(),
+            &fprime_bits,
+            root,
+            0,
+            &pins,
+            &selection,
+            Y_BASE,
+            8,
+            4,
         )?;
         println!("H(t) admits {} point-set(s):", sets.len());
         for set in &sets {

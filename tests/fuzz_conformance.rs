@@ -69,3 +69,139 @@ fn fuzz_reports_are_reproducible() {
     assert_eq!(a.failures.len(), b.failures.len());
     assert_eq!(ticks.len(), 25, "progress fires once per iteration");
 }
+
+/// Prefilter soundness over two hundred fuzz scenarios: a candidate the
+/// bit-parallel simulation screen rejects must never be SAT-validated as
+/// `Valid` — the screen may only refuse candidates the oracle would also
+/// refuse (DESIGN.md §16's "sound, never complete" contract).
+#[test]
+fn prefilter_screen_is_sound_across_two_hundred_scenarios() {
+    use eco_netlist::NetId;
+    use std::collections::{HashMap, HashSet};
+    use syseco::correspond::Correspondence;
+    use syseco::points::candidate_pins;
+    use syseco::prefilter::{PrefilterBank, Screen};
+    use syseco::rewire_nets::RewireCandidate;
+    use syseco::validate::{validate_rewires_with_stats, CandidateRewire, Validation};
+
+    // Tiny deterministic splitmix64 stream; no RNG dependency needed.
+    struct Sm(u64);
+    impl Sm {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+    }
+
+    let config = ScenarioConfig::default();
+    let mut screened_total = 0u64;
+    let mut passed_total = 0u64;
+    for i in 0..200u64 {
+        let seed = iteration_seed(0x5C4EE4, i);
+        let sc = generate(seed, &config).expect("scenario generates");
+        let im = &sc.implementation;
+        let sp = &sc.spec;
+        let corr = match Correspondence::build(im, sp) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let mut rng = Sm(seed ^ 0xA5A5);
+        // 48 samples: not a multiple of 64, so the tail-bit mask of the
+        // final simulation block is exercised on every scenario.
+        let samples: Vec<Vec<bool>> = (0..48)
+            .map(|_| (0..im.num_inputs()).map(|_| rng.next() & 1 == 1).collect())
+            .collect();
+        let pair = &corr.outputs[rng.below(corr.outputs.len())];
+        let root = im.outputs()[pair.impl_index as usize].net();
+        let pf = PrefilterBank::build(sp, &corr, pair, &samples).expect("bank builds");
+        let pins = candidate_pins(im, root, pair.impl_index, 16);
+        if pins.is_empty() {
+            continue;
+        }
+        // Treat every output as failing: the damage rule then prunes
+        // nothing, making `Valid` as permissive as possible — the hardest
+        // setting for a soundness claim about the screen.
+        let failing: HashSet<u32> = (0..im.outputs().len() as u32).collect();
+        let no_clones: HashMap<NetId, NetId> = HashMap::new();
+        for _ in 0..6 {
+            let pin = pins[rng.below(pins.len())];
+            let net = NetId::from_index(rng.below(im.num_nodes()));
+            let rewires = vec![CandidateRewire {
+                pin,
+                candidate: RewireCandidate {
+                    net,
+                    from_spec: false,
+                    utility: 0.0,
+                    arrival: 0.0,
+                },
+            }];
+            let verdict = match pf.screen(im, sp, &rewires, pair) {
+                Ok(v) => v,
+                // A random net index may reference a dead node the fuzz
+                // mutator left behind; validation rejects those the same
+                // way, so they carry no soundness signal.
+                Err(_) => continue,
+            };
+            match verdict {
+                Screen::Screened => screened_total += 1,
+                Screen::Pass => {
+                    passed_total += 1;
+                    continue;
+                }
+            }
+            let (validation, _) = validate_rewires_with_stats(
+                im, sp, &corr, &rewires, pair, &failing, &samples, &no_clones, 100_000, None,
+            )
+            .expect("validation runs");
+            assert!(
+                !matches!(validation, Validation::Valid { .. }),
+                "screened candidate validated as Valid (scenario {i}, pin {pin:?}, net {net:?})"
+            );
+        }
+    }
+    assert!(screened_total > 0, "the sweep never screened a candidate");
+    assert!(passed_total > 0, "the sweep never passed a candidate");
+}
+
+/// The engine's prefilter accounting must reconcile on real runs: every
+/// screened or passed candidate was first counted as a choice, and only
+/// passed candidates consume SAT-validation slots.
+#[test]
+fn prefilter_counters_reconcile_with_search_accounting() {
+    use syseco::{EcoOptions, Syseco};
+
+    let config = ScenarioConfig::default();
+    let mut screened_anywhere = 0u64;
+    for i in 0..25u64 {
+        let seed = iteration_seed(0xC0FFEE, i);
+        let sc = generate(seed, &config).expect("scenario generates");
+        let result = Syseco::new(EcoOptions::with_seed(seed ^ 1))
+            .rectify(&sc.implementation, &sc.spec)
+            .expect("rectification succeeds");
+        let st = &result.rectify;
+        assert!(
+            st.prefilter_screened + st.prefilter_passed <= st.choices_tried,
+            "scenario {i}: screened {} + passed {} exceeds choices {}",
+            st.prefilter_screened,
+            st.prefilter_passed,
+            st.choices_tried
+        );
+        assert!(
+            st.prefilter_passed <= st.validations,
+            "scenario {i}: passed {} exceeds validations {}",
+            st.prefilter_passed,
+            st.validations
+        );
+        screened_anywhere += st.prefilter_screened as u64;
+    }
+    assert!(
+        screened_anywhere > 0,
+        "twenty-five fuzz rectifications never screened a single candidate"
+    );
+}

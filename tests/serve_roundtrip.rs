@@ -3,26 +3,29 @@
 //! framed protocol client (DESIGN.md §15).
 //!
 //! Everything here is deterministic by construction: single-worker
-//! configurations serialize claims, and progress frames are used to
-//! observe "job A is running" before racing job B against it.
+//! configurations serialize claims, progress frames are used to observe
+//! "job A is running" before racing job B against it, and tests that
+//! need the worker to *stay* occupied hold it with a [`GatedRunner`]
+//! instead of betting on engine slowness.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use eco_fuzz::{generate, generate_chain, ScenarioConfig};
 use eco_netlist::write_blif;
 use syseco::serve::{
-    Client, JobRequest, JobStatus, Message, RejectReason, SchedulerConfig, Server, ServerConfig,
-    SubmitReply,
+    Client, JobControl, JobOutcome, JobRequest, JobRunner, JobStatus, Message, RejectReason,
+    SchedulerConfig, Server, ServerConfig, SubmitReply,
 };
 use syseco::telemetry::Counter;
 use syseco::{EcoOptions, EngineRunner, Session, Telemetry};
 
-/// A fuzz scenario big enough to keep a debug-build engine busy for a
-/// while — long enough to queue and cancel things behind it.
-fn slow_config() -> ScenarioConfig {
+/// A moderately sized fuzz scenario for the queueing tests. Worker
+/// occupancy is enforced by the daemon's gate, not by scenario size.
+fn busy_config() -> ScenarioConfig {
     ScenarioConfig {
         input_words: (4, 4),
         width: (3, 3),
@@ -30,6 +33,30 @@ fn slow_config() -> ScenarioConfig {
         output_words: (4, 4),
         mutations: (3, 4),
         heavy_optimization: false,
+    }
+}
+
+/// Holds every `run` call until the test opens the gate (or the job is
+/// cancel-flagged by drain), so "job A occupies the worker while B
+/// queues behind it" is a property the test enforces rather than a bet
+/// on the engine being slow enough.
+struct GatedRunner {
+    inner: EngineRunner,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl JobRunner for GatedRunner {
+    fn run(&self, request: &JobRequest, control: &JobControl) -> JobOutcome {
+        let (open, released) = &*self.gate;
+        let mut is_open = open.lock().unwrap();
+        while !*is_open && !control.is_cancelled() {
+            is_open = released
+                .wait_timeout(is_open, Duration::from_millis(5))
+                .unwrap()
+                .0;
+        }
+        drop(is_open);
+        self.inner.run(request, control)
     }
 }
 
@@ -60,12 +87,24 @@ struct Daemon {
     telemetry: Telemetry,
     thread: JoinHandle<std::io::Result<()>>,
     root: PathBuf,
+    gate: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl Daemon {
     /// Binds and runs a daemon with `workers` engine workers and a shared
     /// cache + checkpoint store under a fresh temp root.
     fn start(name: &str, workers: usize, sched: SchedulerConfig) -> Daemon {
+        Daemon::start_gated(name, workers, sched, true)
+    }
+
+    /// Like [`Daemon::start`], but claimed jobs block inside the engine
+    /// runner until [`Daemon::release`] — or a drain cancel-flag — lets
+    /// them proceed.
+    fn start_held(name: &str, workers: usize, sched: SchedulerConfig) -> Daemon {
+        Daemon::start_gated(name, workers, sched, false)
+    }
+
+    fn start_gated(name: &str, workers: usize, sched: SchedulerConfig, open: bool) -> Daemon {
         let root =
             std::env::temp_dir().join(format!("syseco-serve-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
@@ -77,7 +116,11 @@ impl Daemon {
             .checkpoint_dir(root.join("ckpt"))
             .build();
         let telemetry = Telemetry::enabled();
-        let runner = Arc::new(EngineRunner::new(base, telemetry.clone()));
+        let gate = Arc::new((Mutex::new(open), Condvar::new()));
+        let runner = Arc::new(GatedRunner {
+            inner: EngineRunner::new(base, telemetry.clone()),
+            gate: gate.clone(),
+        });
         let server = Server::bind(
             ServerConfig {
                 addr: "127.0.0.1:0".into(),
@@ -98,7 +141,15 @@ impl Daemon {
             telemetry,
             thread,
             root,
+            gate,
         }
+    }
+
+    /// Opens the gate: held jobs proceed into the real engine.
+    fn release(&self) {
+        let (open, released) = &*self.gate;
+        *open.lock().unwrap() = true;
+        released.notify_all();
     }
 
     fn stop(self) {
@@ -131,8 +182,8 @@ fn wait_running(client: &mut Client, job_id: u64) {
 
 #[test]
 fn completed_cancelled_and_expired_jobs_are_all_accounted() {
-    let daemon = Daemon::start("accounting", 1, patient());
-    let config = slow_config();
+    let daemon = Daemon::start_held("accounting", 1, patient());
+    let config = busy_config();
 
     // A runs; B and C queue behind it on the single worker.
     let mut client_a = Client::connect(&daemon.addr).unwrap();
@@ -155,6 +206,11 @@ fn completed_cancelled_and_expired_jobs_are_all_accounted() {
     let mut late = request_from_seed("tenant-c", 42, &config);
     late.deadline_ms = 1;
     let id_c = accept(client_c.submit(&late).unwrap());
+
+    // Let C's 1 ms deadline lapse while A still holds the worker, then
+    // open the gate so A can finish and C can be claimed (and expired).
+    std::thread::sleep(Duration::from_millis(10));
+    daemon.release();
 
     let done_a = client_a.wait_done(id_a).unwrap();
     assert_eq!(done_a.status, JobStatus::Completed, "{}", done_a.detail);
@@ -197,8 +253,8 @@ fn bounded_admission_rejects_overload_and_recovers() {
         lane_capacity: 1,
         ..patient()
     };
-    let daemon = Daemon::start("overload", 1, sched);
-    let config = slow_config();
+    let daemon = Daemon::start_held("overload", 1, sched);
+    let config = busy_config();
 
     let mut client_a = Client::connect(&daemon.addr).unwrap();
     let id_a = accept(
@@ -225,6 +281,7 @@ fn bounded_admission_rejects_overload_and_recovers() {
     }
 
     // Backpressure is transient: once the queue drains, C's retry lands.
+    daemon.release();
     assert_eq!(
         client_a.wait_done(id_a).unwrap().status,
         JobStatus::Completed
@@ -291,8 +348,8 @@ fn revision_chain_reuses_the_shared_cache_across_jobs() {
 
 #[test]
 fn shutdown_frame_drains_queued_jobs_and_stops_the_daemon() {
-    let daemon = Daemon::start("drain", 1, patient());
-    let config = slow_config();
+    let daemon = Daemon::start_held("drain", 1, patient());
+    let config = busy_config();
 
     let mut client_a = Client::connect(&daemon.addr).unwrap();
     let id_a = accept(
@@ -310,6 +367,9 @@ fn shutdown_frame_drains_queued_jobs_and_stops_the_daemon() {
 
     // The frame-level SIGTERM: drain resolves the running job (cancelled
     // mid-engine, with whatever honest patch it had) and the queued one.
+    // The gate stays closed — A is parked inside the runner until drain's
+    // cancel-flag reaches it, which proves B could never have been
+    // claimed before drain resolved it as Cancelled.
     let mut controller = Client::connect(&daemon.addr).unwrap();
     controller.shutdown_daemon().unwrap();
 
